@@ -1,0 +1,83 @@
+"""CLAIM-10 — §2.4: complex analytics (regression, FFT, PCA, k-means) belong on
+the array side of the polystore.
+
+Runs each analytic through the AnalyticsRunner (array island / dense matrices)
+and the row-at-a-time equivalent over the one-size-fits-all store, reporting
+per-algorithm timings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analytics import AnalyticsRunner, kmeans, linear_regression, pca
+from repro.analytics.algorithms import dominant_frequency
+
+
+@pytest.fixture(scope="module")
+def runner(bench_deployment) -> AnalyticsRunner:
+    return AnalyticsRunner(bench_deployment.bigdawg)
+
+
+FEATURE_SQL = (
+    "SELECT a.severity, p.age, a.stay_days FROM admissions a "
+    "JOIN patients p ON a.patient_id = p.patient_id"
+)
+
+
+def test_regression_via_polystore(benchmark, runner):
+    fit = benchmark(runner.regression, FEATURE_SQL, ["a.severity", "p.age"], "a.stay_days")
+    assert 0.0 <= fit.r_squared <= 1.0
+
+
+def test_fft_via_array_island(benchmark, runner):
+    frequency = benchmark(runner.waveform_dominant_frequency, "waveform_history", 0, 125.0)
+    assert frequency > 0
+
+
+def test_fft_via_row_store(benchmark, bench_onesize):
+    frequency = benchmark(bench_onesize.dominant_frequency, 0)
+    assert frequency > 0
+
+
+def test_pca_via_polystore(benchmark, runner):
+    result = benchmark(
+        runner.patient_pca, FEATURE_SQL, ["a.severity", "p.age", "a.stay_days"], 2
+    )
+    assert result.components.shape[0] == 2
+
+
+def test_kmeans_via_polystore(benchmark, runner):
+    result = benchmark(
+        runner.patient_clusters, FEATURE_SQL, ["p.age", "a.stay_days"], 3
+    )
+    assert len(set(result.labels)) == 3
+
+
+def test_claim10_summary(runner, bench_deployment, bench_onesize):
+    matrix = runner.waveform_matrix("waveform_history")
+    features = runner.feature_matrix(FEATURE_SQL, ["a.severity", "p.age", "a.stay_days"])
+
+    def timed(fn) -> float:
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    rows = [
+        ("linear regression", timed(lambda: linear_regression(features[:, :2], features[:, 2]))),
+        ("PCA (3 features)", timed(lambda: pca(features, 2))),
+        ("k-means (k=3)", timed(lambda: kmeans(features[:, :2], 3))),
+        ("FFT via array island", timed(lambda: dominant_frequency(matrix[0], 125.0))),
+        ("FFT via row store", timed(lambda: bench_onesize.dominant_frequency(0))),
+    ]
+    print("\nCLAIM-10: complex analytics on the polystore")
+    for label, seconds in rows:
+        print(f"  {label:24s}: {seconds:.4f} s")
+    array_fft = dict(rows)["FFT via array island"]
+    row_fft = dict(rows)["FFT via row store"]
+    # Shape: the same FFT is much cheaper against the array engine's dense
+    # buffers than when every sample is pulled through SQL rows first.
+    assert array_fft < row_fft

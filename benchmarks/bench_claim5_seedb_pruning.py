@@ -1,0 +1,68 @@
+"""CLAIM-5 — §2.2: SeeDB's sampling + pruning gives interactive responses over
+the full aggregate search space.
+
+Compares recommend() with pruning (candidate selection on a sample, full
+evaluation of the survivors) against exhaustive evaluation of every candidate
+view, and checks that pruning does not change which view is ranked first.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exploration import SeeDB
+
+
+PREDICATE = "severity > 0.7"
+
+
+@pytest.fixture(scope="module")
+def seedb(bench_deployment) -> SeeDB:
+    joined = bench_deployment.bigdawg.execute(
+        "RELATIONAL(SELECT p.race AS race, p.sex AS sex, a.admission_type AS admission_type, "
+        "a.outcome AS outcome, a.stay_days AS stay_days, a.severity AS severity "
+        "FROM admissions a JOIN patients p ON a.patient_id = p.patient_id)"
+    )
+    bench_deployment.bigdawg.materialize_temporary("seedb_source", joined)
+    return SeeDB(
+        bench_deployment.bigdawg,
+        "seedb_source",
+        dimensions=["race", "sex", "admission_type", "outcome"],
+        measures=["stay_days", "severity"],
+        sample_fraction=0.15,
+        prune_keep=6,
+    )
+
+
+def test_seedb_with_pruning(benchmark, seedb):
+    report = benchmark(seedb.recommend, PREDICATE, 3, True)
+    assert report.candidates_pruned > 0
+
+
+def test_seedb_exhaustive(benchmark, seedb):
+    report = benchmark.pedantic(seedb.recommend, args=(PREDICATE, 3, False), rounds=1, iterations=1)
+    assert report.candidates_pruned == 0
+
+
+def test_claim5_summary(seedb):
+    start = time.perf_counter()
+    pruned = seedb.recommend(PREDICATE, k=3, use_pruning=True)
+    pruned_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    exhaustive = seedb.recommend(PREDICATE, k=3, use_pruning=False)
+    exhaustive_seconds = time.perf_counter() - start
+    print(f"\nCLAIM-5: SeeDB over {pruned.candidates_considered} candidate views")
+    print(f"  pruning (sample {pruned.sample_fraction:.0%}): {pruned_seconds:.3f} s, "
+          f"{pruned.full_evaluations} full evaluations")
+    print(f"  exhaustive                : {exhaustive_seconds:.3f} s, "
+          f"{exhaustive.full_evaluations} full evaluations")
+    print(f"  top view (pruned)     : {pruned.views[0].candidate.label}")
+    print(f"  top view (exhaustive) : {exhaustive.views[0].candidate.label}")
+    # Shape: pruning evaluates far fewer views on the full data and is faster,
+    # while the top recommendation survives.
+    assert pruned.full_evaluations < exhaustive.full_evaluations
+    assert pruned_seconds <= exhaustive_seconds * 1.1
+    top_pruned_labels = {v.candidate.label for v in pruned.views}
+    assert exhaustive.views[0].candidate.label in top_pruned_labels

@@ -1,0 +1,55 @@
+"""CLAIM-6 — §2.2: Searchlight speculates over in-memory synopses, then validates
+candidates on the actual data.
+
+Compares constraint search with synopsis-guided pruning against exhaustive
+window enumeration on the waveform history, asserting identical solutions and
+reporting how much validation work the synopsis avoided.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exploration import ConstraintQuery, RangeConstraint, Searchlight
+
+
+@pytest.fixture(scope="module")
+def searchlight(bench_deployment) -> Searchlight:
+    return Searchlight(bench_deployment.array.array("waveform_history"))
+
+
+QUERY = ConstraintQuery(
+    "value",
+    window_length=64,
+    avg=RangeConstraint(low=0.25),
+    maximum=RangeConstraint(low=1.8),
+)
+
+
+def test_searchlight_with_synopsis(benchmark, searchlight):
+    report = benchmark(searchlight.search, QUERY, True)
+    assert report.used_synopsis
+
+
+def test_searchlight_exhaustive(benchmark, searchlight):
+    report = benchmark.pedantic(searchlight.search, args=(QUERY, False), rounds=1, iterations=1)
+    assert not report.used_synopsis
+
+
+def test_claim6_summary(searchlight):
+    start = time.perf_counter()
+    fast = searchlight.search(QUERY, use_synopsis=True)
+    fast_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    slow = searchlight.search(QUERY, use_synopsis=False)
+    slow_seconds = time.perf_counter() - start
+    print("\nCLAIM-6: constraint search over the waveform history")
+    print(f"  synopsis-guided : {fast_seconds:.3f} s, validated {fast.windows_validated:,} "
+          f"of {fast.windows_considered:,} windows, {len(fast.solutions)} solutions")
+    print(f"  exhaustive      : {slow_seconds:.3f} s, validated {slow.windows_validated:,} "
+          f"windows, {len(slow.solutions)} solutions")
+    # Shape: identical answers, strictly less validation work with the synopsis.
+    assert {(s.signal, s.start) for s in fast.solutions} == {(s.signal, s.start) for s in slow.solutions}
+    assert fast.windows_validated <= slow.windows_validated

@@ -1,0 +1,56 @@
+"""CLAIM-7 — §1.1/§1.2: ScalaR's detail-on-demand browsing with prefetching
+keeps pan/zoom gestures interactive.
+
+Drives the same scripted pan/zoom session with and without prefetching and
+reports cache hit rates and mean per-gesture latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exploration import ScalarBrowser, TileKey
+
+
+def _session(browser: ScalarBrowser) -> ScalarBrowser:
+    tile = browser.fetch_tile(TileKey(level=3, row=0, col=0))
+    for _ in range(8):
+        tile = browser.pan(tile.key, +1)
+    tile = browser.zoom_in(tile.key)
+    for _ in range(4):
+        tile = browser.pan(tile.key, +1)
+    tile = browser.zoom_out(tile.key)
+    for _ in range(4):
+        tile = browser.pan(tile.key, -1)
+    return browser
+
+
+def _make_browser(deployment, prefetch: bool) -> ScalarBrowser:
+    return ScalarBrowser(
+        deployment.array.array("waveform_history"),
+        tile_samples=64, base_block=4, max_levels=4, prefetch=prefetch,
+    )
+
+
+def test_browsing_session_with_prefetch(benchmark, bench_deployment):
+    browser = benchmark(lambda: _session(_make_browser(bench_deployment, True)))
+    assert browser.stats.requests > 0
+
+
+def test_browsing_session_without_prefetch(benchmark, bench_deployment):
+    browser = benchmark(lambda: _session(_make_browser(bench_deployment, False)))
+    assert browser.stats.requests > 0
+
+
+def test_claim7_summary(bench_deployment):
+    with_prefetch = _session(_make_browser(bench_deployment, True)).stats
+    without_prefetch = _session(_make_browser(bench_deployment, False)).stats
+    print("\nCLAIM-7: scripted pan/zoom session over the waveform history")
+    print(f"  with prefetch   : hit rate {with_prefetch.hit_rate:.2f}, "
+          f"mean gesture {with_prefetch.mean_gesture_seconds * 1000:.3f} ms, "
+          f"prefetch hits {with_prefetch.prefetch_hits}")
+    print(f"  without prefetch: hit rate {without_prefetch.hit_rate:.2f}, "
+          f"mean gesture {without_prefetch.mean_gesture_seconds * 1000:.3f} ms")
+    # Shape: prefetching turns most gestures into cache hits.
+    assert with_prefetch.hit_rate > without_prefetch.hit_rate
+    assert with_prefetch.prefetch_hits > 0

@@ -1,0 +1,52 @@
+"""FIG-1 — Figure 1 (architecture): cross-island queries over multiple engines.
+
+The figure itself is the architecture diagram; the measurable content is that
+one BigDAWG instance answers queries on every island, including queries that
+CAST data between engines.  This benchmark times one representative query per
+island plus a CAST query, establishing that the middleware overhead is small
+relative to the engines' own execution time.
+"""
+
+from __future__ import annotations
+
+
+def test_relational_island_query(benchmark, bench_deployment):
+    result = benchmark(
+        bench_deployment.bigdawg.execute,
+        "RELATIONAL(SELECT count(*) AS n FROM admissions WHERE stay_days > 5)",
+    )
+    assert result.rows[0]["n"] >= 0
+
+
+def test_array_island_query(benchmark, bench_deployment):
+    result = benchmark(
+        bench_deployment.bigdawg.execute,
+        "ARRAY(aggregate(waveform_history, avg(value), stddev(value)))",
+    )
+    assert result.rows[0]["stddev(value)"] > 0
+
+
+def test_text_island_query(benchmark, bench_deployment):
+    result = benchmark(
+        bench_deployment.bigdawg.execute,
+        'TEXT(SEARCH notes FOR "very sick" MIN 3)',
+    )
+    assert len(result) >= 0
+
+
+def test_d4m_island_query(benchmark, bench_deployment):
+    result = benchmark(
+        bench_deployment.bigdawg.execute,
+        "D4M(ASSOC notes DEGREE ROWS)",
+    )
+    assert len(result) > 0
+
+
+def test_cross_island_cast_query(benchmark, bench_deployment):
+    """SQL over the array-resident waveforms; the CAST is re-planned every call."""
+    query = (
+        "RELATIONAL(SELECT signal, count(*) AS n FROM CAST(waveform_history, relational) "
+        "WHERE value > 1.8 GROUP BY signal)"
+    )
+    result = benchmark(bench_deployment.bigdawg.execute, query)
+    assert len(result) >= 1

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module reproduces one experiment from DESIGN.md (a figure or a
+quantitative claim of the paper).  They share one session-scoped synthetic
+MIMIC II deployment sized to run in seconds on a laptop; the *shape* of every
+comparison (who wins, roughly by how much) is what matters, not absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import build_one_size_fits_all
+from repro.mimic import MimicGenerator, build_polystore
+
+
+BENCH_GENERATOR = MimicGenerator(
+    patient_count=300,
+    waveform_patients=4,
+    waveform_samples=4000,
+    sample_rate_hz=125.0,
+    anomaly_fraction=1.0,
+    seed=99,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    return BENCH_GENERATOR.generate()
+
+
+@pytest.fixture(scope="session")
+def bench_deployment(bench_dataset):
+    """The polystore deployment (relational + array + key-value + streaming)."""
+    return build_polystore(dataset=bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_onesize(bench_dataset):
+    """The 'one size fits all' baseline: everything in a single relational engine."""
+    return build_one_size_fits_all(bench_dataset)

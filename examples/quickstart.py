@@ -1,0 +1,78 @@
+"""Quickstart: build a small BigDAWG polystore and run cross-island queries.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BigDawg
+from repro.engines.array import ArrayEngine
+from repro.engines.keyvalue import KeyValueEngine
+from repro.engines.relational import RelationalEngine
+
+
+def main() -> None:
+    # 1. Stand up three specialized engines and register them with BigDAWG.
+    bigdawg = BigDawg()
+    postgres = RelationalEngine("postgres")
+    scidb = ArrayEngine("scidb")
+    accumulo = KeyValueEngine("accumulo")
+    bigdawg.add_engine(postgres)
+    bigdawg.add_engine(scidb)
+    bigdawg.add_engine(accumulo)
+
+    # 2. Put some data in each engine, in its native model.
+    postgres.execute(
+        "CREATE TABLE patients (patient_id INTEGER PRIMARY KEY, age INTEGER, race TEXT)"
+    )
+    postgres.execute(
+        "INSERT INTO patients VALUES (1, 71, 'white'), (2, 64, 'black'), (3, 55, 'asian')"
+    )
+    rng = np.random.default_rng(0)
+    scidb.load_numpy("heart_rate", 70 + 5 * rng.standard_normal((3, 600)))
+    notes = accumulo.create_table("notes", text_indexed=True)
+    notes.put("patient_000001", "doctor", "note_1", "patient remains very sick overnight")
+    notes.put("patient_000001", "doctor", "note_2", "still very sick, adjusting medication")
+    notes.put("patient_000001", "nurse", "note_3", "patient very sick, family updated")
+    notes.put("patient_000002", "doctor", "note_1", "recovering well, discharge planned")
+
+    # 3. Query each island in its own language — location transparency.
+    print("== Relational island ==")
+    print(bigdawg.execute(
+        "RELATIONAL(SELECT race, count(*) AS n FROM patients WHERE age > 60 GROUP BY race)"
+    ).to_dicts())
+
+    print("== Array island ==")
+    print(bigdawg.execute(
+        "ARRAY(aggregate(heart_rate, avg(value), min(value), max(value)))"
+    ).to_dicts())
+
+    print("== Text island ==")
+    print(bigdawg.execute('TEXT(SEARCH notes FOR "very sick" MIN 3)').to_dicts())
+
+    # 4. A cross-island query: SQL over an array, via CAST.
+    print("== Cross-island (CAST array into the relational island) ==")
+    print(bigdawg.explain(
+        "RELATIONAL(SELECT i, count(*) AS high_samples FROM CAST(heart_rate, relational) "
+        "WHERE value > 75 GROUP BY i)"
+    ))
+    result = bigdawg.execute(
+        "RELATIONAL(SELECT i, count(*) AS high_samples FROM CAST(heart_rate, relational) "
+        "WHERE value > 75 GROUP BY i)"
+    )
+    print(result.to_dicts())
+
+    # 5. The D4M island sees everything as associative arrays.
+    print("== D4M island ==")
+    print(bigdawg.execute("D4M(ASSOC notes DEGREE ROWS)").to_dicts())
+
+    print("== Polystore status ==")
+    print(bigdawg.describe()["catalog"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""repro — a reproduction of the BigDAWG polystore system (Elmore et al., VLDB 2015).
+
+The package provides:
+
+* :class:`repro.core.BigDawg` — the polystore facade (islands, SCOPE/CAST, monitor);
+* ``repro.engines.*`` — the federated storage engines (relational, array,
+  key-value, streaming, TileDB, Tupleware);
+* ``repro.mimic`` — a synthetic MIMIC II dataset generator and polystore loader;
+* ``repro.exploration`` / ``repro.analytics`` / ``repro.monitoring`` — the demo's
+  upper layers (SeeDB, Searchlight, ScalaR, complex analytics, real-time alerts);
+* ``repro.baselines`` — the "one size fits all" comparison systems.
+"""
+
+from repro.core.bigdawg import BigDawg
+from repro.core.catalog import BigDawgCatalog
+
+__version__ = "1.0.0"
+
+__all__ = ["BigDawg", "BigDawgCatalog", "__version__"]

@@ -1,0 +1,29 @@
+"""Complex analytics: regression, PCA, k-means, FFT, eigenanalysis, graph analytics."""
+
+from repro.analytics.algorithms import (
+    KMeansResult,
+    PcaResult,
+    RegressionResult,
+    dominant_frequency,
+    fft_spectrum,
+    kmeans,
+    linear_regression,
+    pagerank,
+    pca,
+    power_iteration,
+)
+from repro.analytics.runner import AnalyticsRunner
+
+__all__ = [
+    "AnalyticsRunner",
+    "KMeansResult",
+    "PcaResult",
+    "RegressionResult",
+    "dominant_frequency",
+    "fft_spectrum",
+    "kmeans",
+    "linear_regression",
+    "pagerank",
+    "pca",
+    "power_iteration",
+]

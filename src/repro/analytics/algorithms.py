@@ -1,0 +1,181 @@
+"""Complex analytics algorithms (Section 2.4).
+
+"Increasingly analysts rely on predictive models … The vast majority are based
+on linear algebra and often use recursion.  These include regression analysis,
+singular value decomposition, eigenanalysis (e.g. power iterations), k-means
+clustering, and graph analytics."
+
+Each algorithm here is written against plain numpy matrices so it can run on
+whatever the array island hands back; :mod:`repro.analytics.runner` binds them
+to the polystore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RegressionResult:
+    """Ordinary least squares fit: y ≈ X @ coefficients + intercept."""
+
+    coefficients: np.ndarray
+    intercept: float
+    r_squared: float
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.asarray(features, dtype=float) @ self.coefficients + self.intercept
+
+
+def linear_regression(features: np.ndarray, target: np.ndarray) -> RegressionResult:
+    """Least-squares linear regression with an intercept term."""
+    X = np.asarray(features, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    y = np.asarray(target, dtype=float).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("features and target must have the same number of rows")
+    design = np.column_stack([X, np.ones(X.shape[0])])
+    solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+    coefficients, intercept = solution[:-1], float(solution[-1])
+    predictions = design @ solution
+    residual = float(((y - predictions) ** 2).sum())
+    total = float(((y - y.mean()) ** 2).sum())
+    # A (near-)constant target has no variance to explain; the fit is exact.
+    r_squared = 1.0 if total <= 1e-12 else 1.0 - residual / total
+    return RegressionResult(coefficients, intercept, r_squared)
+
+
+@dataclass(frozen=True)
+class PcaResult:
+    """Principal component analysis of a (samples x features) matrix."""
+
+    components: np.ndarray  # (n_components, features)
+    explained_variance: np.ndarray
+    explained_variance_ratio: np.ndarray
+    mean: np.ndarray
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        return (np.asarray(data, dtype=float) - self.mean) @ self.components.T
+
+
+def pca(data: np.ndarray, n_components: int | None = None) -> PcaResult:
+    """PCA via SVD of the centered data matrix."""
+    X = np.asarray(data, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("PCA requires a 2-dimensional (samples x features) matrix")
+    mean = X.mean(axis=0)
+    centered = X - mean
+    _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+    variance = (s ** 2) / max(1, X.shape[0] - 1)
+    k = n_components or min(X.shape)
+    total = variance.sum()
+    ratio = variance / total if total > 0 else np.zeros_like(variance)
+    return PcaResult(vt[:k], variance[:k], ratio[:k], mean)
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def kmeans(data: np.ndarray, k: int, max_iterations: int = 100, seed: int = 0) -> KMeansResult:
+    """Lloyd's algorithm with deterministic initialization (k-means++ style seeding)."""
+    X = np.asarray(data, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if k <= 0 or k > X.shape[0]:
+        raise ValueError("k must be between 1 and the number of samples")
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_plus_plus_init(X, k, rng)
+    labels = np.zeros(X.shape[0], dtype=int)
+    for iteration in range(1, max_iterations + 1):
+        distances = np.linalg.norm(X[:, None, :] - centroids[None, :, :], axis=2)
+        new_labels = distances.argmin(axis=1)
+        new_centroids = np.array(
+            [
+                X[new_labels == i].mean(axis=0) if np.any(new_labels == i) else centroids[i]
+                for i in range(k)
+            ]
+        )
+        if np.array_equal(new_labels, labels) and np.allclose(new_centroids, centroids):
+            labels = new_labels
+            centroids = new_centroids
+            break
+        labels, centroids = new_labels, new_centroids
+    inertia = float(((X - centroids[labels]) ** 2).sum())
+    return KMeansResult(centroids, labels, inertia, iteration)
+
+
+def _kmeans_plus_plus_init(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    centroids = [X[rng.integers(X.shape[0])]]
+    for _ in range(1, k):
+        distances = np.min(
+            np.linalg.norm(X[:, None, :] - np.array(centroids)[None, :, :], axis=2) ** 2, axis=1
+        )
+        total = distances.sum()
+        if total == 0:
+            centroids.append(X[rng.integers(X.shape[0])])
+            continue
+        probabilities = distances / total
+        centroids.append(X[rng.choice(X.shape[0], p=probabilities)])
+    return np.array(centroids)
+
+
+def fft_spectrum(signal: np.ndarray, sample_rate_hz: float) -> tuple[np.ndarray, np.ndarray]:
+    """Magnitude spectrum of a real signal: (frequencies, magnitudes)."""
+    values = np.asarray(signal, dtype=float).ravel()
+    magnitudes = np.abs(np.fft.rfft(values))
+    frequencies = np.fft.rfftfreq(values.size, d=1.0 / sample_rate_hz)
+    return frequencies, magnitudes
+
+
+def dominant_frequency(signal: np.ndarray, sample_rate_hz: float) -> float:
+    """The non-DC frequency with the largest magnitude."""
+    frequencies, magnitudes = fft_spectrum(signal, sample_rate_hz)
+    if magnitudes.size <= 1:
+        return 0.0
+    index = int(np.argmax(magnitudes[1:])) + 1
+    return float(frequencies[index])
+
+
+def power_iteration(matrix: np.ndarray, iterations: int = 200, tolerance: float = 1e-10
+                    ) -> tuple[float, np.ndarray]:
+    """Dominant eigenvalue / eigenvector of a square matrix."""
+    A = np.asarray(matrix, dtype=float)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError("power iteration requires a square matrix")
+    vector = np.ones(A.shape[0]) / np.sqrt(A.shape[0])
+    eigenvalue = 0.0
+    for _ in range(iterations):
+        product = A @ vector
+        norm = np.linalg.norm(product)
+        if norm == 0:
+            return 0.0, vector
+        vector = product / norm
+        new_eigenvalue = float(vector @ A @ vector)
+        if abs(new_eigenvalue - eigenvalue) < tolerance:
+            return new_eigenvalue, vector
+        eigenvalue = new_eigenvalue
+    return eigenvalue, vector
+
+
+def pagerank(adjacency: np.ndarray, damping: float = 0.85, iterations: int = 100,
+             tolerance: float = 1e-9) -> np.ndarray:
+    """PageRank over a dense adjacency matrix (rows = source, cols = target)."""
+    A = np.asarray(adjacency, dtype=float)
+    n = A.shape[0]
+    out_degree = A.sum(axis=1)
+    transition = np.divide(A, out_degree[:, None], out=np.full_like(A, 1.0 / n), where=out_degree[:, None] > 0)
+    rank = np.full(n, 1.0 / n)
+    for _ in range(iterations):
+        new_rank = (1 - damping) / n + damping * transition.T @ rank
+        if np.abs(new_rank - rank).sum() < tolerance:
+            return new_rank
+        rank = new_rank
+    return rank

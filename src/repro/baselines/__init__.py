@@ -1,0 +1,11 @@
+"""Baselines the paper compares against: a single-store deployment and micro-batching."""
+
+from repro.baselines.microbatch import MicroBatchAlert, MicroBatchProcessor
+from repro.baselines.onesize import OneSizeFitsAllDeployment, build_one_size_fits_all
+
+__all__ = [
+    "MicroBatchAlert",
+    "MicroBatchProcessor",
+    "OneSizeFitsAllDeployment",
+    "build_one_size_fits_all",
+]

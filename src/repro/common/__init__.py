@@ -1,0 +1,41 @@
+"""Common kernel shared by every engine and island: types, schemas, expressions."""
+
+from repro.common.errors import (
+    BigDawgError,
+    CastError,
+    CatalogError,
+    DuplicateObjectError,
+    ExecutionError,
+    ObjectNotFoundError,
+    ParseError,
+    PlanningError,
+    SchemaError,
+    TypeMismatchError,
+    UnsupportedOperationError,
+)
+from repro.common.schema import Column, Relation, Row, Schema, TableDefinition
+from repro.common.types import DataType, coerce, common_type, infer_type, parse_type
+
+__all__ = [
+    "BigDawgError",
+    "CastError",
+    "CatalogError",
+    "Column",
+    "DataType",
+    "DuplicateObjectError",
+    "ExecutionError",
+    "ObjectNotFoundError",
+    "ParseError",
+    "PlanningError",
+    "Relation",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "TableDefinition",
+    "TypeMismatchError",
+    "UnsupportedOperationError",
+    "coerce",
+    "common_type",
+    "infer_type",
+    "parse_type",
+]

@@ -1,0 +1,75 @@
+"""Exception hierarchy shared by every BigDAWG subsystem.
+
+Every error raised by the library derives from :class:`BigDawgError` so that
+callers can catch a single base class at the federation boundary while still
+being able to discriminate parse errors from execution errors from catalog
+errors when they need to.
+"""
+
+from __future__ import annotations
+
+
+class BigDawgError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(BigDawgError):
+    """A schema is malformed or two schemas are incompatible."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to its declared column type."""
+
+
+class ParseError(BigDawgError):
+    """A query string could not be parsed.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the query text where parsing failed, if known.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(BigDawgError):
+    """A parsed query could not be turned into an executable plan."""
+
+
+class ExecutionError(BigDawgError):
+    """A plan failed while executing."""
+
+
+class CatalogError(BigDawgError):
+    """A referenced object is missing from, or duplicated in, a catalog."""
+
+
+class ObjectNotFoundError(CatalogError):
+    """A table, array, stream or other data object does not exist."""
+
+
+class DuplicateObjectError(CatalogError):
+    """An object with the same name already exists."""
+
+
+class UnsupportedOperationError(BigDawgError):
+    """An engine or island was asked to perform something outside its capabilities."""
+
+
+class CastError(BigDawgError):
+    """Data could not be moved between two engines."""
+
+
+class TransactionError(BigDawgError):
+    """A transaction was aborted or used incorrectly."""
+
+
+class IngestionError(BigDawgError):
+    """The streaming engine could not ingest a tuple or batch."""
+
+
+class ConstraintViolationError(BigDawgError):
+    """A declared constraint (primary key, not-null) was violated."""

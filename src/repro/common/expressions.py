@@ -1,0 +1,343 @@
+"""Expression AST shared by the SQL engine, the array engine and the islands.
+
+The same expression tree is produced by the SQL parser, the AFL parser and the
+BigDAWG query planner, which lets predicates be pushed across island
+boundaries without re-parsing.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.common.errors import ExecutionError
+from repro.common.schema import Row, Schema
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    def evaluate(self, row: Row) -> Any:
+        """Evaluate this expression against one row."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """Return the set of column names this expression reads."""
+        return set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.to_sql()
+
+    def to_sql(self) -> str:
+        """Render the expression back to SQL-ish text (for EXPLAIN and shims)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, repr=False)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return str(self.value)
+
+
+@dataclass(frozen=True, repr=False)
+class ColumnRef(Expression):
+    """A reference to a column by name."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> Any:
+        return row[self.name]
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name.lower()}
+
+    def to_sql(self) -> str:
+        return self.name
+
+
+def _null_safe(fn: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    """Wrap a binary operator with SQL NULL propagation."""
+
+    def wrapped(left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+        return fn(left, right)
+
+    return wrapped
+
+
+def _divide(left: Any, right: Any) -> Any:
+    if right == 0:
+        raise ExecutionError("division by zero")
+    result = left / right
+    return result
+
+
+def _like(value: Any, pattern: Any) -> bool:
+    """SQL LIKE with % and _ wildcards, case sensitive."""
+    import re
+
+    regex = re.escape(str(pattern)).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, str(value)) is not None
+
+
+_BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": _null_safe(operator.add),
+    "-": _null_safe(operator.sub),
+    "*": _null_safe(operator.mul),
+    "/": _null_safe(_divide),
+    "%": _null_safe(operator.mod),
+    "=": _null_safe(operator.eq),
+    "==": _null_safe(operator.eq),
+    "!=": _null_safe(operator.ne),
+    "<>": _null_safe(operator.ne),
+    "<": _null_safe(operator.lt),
+    "<=": _null_safe(operator.le),
+    ">": _null_safe(operator.gt),
+    ">=": _null_safe(operator.ge),
+    "like": _null_safe(_like),
+}
+
+
+@dataclass(frozen=True, repr=False)
+class BinaryOp(Expression):
+    """A binary arithmetic or comparison operator with SQL NULL semantics."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op.lower() not in _BINARY_OPS and self.op.lower() not in ("and", "or"):
+            raise ExecutionError(f"unknown binary operator: {self.op!r}")
+
+    def evaluate(self, row: Row) -> Any:
+        op = self.op.lower()
+        if op == "and":
+            left = self.left.evaluate(row)
+            if left is False:
+                return False
+            right = self.right.evaluate(row)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return bool(left) and bool(right)
+        if op == "or":
+            left = self.left.evaluate(row)
+            if left is True:
+                return True
+            right = self.right.evaluate(row)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return bool(left) or bool(right)
+        return _BINARY_OPS[op](self.left.evaluate(row), self.right.evaluate(row))
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op.upper()} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class UnaryOp(Expression):
+    """NOT and unary minus."""
+
+    op: str
+    operand: Expression
+
+    def evaluate(self, row: Row) -> Any:
+        value = self.operand.evaluate(row)
+        op = self.op.lower()
+        if op == "not":
+            if value is None:
+                return None
+            return not bool(value)
+        if op == "-":
+            if value is None:
+                return None
+            return -value
+        raise ExecutionError(f"unknown unary operator: {self.op!r}")
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.op.upper()} {self.operand.to_sql()})"
+
+
+@dataclass(frozen=True, repr=False)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Row) -> Any:
+        is_null = self.operand.evaluate(row) is None
+        return (not is_null) if self.negated else is_null
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {suffix})"
+
+
+@dataclass(frozen=True, repr=False)
+class InList(Expression):
+    """``expr IN (v1, v2, ...)``."""
+
+    operand: Expression
+    values: tuple[Any, ...]
+    negated: bool = False
+
+    def evaluate(self, row: Row) -> Any:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        result = value in self.values
+        return (not result) if self.negated else result
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(Literal(v).to_sql() for v in self.values)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {keyword} ({rendered}))"
+
+
+_SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": abs,
+    "sqrt": lambda x: math.sqrt(x) if x is not None else None,
+    "floor": lambda x: math.floor(x) if x is not None else None,
+    "ceil": lambda x: math.ceil(x) if x is not None else None,
+    "round": lambda x, n=0: round(x, int(n)) if x is not None else None,
+    "ln": lambda x: math.log(x) if x is not None else None,
+    "log": lambda x: math.log10(x) if x is not None else None,
+    "exp": lambda x: math.exp(x) if x is not None else None,
+    "upper": lambda s: s.upper() if s is not None else None,
+    "lower": lambda s: s.lower() if s is not None else None,
+    "length": lambda s: len(s) if s is not None else None,
+    "substr": lambda s, start, length=None: (
+        None if s is None else (s[int(start) - 1 :] if length is None else s[int(start) - 1 : int(start) - 1 + int(length)])
+    ),
+    "coalesce": lambda *args: next((a for a in args if a is not None), None),
+    "greatest": lambda *args: max(a for a in args if a is not None),
+    "least": lambda *args: min(a for a in args if a is not None),
+    "pow": lambda x, y: math.pow(x, y) if x is not None and y is not None else None,
+    "sin": lambda x: math.sin(x) if x is not None else None,
+    "cos": lambda x: math.cos(x) if x is not None else None,
+}
+
+
+def scalar_function_names() -> set[str]:
+    """Names of all built-in scalar functions (used by parsers)."""
+    return set(_SCALAR_FUNCTIONS)
+
+
+@dataclass(frozen=True, repr=False)
+class FunctionCall(Expression):
+    """A call to a built-in scalar function."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def evaluate(self, row: Row) -> Any:
+        fn = _SCALAR_FUNCTIONS.get(self.name.lower())
+        if fn is None:
+            raise ExecutionError(f"unknown scalar function: {self.name!r}")
+        return fn(*[arg.evaluate(row) for arg in self.args])
+
+    def referenced_columns(self) -> set[str]:
+        refs: set[str] = set()
+        for arg in self.args:
+            refs |= arg.referenced_columns()
+        return refs
+
+    def to_sql(self) -> str:
+        return f"{self.name.upper()}({', '.join(a.to_sql() for a in self.args)})"
+
+
+@dataclass(frozen=True, repr=False)
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN value ... ELSE default END``."""
+
+    branches: tuple[tuple[Expression, Expression], ...]
+    default: Expression | None = None
+
+    def evaluate(self, row: Row) -> Any:
+        for condition, result in self.branches:
+            if condition.evaluate(row):
+                return result.evaluate(row)
+        if self.default is not None:
+            return self.default.evaluate(row)
+        return None
+
+    def referenced_columns(self) -> set[str]:
+        refs: set[str] = set()
+        for condition, result in self.branches:
+            refs |= condition.referenced_columns() | result.referenced_columns()
+        if self.default is not None:
+            refs |= self.default.referenced_columns()
+        return refs
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for condition, result in self.branches:
+            parts.append(f"WHEN {condition.to_sql()} THEN {result.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+def conjunction(predicates: Sequence[Expression]) -> Expression | None:
+    """AND together a list of predicates; returns None for an empty list."""
+    result: Expression | None = None
+    for predicate in predicates:
+        result = predicate if result is None else BinaryOp("and", result, predicate)
+    return result
+
+
+def split_conjuncts(predicate: Expression | None) -> list[Expression]:
+    """Split a predicate into its top-level AND-ed conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, BinaryOp) and predicate.op.lower() == "and":
+        return split_conjuncts(predicate.left) + split_conjuncts(predicate.right)
+    return [predicate]
+
+
+def columns_satisfiable_by(predicate: Expression, schema: Schema) -> bool:
+    """Return True if every column the predicate references exists in ``schema``."""
+    return all(schema.has_column(name) for name in predicate.referenced_columns())
+
+
+def evaluate_predicate(predicate: Expression | None, row: Row) -> bool:
+    """Evaluate a predicate with SQL semantics: NULL counts as not satisfied."""
+    if predicate is None:
+        return True
+    result = predicate.evaluate(row)
+    return bool(result) if result is not None else False

@@ -1,0 +1,27 @@
+"""Deterministic random-number helpers.
+
+Every workload generator and synthetic-data module seeds its own
+``numpy.random.Generator`` so experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Return a seeded numpy Generator (PCG64)."""
+    return np.random.default_rng(seed)
+
+
+def derive_seed(base_seed: int, *names: str) -> int:
+    """Derive a stable sub-seed from a base seed and a sequence of labels.
+
+    Keeps independent generators (patients vs. waveforms vs. notes) decoupled:
+    changing how many values one stream draws does not perturb the others.
+    """
+    value = base_seed & 0xFFFFFFFF
+    for name in names:
+        for ch in name:
+            value = (value * 1_000_003 + ord(ch)) & 0xFFFFFFFF
+    return value

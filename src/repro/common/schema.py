@@ -1,0 +1,339 @@
+"""Relational schemas and rows — the lingua franca of the polystore.
+
+Every island ultimately exchanges data as a :class:`Schema` plus an iterable
+of :class:`Row` objects (or a :class:`Relation`, which bundles the two).  Each
+engine translates its native representation to and from this form at the
+shim/CAST boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.common.errors import SchemaError, TypeMismatchError
+from repro.common.types import DataType, coerce, common_type, parse_type
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    Parameters
+    ----------
+    name:
+        Column name; comparisons are case-insensitive but the original case is
+        preserved for display.
+    dtype:
+        Scalar type of the column.
+    nullable:
+        Whether NULL values are allowed.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        object.__setattr__(self, "dtype", parse_type(self.dtype))
+
+    def with_name(self, name: str) -> "Column":
+        """Return a copy of this column under a different name."""
+        return Column(name, self.dtype, self.nullable)
+
+    def matches(self, name: str) -> bool:
+        """Case-insensitive name comparison, also matching a qualified suffix."""
+        own = self.name.lower()
+        other = name.lower()
+        if own == other:
+            return True
+        # Allow "t.col" to match "col" and vice versa.
+        return own.split(".")[-1] == other.split(".")[-1]
+
+
+class Schema:
+    """An ordered collection of :class:`Column` objects."""
+
+    def __init__(self, columns: Sequence[Column | tuple[str, Any]]) -> None:
+        normalized: list[Column] = []
+        for col in columns:
+            if isinstance(col, Column):
+                normalized.append(col)
+            else:
+                name, dtype = col[0], col[1]
+                nullable = col[2] if len(col) > 2 else True
+                normalized.append(Column(name, parse_type(dtype), nullable))
+        names = [c.name.lower() for c in normalized]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._columns = tuple(normalized)
+        self._index = {c.name.lower(): i for i, c in enumerate(self._columns)}
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self._columns]
+
+    @property
+    def types(self) -> list[DataType]:
+        return [c.dtype for c in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.dtype}" for c in self._columns)
+        return f"Schema({cols})"
+
+    def index_of(self, name: str) -> int:
+        """Return the ordinal position of a column by (case-insensitive) name."""
+        key = name.lower()
+        if key in self._index:
+            return self._index[key]
+        # Fall back to suffix matching for qualified names.
+        matches = [i for i, c in enumerate(self._columns) if c.matches(name)]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise SchemaError(f"ambiguous column reference: {name!r}")
+        raise SchemaError(f"no such column: {name!r} in {self.names}")
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.index_of(name)]
+
+    def has_column(self, name: str) -> bool:
+        try:
+            self.index_of(name)
+            return True
+        except SchemaError:
+            return False
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema with only the named columns, in the given order."""
+        return Schema([self.column(n) for n in names])
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a new schema with columns renamed according to ``mapping``."""
+        lowered = {k.lower(): v for k, v in mapping.items()}
+        return Schema(
+            [
+                c.with_name(lowered.get(c.name.lower(), c.name))
+                for c in self._columns
+            ]
+        )
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """Return a schema whose columns are qualified as ``prefix.column``."""
+        return Schema([c.with_name(f"{prefix}.{c.name}") for c in self._columns])
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas (used by joins)."""
+        return Schema(list(self._columns) + list(other.columns))
+
+    def merge_types(self, other: "Schema") -> "Schema":
+        """Return a schema unifying column types positionally (used by UNION/CAST)."""
+        if len(self) != len(other):
+            raise SchemaError(
+                f"cannot merge schemas of different widths: {len(self)} vs {len(other)}"
+            )
+        merged = []
+        for a, b in zip(self._columns, other.columns):
+            merged.append(Column(a.name, common_type(a.dtype, b.dtype), a.nullable or b.nullable))
+        return Schema(merged)
+
+    def validate_row(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Coerce a sequence of values to this schema, raising on mismatch."""
+        if len(values) != len(self._columns):
+            raise SchemaError(
+                f"row width {len(values)} does not match schema width {len(self._columns)}"
+            )
+        out = []
+        for value, col in zip(values, self._columns):
+            if value is None and not col.nullable:
+                raise TypeMismatchError(f"column {col.name!r} is not nullable")
+            out.append(coerce(value, col.dtype))
+        return tuple(out)
+
+
+class Row:
+    """A single tuple bound to a :class:`Schema`.
+
+    Rows are immutable; engines produce new rows rather than mutating.
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema, values: Sequence[Any], validate: bool = False) -> None:
+        self._schema = schema
+        if validate:
+            self._values = schema.validate_row(values)
+        else:
+            self._values = tuple(values)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    def __getitem__(self, key: int | str) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        return self._values[self._schema.index_of(key)]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except SchemaError:
+            return default
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{n}={v!r}" for n, v in zip(self._schema.names, self._values))
+        return f"Row({pairs})"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return the row as a plain ``{column: value}`` dictionary."""
+        return dict(zip(self._schema.names, self._values))
+
+    def concat(self, other: "Row", schema: Schema | None = None) -> "Row":
+        """Concatenate two rows (used by joins)."""
+        joined_schema = schema if schema is not None else self._schema.concat(other.schema)
+        return Row(joined_schema, self._values + other.values)
+
+    def project(self, names: Sequence[str]) -> "Row":
+        """Return a row containing only the named columns."""
+        schema = self._schema.project(names)
+        return Row(schema, tuple(self[n] for n in names))
+
+
+class Relation:
+    """A fully materialized result set: a schema and a list of rows.
+
+    This is the unit of exchange at island boundaries and the return type of
+    every island ``execute`` call.
+    """
+
+    def __init__(self, schema: Schema, rows: Iterable[Row | Sequence[Any]] | None = None) -> None:
+        self._schema = schema
+        self._rows: list[Row] = []
+        if rows is not None:
+            for row in rows:
+                self.append(row)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def rows(self) -> list[Row]:
+        return self._rows
+
+    def append(self, row: Row | Sequence[Any]) -> None:
+        if isinstance(row, Row):
+            if len(row) != len(self._schema):
+                raise SchemaError("row width does not match relation schema")
+            self._rows.append(Row(self._schema, row.values))
+        else:
+            self._rows.append(Row(self._schema, self._schema.validate_row(row)))
+
+    def extend(self, rows: Iterable[Row | Sequence[Any]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"Relation({self._schema!r}, {len(self._rows)} rows)"
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of one column as a list."""
+        idx = self._schema.index_of(name)
+        return [row.values[idx] for row in self._rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Return the relation as a list of ``{column: value}`` dictionaries."""
+        return [row.to_dict() for row in self._rows]
+
+    def sorted_by(self, *names: str, descending: bool = False) -> "Relation":
+        """Return a copy sorted by the given columns (NULLs last)."""
+        indexes = [self._schema.index_of(n) for n in names]
+
+        def key(row: Row) -> tuple:
+            parts = []
+            for i in indexes:
+                value = row.values[i]
+                parts.append((value is None, value))
+            return tuple(parts)
+
+        ordered = sorted(self._rows, key=key, reverse=descending)
+        return Relation(self._schema, [r.values for r in ordered])
+
+    @classmethod
+    def from_dicts(cls, schema: Schema, records: Iterable[dict[str, Any]]) -> "Relation":
+        """Build a relation from dictionaries keyed by column name."""
+        relation = cls(schema)
+        for record in records:
+            relation.append([record.get(name) for name in schema.names])
+        return relation
+
+    def head(self, n: int) -> "Relation":
+        """Return the first ``n`` rows as a new relation."""
+        return Relation(self._schema, [r.values for r in self._rows[:n]])
+
+
+@dataclass
+class TableDefinition:
+    """A named table plus optional constraints, as stored in a catalog."""
+
+    name: str
+    schema: Schema
+    primary_key: tuple[str, ...] = ()
+    engine: str | None = None
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key_col in self.primary_key:
+            if not self.schema.has_column(key_col):
+                raise SchemaError(
+                    f"primary key column {key_col!r} not present in schema for {self.name!r}"
+                )

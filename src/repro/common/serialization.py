@@ -1,0 +1,269 @@
+"""Serialization codecs used by the CAST operator.
+
+The paper contrasts naive *file-based import/export* between engines with a
+*binary, parallel* access path (Section 2.1).  We model both:
+
+* :class:`CsvCodec` — the file-based path: every value is rendered to text,
+  written line by line, then re-parsed and re-coerced on the receiving side.
+* :class:`BinaryCodec` — the direct path: values are packed with ``struct``
+  into a compact binary frame that the receiver can decode without text
+  parsing, and numeric columns travel as contiguous buffers.
+
+Both codecs round-trip a :class:`~repro.common.schema.Relation`, so the CAST
+benchmarks compare like for like.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from datetime import datetime, timezone
+from typing import Any
+
+from repro.common.errors import CastError
+from repro.common.schema import Relation, Schema
+from repro.common.types import DataType
+
+
+class CsvCodec:
+    """Text (CSV-like) encoding of a relation, modelling file-based export/import."""
+
+    DELIMITER = ","
+    NULL_TOKEN = r"\N"
+
+    def encode(self, relation: Relation) -> bytes:
+        """Render a relation to delimited text, one row per line."""
+        buffer = io.StringIO()
+        buffer.write(self.DELIMITER.join(relation.schema.names))
+        buffer.write("\n")
+        for row in relation:
+            fields = []
+            for value in row.values:
+                fields.append(self._render(value))
+            buffer.write(self.DELIMITER.join(fields))
+            buffer.write("\n")
+        return buffer.getvalue().encode("utf-8")
+
+    def decode(self, payload: bytes, schema: Schema) -> Relation:
+        """Parse delimited text back into a relation, coercing each field.
+
+        Quoted fields may contain the delimiter, doubled quotes and embedded
+        newlines, exactly as they are rendered by :meth:`encode`.
+        """
+        text = payload.decode("utf-8")
+        records = self._split_records(text)
+        if not records:
+            return Relation(schema)
+        relation = Relation(schema)
+        for fields in records[1:]:
+            if fields == [""]:
+                continue
+            if len(fields) != len(schema):
+                raise CastError(
+                    f"CSV row has {len(fields)} fields but schema expects {len(schema)}"
+                )
+            values = [self._parse(field, col.dtype) for field, col in zip(fields, schema)]
+            relation.append(values)
+        return relation
+
+    def _split_records(self, text: str) -> list[list[str]]:
+        """Split the full payload into records, honouring quoted newlines."""
+        records: list[list[str]] = []
+        fields: list[str] = []
+        current = io.StringIO()
+        in_quotes = False
+        i = 0
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if in_quotes:
+                if ch == '"':
+                    if i + 1 < n and text[i + 1] == '"':
+                        current.write('"')
+                        i += 1
+                    else:
+                        in_quotes = False
+                else:
+                    current.write(ch)
+            elif ch == '"':
+                in_quotes = True
+            elif ch == self.DELIMITER:
+                fields.append(current.getvalue())
+                current = io.StringIO()
+            elif ch == "\n":
+                fields.append(current.getvalue())
+                current = io.StringIO()
+                records.append(fields)
+                fields = []
+            elif ch != "\r":
+                current.write(ch)
+            i += 1
+        trailing = current.getvalue()
+        if trailing or fields:
+            fields.append(trailing)
+            records.append(fields)
+        return records
+
+    def _render(self, value: Any) -> str:
+        if value is None:
+            return self.NULL_TOKEN
+        if isinstance(value, datetime):
+            return value.isoformat()
+        if isinstance(value, str):
+            if self.DELIMITER in value or '"' in value or "\n" in value:
+                return '"' + value.replace('"', '""') + '"'
+            return value
+        return str(value)
+
+    def _split(self, line: str) -> list[str]:
+        fields: list[str] = []
+        current = io.StringIO()
+        in_quotes = False
+        i = 0
+        while i < len(line):
+            ch = line[i]
+            if in_quotes:
+                if ch == '"':
+                    if i + 1 < len(line) and line[i + 1] == '"':
+                        current.write('"')
+                        i += 1
+                    else:
+                        in_quotes = False
+                else:
+                    current.write(ch)
+            else:
+                if ch == '"':
+                    in_quotes = True
+                elif ch == self.DELIMITER:
+                    fields.append(current.getvalue())
+                    current = io.StringIO()
+                else:
+                    current.write(ch)
+            i += 1
+        fields.append(current.getvalue())
+        return fields
+
+    def _parse(self, field: str, dtype: DataType) -> Any:
+        if field == self.NULL_TOKEN:
+            return None
+        try:
+            if dtype is DataType.INTEGER:
+                return int(field)
+            if dtype is DataType.FLOAT:
+                return float(field)
+            if dtype is DataType.BOOLEAN:
+                return field.strip().lower() in ("true", "t", "1")
+            if dtype is DataType.TIMESTAMP:
+                return datetime.fromisoformat(field)
+            return field
+        except ValueError as exc:
+            raise CastError(f"cannot parse {field!r} as {dtype}") from exc
+
+
+class BinaryCodec:
+    """Compact binary encoding of a relation, modelling a direct binary CAST path.
+
+    Frame layout::
+
+        [u32 row_count][u32 column_count]
+        for each column: [u8 type_tag]
+        then row-major packed values:
+            null flag (u8) then, when non-null,
+            INTEGER  -> i64
+            FLOAT    -> f64
+            BOOLEAN  -> u8
+            TIMESTAMP-> f64 (epoch seconds, UTC)
+            TEXT     -> u32 length + utf-8 bytes
+    """
+
+    _TYPE_TAGS = {
+        DataType.INTEGER: 1,
+        DataType.FLOAT: 2,
+        DataType.TEXT: 3,
+        DataType.BOOLEAN: 4,
+        DataType.TIMESTAMP: 5,
+        DataType.NULL: 6,
+    }
+    _TAG_TYPES = {v: k for k, v in _TYPE_TAGS.items()}
+
+    def encode(self, relation: Relation) -> bytes:
+        schema = relation.schema
+        out = io.BytesIO()
+        out.write(struct.pack("<II", len(relation), len(schema)))
+        for col in schema:
+            out.write(struct.pack("<B", self._TYPE_TAGS[col.dtype]))
+        for row in relation:
+            for value, col in zip(row.values, schema):
+                self._write_value(out, value, col.dtype)
+        return out.getvalue()
+
+    def decode(self, payload: bytes, schema: Schema) -> Relation:
+        view = memoryview(payload)
+        offset = 0
+        row_count, col_count = struct.unpack_from("<II", view, offset)
+        offset += 8
+        if col_count != len(schema):
+            raise CastError(
+                f"binary frame has {col_count} columns but schema expects {len(schema)}"
+            )
+        tags = []
+        for _ in range(col_count):
+            (tag,) = struct.unpack_from("<B", view, offset)
+            offset += 1
+            tags.append(self._TAG_TYPES[tag])
+        relation = Relation(schema)
+        for _ in range(row_count):
+            values = []
+            for dtype in tags:
+                value, offset = self._read_value(view, offset, dtype)
+                values.append(value)
+            relation.append(values)
+        return relation
+
+    def _write_value(self, out: io.BytesIO, value: Any, dtype: DataType) -> None:
+        if value is None:
+            out.write(b"\x01")
+            return
+        out.write(b"\x00")
+        if dtype is DataType.INTEGER:
+            out.write(struct.pack("<q", int(value)))
+        elif dtype is DataType.FLOAT:
+            out.write(struct.pack("<d", float(value)))
+        elif dtype is DataType.BOOLEAN:
+            out.write(struct.pack("<B", 1 if value else 0))
+        elif dtype is DataType.TIMESTAMP:
+            if isinstance(value, datetime):
+                stamp = value.timestamp()
+            else:
+                stamp = float(value)
+            out.write(struct.pack("<d", stamp))
+        elif dtype in (DataType.TEXT, DataType.NULL):
+            encoded = str(value).encode("utf-8")
+            out.write(struct.pack("<I", len(encoded)))
+            out.write(encoded)
+        else:  # pragma: no cover - exhaustive over DataType
+            raise CastError(f"unsupported type for binary encoding: {dtype}")
+
+    def _read_value(self, view: memoryview, offset: int, dtype: DataType) -> tuple[Any, int]:
+        (null_flag,) = struct.unpack_from("<B", view, offset)
+        offset += 1
+        if null_flag:
+            return None, offset
+        if dtype is DataType.INTEGER:
+            (value,) = struct.unpack_from("<q", view, offset)
+            return value, offset + 8
+        if dtype is DataType.FLOAT:
+            (value,) = struct.unpack_from("<d", view, offset)
+            return value, offset + 8
+        if dtype is DataType.BOOLEAN:
+            (value,) = struct.unpack_from("<B", view, offset)
+            return bool(value), offset + 1
+        if dtype is DataType.TIMESTAMP:
+            (stamp,) = struct.unpack_from("<d", view, offset)
+            return datetime.fromtimestamp(stamp, tz=timezone.utc), offset + 8
+        if dtype in (DataType.TEXT, DataType.NULL):
+            (length,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            raw = bytes(view[offset : offset + length])
+            return raw.decode("utf-8"), offset + length
+        raise CastError(f"unsupported type for binary decoding: {dtype}")

@@ -1,0 +1,21 @@
+"""The BigDAWG polystore middleware: catalog, islands, shims, SCOPE/CAST, monitor."""
+
+from repro.core.bigdawg import BigDawg
+from repro.core.cast import CastMigrator, CastRecord
+from repro.core.catalog import BigDawgCatalog, ObjectLocation
+from repro.core.monitor import ExecutionMonitor, MigrationAdvisor, MigrationRecommendation
+from repro.core.semantics import ProbeCase, ProbeResult, SemanticProber
+
+__all__ = [
+    "BigDawg",
+    "BigDawgCatalog",
+    "CastMigrator",
+    "CastRecord",
+    "ExecutionMonitor",
+    "MigrationAdvisor",
+    "MigrationRecommendation",
+    "ObjectLocation",
+    "ProbeCase",
+    "ProbeResult",
+    "SemanticProber",
+]

@@ -1,0 +1,189 @@
+"""The BigDAWG polystore facade.
+
+This is the public entry point of the reproduction: it wires the catalog, the
+islands, the CAST migrator, the cross-island planner and the monitor into one
+object, mirroring Figure 1 of the paper.
+
+Typical usage::
+
+    from repro import BigDawg
+    from repro.engines.relational import RelationalEngine
+    from repro.engines.array import ArrayEngine
+
+    bd = BigDawg()
+    bd.add_engine(RelationalEngine("postgres"), islands=["relational", "myria", "d4m"])
+    bd.add_engine(ArrayEngine("scidb"), islands=["array", "relational", "myria", "d4m"])
+
+    bd.execute("RELATIONAL(SELECT count(*) FROM patients WHERE age > 65)")
+    bd.execute("ARRAY(aggregate(waveform_history, avg(value)))")
+    bd.execute("RELATIONAL(SELECT * FROM CAST(waveform_history, relational) WHERE value > 5)")
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import ObjectNotFoundError, PlanningError
+from repro.common.schema import Relation
+from repro.core.cast import CastMigrator, CastRecord
+from repro.core.catalog import BigDawgCatalog
+from repro.core.islands.array import ArrayIsland
+from repro.core.islands.base import Island
+from repro.core.islands.d4m import D4MIsland
+from repro.core.islands.degenerate import DegenerateIsland
+from repro.core.islands.myria import MyriaIsland
+from repro.core.islands.relational import RelationalIsland
+from repro.core.islands.text import TextIsland
+from repro.core.monitor import ExecutionMonitor, MigrationAdvisor
+from repro.core.query.language import parse_query
+from repro.core.query.planner import CrossIslandPlanner, QueryPlan
+from repro.engines.base import Engine
+from repro.engines.relational.engine import RelationalEngine
+
+
+#: Default island memberships per engine kind, matching the paper's Figure 1.
+DEFAULT_ISLANDS_BY_KIND = {
+    "relational": ["relational", "myria", "d4m"],
+    "array": ["array", "relational", "myria", "d4m"],
+    "keyvalue": ["text", "relational", "d4m"],
+    "streaming": ["relational"],
+    "tiledb": ["array", "relational"],
+    "tupleware": ["relational"],
+}
+
+
+class BigDawg:
+    """The polystore: engines + islands + SCOPE/CAST query processing."""
+
+    def __init__(self) -> None:
+        self.catalog = BigDawgCatalog()
+        self.migrator = CastMigrator(self.catalog)
+        self.monitor = ExecutionMonitor()
+        self.advisor = MigrationAdvisor(self.catalog, self.monitor, self.migrator)
+        self._islands: dict[str, Island] = {
+            "relational": RelationalIsland(self.catalog),
+            "array": ArrayIsland(self.catalog),
+            "text": TextIsland(self.catalog),
+            "d4m": D4MIsland(self.catalog),
+            "myria": MyriaIsland(self.catalog),
+        }
+        self._degenerate: dict[str, DegenerateIsland] = {}
+        self._planner = CrossIslandPlanner(self)
+        self._temp_engine: RelationalEngine | None = None
+
+    # ------------------------------------------------------------------ wiring
+    def add_engine(self, engine: Engine, islands: list[str] | None = None) -> None:
+        """Register an engine, join it to islands, and create its degenerate island."""
+        memberships = islands if islands is not None else DEFAULT_ISLANDS_BY_KIND.get(engine.kind, [])
+        self.catalog.register_engine(engine, memberships)
+        self._degenerate[engine.name.lower()] = DegenerateIsland(self.catalog, engine)
+
+    def engine(self, name: str) -> Engine:
+        return self.catalog.engine(name)
+
+    def island(self, name: str) -> Island:
+        key = name.lower()
+        if key in self._islands:
+            return self._islands[key]
+        if key.startswith("degenerate_"):
+            engine_name = key[len("degenerate_"):]
+            if engine_name in self._degenerate:
+                return self._degenerate[engine_name]
+        if key in self._degenerate:
+            return self._degenerate[key]
+        raise ObjectNotFoundError(f"no island named {name!r}")
+
+    def islands(self) -> list[Island]:
+        return list(self._islands.values()) + list(self._degenerate.values())
+
+    def degenerate_island(self, engine_name: str) -> DegenerateIsland:
+        key = engine_name.lower()
+        if key not in self._degenerate:
+            raise ObjectNotFoundError(f"no degenerate island for engine {engine_name!r}")
+        return self._degenerate[key]
+
+    # ------------------------------------------------------------------- query
+    def execute(self, query: str, cast_method: str = "binary") -> Relation:
+        """Execute a BigDAWG query.
+
+        Accepts either a scoped query (``RELATIONAL(...)``, ``ARRAY(...)``, ...)
+        — possibly with ``WITH`` bindings and ``CAST`` terms — or bare island
+        text, in which case the island is chosen automatically from the ones
+        whose ``can_answer`` matches.
+        """
+        stripped = query.strip()
+        if self._looks_scoped(stripped):
+            return self._planner.execute(parse_query(stripped), cast_method=cast_method)
+        island = self._choose_island(stripped)
+        return island.execute(stripped)
+
+    def explain(self, query: str) -> str:
+        """Return the cross-island plan for a scoped query as numbered steps."""
+        if not self._looks_scoped(query.strip()):
+            island = self._choose_island(query.strip())
+            return f"1. EXECUTE on island {island.name.upper()}"
+        return self._planner.plan(parse_query(query.strip())).explain()
+
+    def plan(self, query: str) -> QueryPlan:
+        return self._planner.plan(parse_query(query.strip()))
+
+    def cast(self, object_name: str, target_engine: str, method: str = "binary",
+             **options: Any) -> CastRecord:
+        """Explicitly CAST an object to another engine."""
+        return self.migrator.cast(object_name, target_engine, method=method, **options)
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _looks_scoped(query: str) -> bool:
+        from repro.core.query.language import SCOPE_NAMES
+
+        lowered = query.lower()
+        if lowered.startswith("with "):
+            return True
+        return any(lowered.startswith(f"{scope}(") for scope in SCOPE_NAMES)
+
+    def _choose_island(self, query: str) -> Island:
+        candidates = [island for island in self._islands.values() if island.can_answer(query)]
+        if not candidates:
+            raise PlanningError(
+                f"no island recognizes the query; wrap it in a scope such as RELATIONAL(...): {query[:60]!r}"
+            )
+        if len(candidates) == 1:
+            return candidates[0]
+        # Common semantics: prefer the island whose engines hold the referenced objects.
+        for island in candidates:
+            if isinstance(island, RelationalIsland):
+                tables = island.referenced_tables(query)
+                try:
+                    engines = {self.catalog.locate(t).engine_name for t in tables}
+                except ObjectNotFoundError:
+                    continue
+                members = {e.name.lower() for e in island.member_engines()}
+                if engines <= members:
+                    return island
+        return candidates[0]
+
+    def materialize_temporary(self, name: str, relation: Relation) -> None:
+        """Store a WITH-binding result as a table visible to later scopes."""
+        target = self._find_relational_engine()
+        target.import_relation(name, relation)
+        self.catalog.register_object(name, target.name, "table", replace=True, temporary=True)
+
+    def _find_relational_engine(self) -> RelationalEngine:
+        for engine in self.catalog.engines():
+            if isinstance(engine, RelationalEngine):
+                return engine
+        if self._temp_engine is None:
+            self._temp_engine = RelationalEngine("_bigdawg_temp")
+            self.catalog.register_engine(self._temp_engine, ["relational"])
+        return self._temp_engine
+
+    # ------------------------------------------------------------------ status
+    def describe(self) -> dict:
+        """A status snapshot: engines, islands, objects, casts performed."""
+        return {
+            "catalog": self.catalog.describe(),
+            "islands": {island.name: island.describe() for island in self.islands()},
+            "casts": len(self.migrator.history),
+            "observations": len(self.monitor.observations),
+        }

@@ -1,0 +1,140 @@
+"""The BigDAWG catalog: which engines exist, which islands they join, and where
+every data object lives.
+
+The catalog is what gives users *location transparency* (Section 2.1): island
+queries name objects, and the middleware asks the catalog which engine stores
+each object and through which islands that engine is reachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.common.errors import CatalogError, DuplicateObjectError, ObjectNotFoundError
+from repro.engines.base import Engine
+
+
+@dataclass
+class ObjectLocation:
+    """Where one data object lives and what it is."""
+
+    name: str
+    engine_name: str
+    object_type: str  # table | array | stream | kvtable | dataset
+    properties: dict = field(default_factory=dict)
+
+
+class BigDawgCatalog:
+    """Registry of engines, island memberships and object placements."""
+
+    def __init__(self) -> None:
+        self._engines: dict[str, Engine] = {}
+        self._island_members: dict[str, set[str]] = {}
+        self._objects: dict[str, ObjectLocation] = {}
+
+    # ----------------------------------------------------------------- engines
+    def register_engine(self, engine: Engine, islands: Iterable[str] = ()) -> None:
+        """Register an engine and the islands through which it is reachable."""
+        key = engine.name.lower()
+        if key in self._engines:
+            raise DuplicateObjectError(f"engine {engine.name!r} is already registered")
+        self._engines[key] = engine
+        for island in islands:
+            self._island_members.setdefault(island.lower(), set()).add(key)
+
+    def engine(self, name: str) -> Engine:
+        key = name.lower()
+        if key not in self._engines:
+            raise ObjectNotFoundError(f"engine {name!r} is not registered")
+        return self._engines[key]
+
+    def engines(self) -> list[Engine]:
+        return list(self._engines.values())
+
+    def has_engine(self, name: str) -> bool:
+        return name.lower() in self._engines
+
+    # ----------------------------------------------------------------- islands
+    def add_island_member(self, island: str, engine_name: str) -> None:
+        """Declare that an engine is reachable through an island."""
+        if engine_name.lower() not in self._engines:
+            raise ObjectNotFoundError(f"engine {engine_name!r} is not registered")
+        self._island_members.setdefault(island.lower(), set()).add(engine_name.lower())
+
+    def island_engines(self, island: str) -> list[Engine]:
+        """Engines reachable through an island."""
+        members = self._island_members.get(island.lower(), set())
+        return [self._engines[name] for name in sorted(members)]
+
+    def islands(self) -> list[str]:
+        return sorted(self._island_members)
+
+    def islands_of_engine(self, engine_name: str) -> list[str]:
+        key = engine_name.lower()
+        return sorted(
+            island for island, members in self._island_members.items() if key in members
+        )
+
+    # ----------------------------------------------------------------- objects
+    def register_object(self, name: str, engine_name: str, object_type: str,
+                        replace: bool = False, **properties) -> ObjectLocation:
+        """Record that an object lives in an engine."""
+        key = name.lower()
+        if key in self._objects and not replace:
+            raise DuplicateObjectError(f"object {name!r} is already registered")
+        if engine_name.lower() not in self._engines:
+            raise ObjectNotFoundError(f"engine {engine_name!r} is not registered")
+        location = ObjectLocation(name, engine_name.lower(), object_type, dict(properties))
+        self._objects[key] = location
+        return location
+
+    def unregister_object(self, name: str) -> None:
+        self._objects.pop(name.lower(), None)
+
+    def locate(self, name: str) -> ObjectLocation:
+        """Find where an object lives, checking registrations first, then engines."""
+        key = name.lower()
+        if key in self._objects:
+            return self._objects[key]
+        # Fall back to asking the engines directly (objects created out-of-band).
+        for engine in self._engines.values():
+            if engine.has_object(name):
+                return ObjectLocation(name, engine.name.lower(), engine.kind)
+        raise ObjectNotFoundError(f"object {name!r} is not stored in any registered engine")
+
+    def has_object(self, name: str) -> bool:
+        try:
+            self.locate(name)
+            return True
+        except ObjectNotFoundError:
+            return False
+
+    def objects(self) -> list[ObjectLocation]:
+        return list(self._objects.values())
+
+    def objects_in_engine(self, engine_name: str) -> list[str]:
+        key = engine_name.lower()
+        registered = [loc.name for loc in self._objects.values() if loc.engine_name == key]
+        engine = self.engine(engine_name)
+        unregistered = [n for n in engine.list_objects() if n.lower() not in self._objects]
+        return sorted(set(registered) | set(unregistered))
+
+    def move_object(self, name: str, target_engine: str, object_type: str | None = None) -> ObjectLocation:
+        """Update an object's recorded location (the migrator calls this after a CAST)."""
+        current = self.locate(name)
+        if target_engine.lower() not in self._engines:
+            raise CatalogError(f"target engine {target_engine!r} is not registered")
+        location = ObjectLocation(
+            current.name, target_engine.lower(), object_type or current.object_type, current.properties
+        )
+        self._objects[name.lower()] = location
+        return location
+
+    def describe(self) -> dict:
+        """Summary used by the demo's status screen."""
+        return {
+            "engines": {name: engine.kind for name, engine in self._engines.items()},
+            "islands": {island: sorted(members) for island, members in self._island_members.items()},
+            "objects": {loc.name: loc.engine_name for loc in self._objects.values()},
+        }

@@ -1,0 +1,21 @@
+"""Islands of information: the user-facing abstractions of the polystore."""
+
+from repro.core.islands.array import ArrayIsland
+from repro.core.islands.base import Island
+from repro.core.islands.d4m import D4MIsland
+from repro.core.islands.degenerate import DegenerateIsland
+from repro.core.islands.myria import MyriaIsland, MyriaPlan, MyriaStep
+from repro.core.islands.relational import RelationalIsland
+from repro.core.islands.text import TextIsland
+
+__all__ = [
+    "ArrayIsland",
+    "D4MIsland",
+    "DegenerateIsland",
+    "Island",
+    "MyriaIsland",
+    "MyriaPlan",
+    "MyriaStep",
+    "RelationalIsland",
+    "TextIsland",
+]

@@ -1,0 +1,102 @@
+"""The relational island: SQL over every engine that has a relational shim.
+
+The island offers the *intersection* of capabilities — plain SQL — over all of
+its member engines.  Queries whose tables all live in one SQL-capable engine
+are pushed down and executed natively; queries touching objects stored in
+non-SQL engines (or spanning engines) are executed by materializing each
+referenced object through its relational shim into a scratch relational engine
+and running the SQL there.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ParseError
+from repro.common.schema import Relation
+from repro.core.islands.base import Island
+from repro.core.shims import RelationalShim
+from repro.engines.base import EngineCapability
+from repro.engines.relational.engine import RelationalEngine
+from repro.engines.relational.sql.ast import SelectStatement
+from repro.engines.relational.sql.parser import parse_sql
+
+
+class RelationalIsland(Island):
+    """SQL over the federation."""
+
+    name = "relational"
+
+    def can_answer(self, query: str) -> bool:
+        stripped = query.strip().lower()
+        return stripped.startswith(("select", "insert", "update", "delete", "create", "drop"))
+
+    def execute(self, query: str) -> Relation:
+        self.queries_executed += 1
+        tables = self.referenced_tables(query)
+        if not tables:
+            # Table-free SELECT (constant expressions): run on any SQL engine.
+            return self._any_sql_engine().execute(query)
+        placements = {table: self.engine_for_object(table) for table in tables}
+        engines = {engine.name for engine in placements.values()}
+        if len(engines) == 1:
+            only_engine = next(iter(placements.values()))
+            if only_engine.capabilities & EngineCapability.SQL:
+                # Single SQL-capable engine: push the whole query down.
+                return only_engine.execute(query)
+        # Cross-engine (or non-SQL source): materialize inputs into a scratch engine.
+        scratch = RelationalEngine("_relational_island_scratch")
+        for table, engine in placements.items():
+            relation = RelationalShim(engine).fetch_relation(table)
+            scratch.import_relation(table, relation)
+        return scratch.execute(query)
+
+    # ----------------------------------------------------------------- helpers
+    def referenced_tables(self, query: str) -> list[str]:
+        """Table names referenced by a SELECT (FROM and JOIN clauses, subqueries included)."""
+        try:
+            statement = parse_sql(query)
+        except ParseError:
+            # Fall back to a regex scan for non-SELECT statements.
+            return self._regex_tables(query)
+        if not isinstance(statement, SelectStatement):
+            return self._regex_tables(query)
+        tables: list[str] = []
+
+        def visit(select: SelectStatement) -> None:
+            refs = [select.from_table] + [join.table for join in select.joins]
+            for ref in refs:
+                if ref is None:
+                    continue
+                if ref.subquery is not None:
+                    visit(ref.subquery)
+                elif ref.name is not None:
+                    tables.append(ref.name)
+
+        visit(statement)
+        # Preserve order, drop duplicates.
+        seen = set()
+        ordered = []
+        for table in tables:
+            if table.lower() not in seen:
+                seen.add(table.lower())
+                ordered.append(table)
+        return ordered
+
+    @staticmethod
+    def _regex_tables(query: str) -> list[str]:
+        matches = re.findall(r"\b(?:from|join|into|update|table)\s+([A-Za-z_][A-Za-z0-9_]*)",
+                             query, flags=re.IGNORECASE)
+        seen = set()
+        ordered = []
+        for table in matches:
+            if table.lower() not in seen:
+                seen.add(table.lower())
+                ordered.append(table)
+        return ordered
+
+    def _any_sql_engine(self) -> RelationalEngine:
+        for engine in self.member_engines():
+            if isinstance(engine, RelationalEngine):
+                return engine
+        return RelationalEngine("_relational_island_scratch")

@@ -1,0 +1,78 @@
+"""The text island: keyword and phrase search over text-indexed key-value tables.
+
+Query language (one line per query)::
+
+    SEARCH notes FOR "very sick"
+    SEARCH notes FOR "very sick" MIN 3          -- rows with >= 3 matching documents
+    SEARCH notes FOR "chest pain" AND "aspirin" -- documents containing both phrases
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ParseError
+from repro.common.schema import Column, Relation, Schema
+from repro.common.types import DataType
+from repro.core.islands.base import Island
+from repro.core.shims import TextShim
+
+
+_SEARCH_RE = re.compile(
+    r"^\s*search\s+([A-Za-z_][A-Za-z0-9_]*)\s+for\s+(.+?)(?:\s+min\s+(\d+))?\s*$",
+    re.IGNORECASE,
+)
+
+
+class TextIsland(Island):
+    """Full-text search over the federation's key-value engines."""
+
+    name = "text"
+
+    def can_answer(self, query: str) -> bool:
+        return bool(_SEARCH_RE.match(query.strip()))
+
+    def execute(self, query: str) -> Relation:
+        self.queries_executed += 1
+        match = _SEARCH_RE.match(query.strip())
+        if match is None:
+            raise ParseError(f"not a text island query: {query!r}")
+        table, phrases_text, minimum = match.group(1), match.group(2), match.group(3)
+        phrases = [p.strip().strip('"').strip("'") for p in re.split(r"\s+and\s+", phrases_text, flags=re.IGNORECASE)]
+        engine = self.engine_for_object(table)
+        shim = TextShim(engine)
+        if minimum is not None:
+            rows = self._rows_with_min(shim, table, phrases, int(minimum))
+            schema = Schema([Column("row", DataType.TEXT)])
+            relation = Relation(schema)
+            for row in rows:
+                relation.append([row])
+            return relation
+        postings = self._search(shim, table, phrases)
+        schema = Schema(
+            [Column("row", DataType.TEXT), Column("qualifier", DataType.TEXT), Column("count", DataType.INTEGER)]
+        )
+        relation = Relation(schema)
+        for posting in postings:
+            relation.append([posting.row, posting.qualifier, posting.count])
+        return relation
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _search(shim: TextShim, table: str, phrases: list[str]):
+        results = None
+        for phrase in phrases:
+            postings = {(p.row, p.qualifier): p for p in shim.search_phrase(table, phrase)}
+            if results is None:
+                results = postings
+            else:
+                results = {key: posting for key, posting in results.items() if key in postings}
+        return sorted((results or {}).values(), key=lambda p: (p.row, p.qualifier))
+
+    @staticmethod
+    def _rows_with_min(shim: TextShim, table: str, phrases: list[str], minimum: int) -> list[str]:
+        row_sets = []
+        for phrase in phrases:
+            row_sets.append(set(shim.rows_with_min_documents(table, phrase, minimum)))
+        rows = set.intersection(*row_sets) if row_sets else set()
+        return sorted(rows)

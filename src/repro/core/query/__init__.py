@@ -1,0 +1,29 @@
+"""The BigDAWG cross-island query layer: SCOPE/CAST language, planner, executor."""
+
+from repro.core.query.language import (
+    CastSpec,
+    CrossIslandQuery,
+    ScopedQuery,
+    parse_query,
+    parse_scope,
+)
+from repro.core.query.planner import (
+    BindingStep,
+    CastStep,
+    CrossIslandPlanner,
+    IslandQueryStep,
+    QueryPlan,
+)
+
+__all__ = [
+    "BindingStep",
+    "CastSpec",
+    "CastStep",
+    "CrossIslandPlanner",
+    "CrossIslandQuery",
+    "IslandQueryStep",
+    "QueryPlan",
+    "ScopedQuery",
+    "parse_query",
+    "parse_scope",
+]

@@ -1,0 +1,183 @@
+"""Cross-island query planning and execution.
+
+The planner turns a parsed :class:`CrossIslandQuery` into an ordered list of
+steps:
+
+1. :class:`CastStep` — for every ``CAST(object, island)``, move the object to
+   an engine that is a member of the target island (skipped when the object is
+   already reachable there).
+2. :class:`BindingStep` — materialize each ``WITH name = SCOPE(...)`` result
+   into the relational engine as a temporary table so later scopes can read it.
+3. :class:`IslandQueryStep` — run the final scoped query on its island.
+
+Island selection for un-scoped queries: when the user supplies bare query
+text, the planner asks each island ``can_answer`` and, if several overlap
+(common semantics, Section 2.1), picks the one whose engines already hold the
+referenced objects — the automatic-processing-choice behaviour the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.common.errors import PlanningError
+from repro.common.schema import Relation
+from repro.core.query.language import CrossIslandQuery, ScopedQuery, parse_query
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.bigdawg import BigDawg
+
+
+@dataclass
+class CastStep:
+    """Move an object so it becomes reachable through the target island."""
+
+    object_name: str
+    target_island: str
+    target_engine: str
+    method: str = "binary"
+
+    def describe(self) -> str:
+        return (
+            f"CAST {self.object_name} -> engine {self.target_engine} "
+            f"(island {self.target_island}, {self.method})"
+        )
+
+
+@dataclass
+class BindingStep:
+    """Materialize a named intermediate result as a relational temp table."""
+
+    name: str
+    scope: ScopedQuery
+
+    def describe(self) -> str:
+        return f"BIND {self.name} = {self.scope.island.upper()}(...)"
+
+
+@dataclass
+class IslandQueryStep:
+    """Run the final island query."""
+
+    scope: ScopedQuery
+
+    def describe(self) -> str:
+        return f"EXECUTE on island {self.scope.island.upper()}"
+
+
+@dataclass
+class QueryPlan:
+    """The ordered steps plus per-step timings filled in during execution."""
+
+    steps: list = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def explain(self) -> str:
+        return "\n".join(f"{i + 1}. {step.describe()}" for i, step in enumerate(self.steps))
+
+
+class CrossIslandPlanner:
+    """Builds and executes query plans against a :class:`BigDawg` instance."""
+
+    def __init__(self, bigdawg: "BigDawg") -> None:
+        self._bigdawg = bigdawg
+
+    # ------------------------------------------------------------------ plan
+    def plan(self, query: CrossIslandQuery | str) -> QueryPlan:
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.final is None:
+            raise PlanningError("a BigDAWG query needs a final scoped query")
+        plan = QueryPlan()
+        for name, scope in query.bindings:
+            plan.steps.extend(self._cast_steps(scope))
+            plan.steps.append(BindingStep(name, scope))
+        plan.steps.extend(self._cast_steps(query.final))
+        plan.steps.append(IslandQueryStep(query.final))
+        return plan
+
+    def _cast_steps(self, scope: ScopedQuery) -> list[CastStep]:
+        steps = []
+        for cast in scope.casts:
+            island = self._bigdawg.island(cast.target_island)
+            members = {engine.name.lower() for engine in island.member_engines()}
+            location = self._bigdawg.catalog.locate(cast.object_name)
+            if location.engine_name in members:
+                continue  # already reachable through the target island
+            target_engine = self._choose_target_engine(cast.target_island)
+            steps.append(
+                CastStep(cast.object_name, cast.target_island, target_engine)
+            )
+        return steps
+
+    def _choose_target_engine(self, island_name: str) -> str:
+        island = self._bigdawg.island(island_name)
+        members = island.member_engines()
+        if not members:
+            raise PlanningError(f"island {island_name!r} has no member engines to cast into")
+        # Prefer the island's "natural" engine kind: relational -> relational, etc.
+        preferred_kind = {
+            "relational": "relational",
+            "array": "array",
+            "text": "keyvalue",
+            "d4m": "keyvalue",
+            "myria": "relational",
+        }.get(island_name.lower())
+        for engine in members:
+            if engine.kind == preferred_kind:
+                return engine.name
+        return members[0].name
+
+    # --------------------------------------------------------------- execution
+    def execute(self, query: CrossIslandQuery | str, cast_method: str = "binary") -> Relation:
+        plan = self.plan(query)
+        return self.execute_plan(plan, cast_method=cast_method)
+
+    def execute_plan(self, plan: QueryPlan, cast_method: str = "binary") -> Relation:
+        result: Relation | None = None
+        for i, step in enumerate(plan.steps):
+            started = time.perf_counter()
+            if isinstance(step, CastStep):
+                cast_options = self._cast_options(step)
+                self._bigdawg.migrator.cast(
+                    step.object_name, step.target_engine, method=cast_method, **cast_options
+                )
+            elif isinstance(step, BindingStep):
+                relation = self._bigdawg.island(step.scope.island).execute(
+                    step.scope.body_without_casts
+                )
+                self._bigdawg.materialize_temporary(step.name, relation)
+            elif isinstance(step, IslandQueryStep):
+                result = self._bigdawg.island(step.scope.island).execute(
+                    step.scope.body_without_casts
+                )
+            else:  # pragma: no cover - defensive
+                raise PlanningError(f"unknown plan step {type(step).__name__}")
+            plan.timings[f"{i + 1}. {step.describe()}"] = time.perf_counter() - started
+        if result is None:
+            raise PlanningError("plan produced no final result")
+        return result
+
+    def _cast_options(self, step: CastStep) -> dict:
+        """Extra import options needed by particular target engines."""
+        engine = self._bigdawg.catalog.engine(step.target_engine)
+        if engine.kind == "array":
+            # Casting rows into the array engine: use the leading integer columns
+            # as dimensions when possible (the source relation decides).
+            source = self._bigdawg.catalog.locate(step.object_name)
+            source_engine = self._bigdawg.catalog.engine(source.engine_name)
+            relation = source_engine.export_relation(step.object_name)
+            from repro.common.types import DataType
+
+            dims = []
+            for column in relation.schema.columns:
+                if column.dtype is DataType.INTEGER:
+                    dims.append(column.name)
+                else:
+                    break
+            if dims and len(dims) < len(relation.schema):
+                return {"dimensions": dims[:2]}
+        return {}

@@ -1,0 +1,102 @@
+"""Island semantic probing: finding common sub-islands.
+
+Section 2.1: "when multiple islands implement common functionality with the
+same semantics, then BigDAWG can decide which island will do the processing
+automatically.  To identify such common sub-islands, we are constructing a
+testing system that will probe islands looking for areas of common semantics."
+
+:class:`SemanticProber` runs a battery of *probe cases* — the same logical
+question phrased in each island's language — against every island that claims
+it can answer, and compares the results.  Islands that agree on all probes of
+a functionality group form a *common sub-island* for that functionality, which
+the planner may then treat as interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.common.schema import Relation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.bigdawg import BigDawg
+
+
+@dataclass
+class ProbeCase:
+    """One functionality probe: per-island query text and a result normalizer."""
+
+    name: str
+    functionality: str  # e.g. "filter", "aggregate", "count"
+    island_queries: dict[str, str]
+    #: Reduce a Relation to a canonical, comparable value (default: sorted row tuples).
+    normalizer: Callable[[Relation], object] | None = None
+
+    def normalize(self, relation: Relation) -> object:
+        if self.normalizer is not None:
+            return self.normalizer(relation)
+        return tuple(sorted(tuple(row.values) for row in relation.rows))
+
+
+@dataclass
+class ProbeResult:
+    """The outcome of one probe on one island."""
+
+    case: str
+    island: str
+    succeeded: bool
+    value: object = None
+    error: str | None = None
+
+
+@dataclass
+class SemanticProber:
+    """Runs probe cases and groups islands by agreeing semantics."""
+
+    bigdawg: "BigDawg"
+    results: list[ProbeResult] = field(default_factory=list)
+
+    def run_case(self, case: ProbeCase) -> list[ProbeResult]:
+        outcomes = []
+        for island_name, query in case.island_queries.items():
+            try:
+                relation = self.bigdawg.island(island_name).execute(query)
+                outcomes.append(
+                    ProbeResult(case.name, island_name, True, case.normalize(relation))
+                )
+            except Exception as exc:  # noqa: BLE001 - probe failures are data
+                outcomes.append(ProbeResult(case.name, island_name, False, error=str(exc)))
+        self.results.extend(outcomes)
+        return outcomes
+
+    def run_all(self, cases: list[ProbeCase]) -> dict[str, list[ProbeResult]]:
+        return {case.name: self.run_case(case) for case in cases}
+
+    def common_sub_islands(self, cases: list[ProbeCase]) -> dict[str, list[str]]:
+        """Islands that returned identical values for every probe of a functionality.
+
+        Returns ``{functionality: [island, ...]}`` with islands listed only when
+        at least two agree (a sub-island of one is not useful to the planner).
+        """
+        by_functionality: dict[str, dict[str, list[object]]] = {}
+        for case in cases:
+            outcomes = [r for r in self.results if r.case == case.name]
+            if not outcomes:
+                outcomes = self.run_case(case)
+            for outcome in outcomes:
+                if not outcome.succeeded:
+                    continue
+                by_functionality.setdefault(case.functionality, {}).setdefault(
+                    outcome.island, []
+                ).append(outcome.value)
+        agreements: dict[str, list[str]] = {}
+        for functionality, values_by_island in by_functionality.items():
+            # Group islands by their full tuple of probe answers.
+            signature_groups: dict[object, list[str]] = {}
+            for island, values in values_by_island.items():
+                signature_groups.setdefault(tuple(values), []).append(island)
+            best_group = max(signature_groups.values(), key=len, default=[])
+            if len(best_group) >= 2:
+                agreements[functionality] = sorted(best_group)
+        return agreements

@@ -1,0 +1,5 @@
+"""D4M associative arrays: one data model for spreadsheets, matrices and graphs."""
+
+from repro.d4m.associative_array import AssocEntry, AssociativeArray
+
+__all__ = ["AssocEntry", "AssociativeArray"]

@@ -1,0 +1,224 @@
+"""D4M associative arrays.
+
+D4M's data model unifies spreadsheets, matrices and graphs in one structure:
+an associative array maps (row key, column key) pairs to values, where keys
+are strings and values are numbers or strings (paper, Section 2.1.1).  The
+algebra supports filtering, subsetting (by row/column key sets or prefixes),
+element-wise addition/multiplication and matrix multiplication — enough for
+the D4M island to express its queries over any shimmed engine.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class AssocEntry:
+    """One (row, column, value) triple."""
+
+    row: str
+    col: str
+    value: Any
+
+
+class AssociativeArray:
+    """A sparse two-dimensional map from (row key, column key) to value."""
+
+    def __init__(self, entries: Iterable[tuple[str, str, Any]] | None = None) -> None:
+        self._data: dict[tuple[str, str], Any] = {}
+        if entries is not None:
+            for row, col, value in entries:
+                self.set(row, col, value)
+
+    # ------------------------------------------------------------------ basic
+    def set(self, row: str, col: str, value: Any) -> None:
+        if value is None:
+            self._data.pop((str(row), str(col)), None)
+        else:
+            self._data[(str(row), str(col))] = value
+
+    def get(self, row: str, col: str, default: Any = None) -> Any:
+        return self._data.get((str(row), str(col)), default)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AssociativeArray):
+            return NotImplemented
+        return self._data == other._data
+
+    def entries(self) -> Iterator[AssocEntry]:
+        for (row, col), value in sorted(self._data.items()):
+            yield AssocEntry(row, col, value)
+
+    @property
+    def row_keys(self) -> list[str]:
+        return sorted({row for row, _col in self._data})
+
+    @property
+    def col_keys(self) -> list[str]:
+        return sorted({col for _row, col in self._data})
+
+    def copy(self) -> "AssociativeArray":
+        out = AssociativeArray()
+        out._data = dict(self._data)
+        return out
+
+    def __repr__(self) -> str:
+        return f"AssociativeArray({len(self._data)} entries, {len(self.row_keys)}x{len(self.col_keys)})"
+
+    # -------------------------------------------------------------- subsetting
+    def subset_rows(self, rows: Iterable[str] | str) -> "AssociativeArray":
+        """Keep entries whose row key is in ``rows`` (or starts with a prefix ending in '*')."""
+        return self._subset(rows, axis=0)
+
+    def subset_cols(self, cols: Iterable[str] | str) -> "AssociativeArray":
+        """Keep entries whose column key is in ``cols`` (or matches a '*' prefix)."""
+        return self._subset(cols, axis=1)
+
+    def _subset(self, keys: Iterable[str] | str, axis: int) -> "AssociativeArray":
+        if isinstance(keys, str):
+            keys = [keys]
+        exact: set[str] = set()
+        prefixes: list[str] = []
+        for key in keys:
+            if key.endswith("*"):
+                prefixes.append(key[:-1])
+            else:
+                exact.add(key)
+
+        def matches(key: str) -> bool:
+            if key in exact:
+                return True
+            return any(key.startswith(prefix) for prefix in prefixes)
+
+        out = AssociativeArray()
+        for (row, col), value in self._data.items():
+            target = row if axis == 0 else col
+            if matches(target):
+                out.set(row, col, value)
+        return out
+
+    def filter_values(self, predicate: Callable[[Any], bool]) -> "AssociativeArray":
+        """Keep entries whose value satisfies the predicate."""
+        out = AssociativeArray()
+        for (row, col), value in self._data.items():
+            if predicate(value):
+                out.set(row, col, value)
+        return out
+
+    # ------------------------------------------------------------ element-wise
+    def add(self, other: "AssociativeArray") -> "AssociativeArray":
+        """Element-wise sum (union of keys; missing values count as 0)."""
+        out = self.copy()
+        for (row, col), value in other._data.items():
+            existing = out.get(row, col)
+            if existing is None:
+                out.set(row, col, value)
+            else:
+                out.set(row, col, self._numeric(existing) + self._numeric(value))
+        return out
+
+    def multiply_elementwise(self, other: "AssociativeArray") -> "AssociativeArray":
+        """Element-wise product (intersection of keys)."""
+        out = AssociativeArray()
+        for key, value in self._data.items():
+            if key in other._data:
+                out.set(key[0], key[1], self._numeric(value) * self._numeric(other._data[key]))
+        return out
+
+    def matmul(self, other: "AssociativeArray") -> "AssociativeArray":
+        """Associative matrix multiplication: (A @ B)[r, c] = sum_k A[r, k] * B[k, c]."""
+        by_col: dict[str, list[tuple[str, Any]]] = defaultdict(list)
+        for (row, col), value in other._data.items():
+            by_col[row].append((col, value))
+        out = AssociativeArray()
+        sums: dict[tuple[str, str], float] = defaultdict(float)
+        for (row, k), value in self._data.items():
+            for col, other_value in by_col.get(k, []):
+                sums[(row, col)] += self._numeric(value) * self._numeric(other_value)
+        for (row, col), total in sums.items():
+            out.set(row, col, total)
+        return out
+
+    def transpose(self) -> "AssociativeArray":
+        out = AssociativeArray()
+        for (row, col), value in self._data.items():
+            out.set(col, row, value)
+        return out
+
+    # ------------------------------------------------------------- aggregates
+    def sum_rows(self) -> dict[str, float]:
+        """Sum of values per row key (graph out-degree when values are 1).
+
+        Non-numeric values count as 1, so the row degree of raw (text-valued)
+        data is simply its number of entries — D4M's usual degree semantics.
+        """
+        totals: dict[str, float] = defaultdict(float)
+        for (row, _col), value in self._data.items():
+            totals[row] += self._numeric_or_one(value)
+        return dict(totals)
+
+    def sum_cols(self) -> dict[str, float]:
+        """Sum of values per column key (non-numeric values count as 1)."""
+        totals: dict[str, float] = defaultdict(float)
+        for (_row, col), value in self._data.items():
+            totals[col] += self._numeric_or_one(value)
+        return dict(totals)
+
+    def nnz(self) -> int:
+        """Number of stored (non-null) entries."""
+        return len(self._data)
+
+    # ------------------------------------------------------------ conversions
+    def to_matrix(self) -> tuple[np.ndarray, list[str], list[str]]:
+        """Densify to (matrix, row labels, column labels)."""
+        rows = self.row_keys
+        cols = self.col_keys
+        matrix = np.zeros((len(rows), len(cols)))
+        row_index = {key: i for i, key in enumerate(rows)}
+        col_index = {key: i for i, key in enumerate(cols)}
+        for (row, col), value in self._data.items():
+            matrix[row_index[row], col_index[col]] = self._numeric(value)
+        return matrix, rows, cols
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, rows: list[str], cols: list[str]) -> "AssociativeArray":
+        matrix = np.asarray(matrix)
+        if matrix.shape != (len(rows), len(cols)):
+            raise SchemaError("matrix shape does not match the provided labels")
+        out = cls()
+        for i, row in enumerate(rows):
+            for j, col in enumerate(cols):
+                if matrix[i, j] != 0:
+                    out.set(row, col, float(matrix[i, j]))
+        return out
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[str, str]]) -> "AssociativeArray":
+        """Build a graph adjacency associative array (value 1 per edge, summed for multi-edges)."""
+        out = cls()
+        for source, target in edges:
+            existing = out.get(source, target, 0)
+            out.set(source, target, existing + 1)
+        return out
+
+    @staticmethod
+    def _numeric(value: Any) -> float:
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return float(value)
+        raise SchemaError(f"value {value!r} is not numeric; numeric algebra requires numbers")
+
+    @staticmethod
+    def _numeric_or_one(value: Any) -> float:
+        if isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(value, bool):
+            return float(value)
+        return 1.0

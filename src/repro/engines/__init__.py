@@ -1,0 +1,16 @@
+"""Storage engines federated by BigDAWG.
+
+Each subpackage is a self-contained engine with its own data model and query
+interface, mirroring the backends in the paper:
+
+* :mod:`repro.engines.relational` — PostgreSQL stand-in (SQL over row storage).
+* :mod:`repro.engines.array` — SciDB stand-in (chunked multidimensional arrays).
+* :mod:`repro.engines.keyvalue` — Accumulo stand-in (sorted key-value + text index).
+* :mod:`repro.engines.streaming` — S-Store stand-in (transactional stream processing).
+* :mod:`repro.engines.tiledb` — TileDB prototype (dense/sparse tiles).
+* :mod:`repro.engines.tupleware` — Tupleware prototype (compiled UDF workflows).
+"""
+
+from repro.engines.base import Engine, EngineCapability
+
+__all__ = ["Engine", "EngineCapability"]

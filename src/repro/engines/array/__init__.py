@@ -1,0 +1,14 @@
+"""The array engine (SciDB stand-in): chunked multidimensional arrays with AFL operators."""
+
+from repro.engines.array.engine import ArrayEngine
+from repro.engines.array.schema import ArraySchema, Attribute, Dimension
+from repro.engines.array.storage import ChunkSynopsis, StoredArray
+
+__all__ = [
+    "ArrayEngine",
+    "ArraySchema",
+    "Attribute",
+    "ChunkSynopsis",
+    "Dimension",
+    "StoredArray",
+]

@@ -1,0 +1,269 @@
+"""The array engine facade: the SciDB stand-in federated by BigDAWG.
+
+Arrays are created from schemas or numpy data, queried either through the
+programmatic operator API (:mod:`repro.engines.array.operators`) or through
+AFL-style text queries, and exchanged with other engines as relations whose
+leading columns are the dimension coordinates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.common.errors import (
+    DuplicateObjectError,
+    ExecutionError,
+    ObjectNotFoundError,
+    ParseError,
+)
+from repro.common.schema import Column, Relation, Schema
+from repro.common.types import DataType
+from repro.engines.array import operators as ops
+from repro.engines.array.aql import AqlCall, parse_aql
+from repro.engines.array.schema import ArraySchema, Attribute, Dimension
+from repro.engines.array.storage import StoredArray
+from repro.engines.base import Engine, EngineCapability
+
+
+class ArrayEngine(Engine):
+    """An in-process chunked array database."""
+
+    kind = "array"
+
+    def __init__(self, name: str = "scidb") -> None:
+        super().__init__(name)
+        self._arrays: dict[str, StoredArray] = {}
+
+    # ------------------------------------------------------------- Engine API
+    @property
+    def capabilities(self) -> EngineCapability:
+        return EngineCapability.ARRAY | EngineCapability.LINEAR_ALGEBRA
+
+    def list_objects(self) -> list[str]:
+        return sorted(self._arrays)
+
+    def has_object(self, name: str) -> bool:
+        return name.lower() in self._arrays
+
+    def export_relation(self, name: str) -> Relation:
+        """Flatten an array to rows: dimension coordinates then attribute values."""
+        array = self.array(name)
+        columns = [Column(d.name, DataType.INTEGER) for d in array.schema.dimensions]
+        columns += [Column(a.name, a.dtype) for a in array.schema.attributes]
+        relation = Relation(Schema(columns))
+        for coordinates, values in array.iter_cells():
+            relation.append(list(coordinates) + [values[a.name] for a in array.schema.attributes])
+        return relation
+
+    def import_relation(self, name: str, relation: Relation, **options: Any) -> None:
+        """Build an array from a relation.
+
+        By default the first column becomes the single dimension (its values
+        must be integers); remaining columns become attributes.  Pass
+        ``dimensions=[...]`` to treat several leading columns as dimensions.
+        """
+        if name.lower() in self._arrays and not options.get("replace", True):
+            raise DuplicateObjectError(f"array {name!r} already exists")
+        dim_columns: list[str] = options.get("dimensions") or [relation.schema.names[0]]
+        chunk_length = int(options.get("chunk_length", 10_000))
+        attr_columns = [c for c in relation.schema.columns if c.name not in dim_columns]
+        if not attr_columns:
+            raise ExecutionError("importing an array requires at least one attribute column")
+        dims = []
+        for dim_name in dim_columns:
+            values = [row[dim_name] for row in relation] or [0]
+            low, high = int(min(values)), int(max(values))
+            dims.append(Dimension(dim_name, low, high, min(chunk_length, high - low + 1)))
+        attributes = [Attribute(c.name, c.dtype) for c in attr_columns]
+        schema = ArraySchema(name, dims, attributes)
+        stored = StoredArray(schema)
+        for row in relation:
+            coordinates = tuple(int(row[d]) for d in dim_columns)
+            stored.write_cell(coordinates, {c.name: row[c.name] for c in attr_columns})
+        self._arrays[name.lower()] = stored
+
+    def drop_object(self, name: str) -> None:
+        if name.lower() not in self._arrays:
+            raise ObjectNotFoundError(f"array {name!r} does not exist")
+        del self._arrays[name.lower()]
+
+    # --------------------------------------------------------------- creation
+    def create_array(self, schema: ArraySchema, replace: bool = False) -> StoredArray:
+        key = schema.name.lower()
+        if key in self._arrays and not replace:
+            raise DuplicateObjectError(f"array {schema.name!r} already exists")
+        stored = StoredArray(schema)
+        self._arrays[key] = stored
+        return stored
+
+    def load_numpy(self, name: str, data: np.ndarray, attribute: str = "value",
+                   chunk_length: int = 10_000, replace: bool = True) -> StoredArray:
+        """Create a dense array directly from a numpy ndarray."""
+        data = np.asarray(data)
+        dims = []
+        dim_names = ["i", "j", "k", "l"]
+        for axis, size in enumerate(data.shape):
+            dims.append(Dimension(dim_names[axis], 0, size - 1, min(chunk_length, size)))
+        dtype = DataType.FLOAT if np.issubdtype(data.dtype, np.floating) else DataType.INTEGER
+        schema = ArraySchema(name, dims, [Attribute(attribute, dtype)])
+        if name.lower() in self._arrays and not replace:
+            raise DuplicateObjectError(f"array {name!r} already exists")
+        stored = StoredArray(schema)
+        stored.buffer(attribute)[...] = data
+        stored.present_mask[...] = True
+        self._arrays[name.lower()] = stored
+        return stored
+
+    def register(self, name: str, stored: StoredArray, replace: bool = True) -> None:
+        """Register an externally built :class:`StoredArray` under a name."""
+        if name.lower() in self._arrays and not replace:
+            raise DuplicateObjectError(f"array {name!r} already exists")
+        self._arrays[name.lower()] = stored
+
+    def array(self, name: str) -> StoredArray:
+        key = name.lower()
+        if key not in self._arrays:
+            raise ObjectNotFoundError(f"array {name!r} does not exist in engine {self.name!r}")
+        return self._arrays[key]
+
+    # ------------------------------------------------------------------ query
+    def execute(self, afl: str) -> StoredArray | dict[str, float | None] | dict[int, float]:
+        """Execute an AFL-style text query.
+
+        Returns a :class:`StoredArray` for array-valued operators, a dict of
+        aggregate results for ``aggregate`` and a ``{coordinate: value}`` dict
+        for dimension grouping.
+        """
+        self.queries_executed += 1
+        call = parse_aql(afl)
+        return self._execute_call(call)
+
+    def _execute_call(self, call: AqlCall) -> Any:
+        source = call.source
+        if isinstance(source, AqlCall):
+            array = self._execute_call(source)
+            if not isinstance(array, StoredArray):
+                raise ExecutionError(
+                    f"nested call {source.operator!r} does not produce an array"
+                )
+        else:
+            array = self.array(str(source))
+        args = call.argument_strings()
+        operator = call.operator
+        if operator == "scan":
+            return array
+        if operator == "filter":
+            if len(args) != 1:
+                raise ExecutionError("filter(array, predicate) takes one predicate")
+            attribute, predicate = _compile_predicate(args[0], array)
+            return ops.filter_array(array, attribute, predicate)
+        if operator == "between":
+            return ops.between(array, *self._split_box(args, array))
+        if operator == "subarray":
+            return ops.subarray(array, *self._split_box(args, array))
+        if operator == "project":
+            return ops.project(array, args)
+        if operator == "apply":
+            if len(args) != 2:
+                raise ExecutionError("apply(array, new_attr, expression) takes two arguments")
+            return self._execute_apply(array, args[0], args[1])
+        if operator == "aggregate":
+            return self._execute_aggregate(array, args)
+        if operator == "window":
+            if len(args) < 3:
+                raise ExecutionError("window(array, attribute, size, function) takes three arguments")
+            return ops.window(array, args[0], int(args[1]), args[2],
+                              args[3] if len(args) > 3 else None)
+        if operator == "regrid":
+            if len(args) < 3:
+                raise ExecutionError("regrid(array, attribute, block, function) takes three arguments")
+            block = tuple(int(a) for a in args[1:-1])
+            if len(block) == 1 and array.schema.ndim > 1:
+                block = block * array.schema.ndim
+            return ops.regrid(array, args[0], block, args[-1])
+        raise ExecutionError(f"unknown array operator: {operator!r}")
+
+    # ----------------------------------------------------------------- helpers
+    def _split_box(self, args: list[str], array: StoredArray) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        ndim = array.schema.ndim
+        if len(args) != 2 * ndim:
+            raise ExecutionError(
+                f"expected {2 * ndim} box coordinates for a {ndim}-dimensional array"
+            )
+        values = [int(a) for a in args]
+        return tuple(values[:ndim]), tuple(values[ndim:])
+
+    def _execute_aggregate(self, array: StoredArray, args: list[str]) -> Any:
+        specs = []
+        group_dimension = None
+        for arg in args:
+            match = re.match(r"^([A-Za-z_]+)\s*\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*\)$", arg)
+            if match:
+                specs.append((match.group(1).lower(), match.group(2)))
+            else:
+                group_dimension = arg
+        if not specs:
+            raise ExecutionError("aggregate requires at least one spec such as avg(value)")
+        if group_dimension is not None:
+            if len(specs) != 1:
+                raise ExecutionError("grouped aggregates support one spec at a time")
+            function, attribute = specs[0]
+            return ops.aggregate_by_dimension(array, attribute, group_dimension, function)
+        results: dict[str, float | None] = {}
+        for function, attribute in specs:
+            value = ops.aggregate(array, attribute, [function])[function]
+            results[f"{function}({attribute})"] = value
+        return results
+
+    def _execute_apply(self, array: StoredArray, new_attribute: str, expression: str) -> StoredArray:
+        attribute, fn = _compile_arithmetic(expression, array)
+        return ops.apply(array, new_attribute, DataType.FLOAT, fn, attribute)
+
+
+_COMPARISON_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(<=|>=|!=|=|<|>)\s*(-?[0-9]+(?:\.[0-9]+)?)\s*$"
+)
+_ARITHMETIC_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*([+\-*/])\s*(-?[0-9]+(?:\.[0-9]+)?)\s*$"
+)
+
+
+def _compile_predicate(text: str, array: StoredArray) -> tuple[str, Callable[[np.ndarray], np.ndarray]]:
+    """Compile ``attr <op> literal`` into a vectorized mask function."""
+    match = _COMPARISON_RE.match(text)
+    if match is None:
+        raise ParseError(f"unsupported array filter predicate: {text!r}")
+    attribute, op, literal_text = match.groups()
+    if not array.schema.has_attribute(attribute):
+        raise ExecutionError(f"array has no attribute {attribute!r}")
+    literal = float(literal_text)
+    operations: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+        "<": lambda buf: buf < literal,
+        "<=": lambda buf: buf <= literal,
+        ">": lambda buf: buf > literal,
+        ">=": lambda buf: buf >= literal,
+        "=": lambda buf: buf == literal,
+        "!=": lambda buf: buf != literal,
+    }
+    return attribute, operations[op]
+
+
+def _compile_arithmetic(text: str, array: StoredArray) -> tuple[str, Callable[[np.ndarray], np.ndarray]]:
+    """Compile ``attr <op> literal`` into a vectorized arithmetic function."""
+    match = _ARITHMETIC_RE.match(text)
+    if match is None:
+        raise ParseError(f"unsupported apply expression: {text!r}")
+    attribute, op, literal_text = match.groups()
+    if not array.schema.has_attribute(attribute):
+        raise ExecutionError(f"array has no attribute {attribute!r}")
+    literal = float(literal_text)
+    operations: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+        "+": lambda buf: np.asarray(buf, dtype=float) + literal,
+        "-": lambda buf: np.asarray(buf, dtype=float) - literal,
+        "*": lambda buf: np.asarray(buf, dtype=float) * literal,
+        "/": lambda buf: np.asarray(buf, dtype=float) / literal,
+    }
+    return attribute, operations[op]

@@ -1,0 +1,95 @@
+"""Linear-algebra operations over stored arrays.
+
+The paper motivates array databases with complex analytics whose inner loops
+are matrix operations (Section 2.4).  These helpers operate directly on the
+engine's numpy buffers, which is exactly the "array DBMS coupled to a linear
+algebra package" configuration the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+from repro.common.types import DataType
+from repro.engines.array.schema import ArraySchema, Attribute, Dimension
+from repro.engines.array.storage import StoredArray
+
+
+def to_matrix(array: StoredArray, attribute: str) -> np.ndarray:
+    """Return one attribute of a 1- or 2-dimensional array as a dense matrix."""
+    if array.schema.ndim > 2:
+        raise SchemaError("matrix operations require a 1- or 2-dimensional array")
+    return np.asarray(array.buffer(attribute), dtype=float)
+
+
+def from_matrix(name: str, matrix: np.ndarray, attribute: str = "value",
+                chunk_length: int = 1000) -> StoredArray:
+    """Wrap a dense numpy matrix (1-D or 2-D) as a stored array."""
+    matrix = np.atleast_1d(np.asarray(matrix, dtype=float))
+    dims = []
+    dim_names = ["i", "j", "k"]
+    for axis, size in enumerate(matrix.shape):
+        dims.append(Dimension(dim_names[axis], 0, size - 1, min(chunk_length, size)))
+    schema = ArraySchema(name, dims, [Attribute(attribute, DataType.FLOAT)])
+    stored = StoredArray(schema)
+    stored.buffer(attribute)[...] = matrix
+    stored.present_mask[...] = True
+    return stored
+
+
+def multiply(left: StoredArray, right: StoredArray, attribute: str = "value",
+             name: str = "product") -> StoredArray:
+    """Matrix multiplication of two 2-D arrays (or matrix-vector)."""
+    a = to_matrix(left, left.schema.attributes[0].name if not left.schema.has_attribute(attribute) else attribute)
+    b = to_matrix(right, right.schema.attributes[0].name if not right.schema.has_attribute(attribute) else attribute)
+    product = a @ b
+    return from_matrix(name, product)
+
+
+def transpose(array: StoredArray, attribute: str = "value", name: str = "transposed") -> StoredArray:
+    """Transpose a 2-D array."""
+    return from_matrix(name, to_matrix(array, attribute).T)
+
+
+def covariance(array: StoredArray, attribute: str = "value", name: str = "covariance") -> StoredArray:
+    """Covariance matrix of a (samples x features) 2-D array."""
+    matrix = to_matrix(array, attribute)
+    if matrix.ndim != 2:
+        raise SchemaError("covariance requires a 2-dimensional array")
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    cov = centered.T @ centered / max(1, matrix.shape[0] - 1)
+    return from_matrix(name, cov)
+
+
+def svd(array: StoredArray, attribute: str = "value") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Singular value decomposition of a 2-D array's attribute."""
+    matrix = to_matrix(array, attribute)
+    return np.linalg.svd(matrix, full_matrices=False)
+
+
+def power_iteration(array: StoredArray, attribute: str = "value",
+                    iterations: int = 100, tolerance: float = 1e-9) -> tuple[float, np.ndarray]:
+    """Dominant eigenvalue/eigenvector of a square 2-D array via power iteration."""
+    matrix = to_matrix(array, attribute)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise SchemaError("power iteration requires a square matrix")
+    vector = np.ones(matrix.shape[0]) / np.sqrt(matrix.shape[0])
+    eigenvalue = 0.0
+    for _ in range(iterations):
+        product = matrix @ vector
+        norm = np.linalg.norm(product)
+        if norm == 0:
+            return 0.0, vector
+        new_vector = product / norm
+        new_eigenvalue = float(new_vector @ matrix @ new_vector)
+        if abs(new_eigenvalue - eigenvalue) < tolerance:
+            return new_eigenvalue, new_vector
+        vector, eigenvalue = new_vector, new_eigenvalue
+    return eigenvalue, vector
+
+
+def fft_magnitudes(array: StoredArray, attribute: str = "value") -> np.ndarray:
+    """Magnitude spectrum of a 1-D signal attribute (rfft)."""
+    signal = np.asarray(array.buffer(attribute), dtype=float).ravel()
+    return np.abs(np.fft.rfft(signal))

@@ -1,0 +1,175 @@
+"""Array schemas: dimensions, attributes and chunking, as in SciDB.
+
+An array is declared over integer dimensions (each with a start, end and
+chunk length) and carries one or more named, typed attributes.  Cells are
+addressed by dimension coordinates; each attribute stores one value per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import SchemaError
+from repro.common.types import DataType, parse_type
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One array dimension: a named integer range split into chunks."""
+
+    name: str
+    start: int
+    end: int
+    chunk_length: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SchemaError(f"dimension {self.name!r}: end {self.end} < start {self.start}")
+        if self.chunk_length <= 0:
+            raise SchemaError(f"dimension {self.name!r}: chunk length must be positive")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+    @property
+    def chunk_count(self) -> int:
+        return (self.length + self.chunk_length - 1) // self.chunk_length
+
+    def chunk_of(self, coordinate: int) -> int:
+        """Index of the chunk containing a coordinate."""
+        if not self.start <= coordinate <= self.end:
+            raise SchemaError(
+                f"coordinate {coordinate} outside dimension {self.name!r} "
+                f"[{self.start}, {self.end}]"
+            )
+        return (coordinate - self.start) // self.chunk_length
+
+    def chunk_bounds(self, chunk_index: int) -> tuple[int, int]:
+        """Inclusive (low, high) coordinates covered by one chunk."""
+        low = self.start + chunk_index * self.chunk_length
+        high = min(low + self.chunk_length - 1, self.end)
+        return low, high
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One array attribute: a named, typed value stored in every cell."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", parse_type(self.dtype))
+
+
+class ArraySchema:
+    """The shape of an array: dimensions plus attributes."""
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: list[Dimension],
+        attributes: list[Attribute],
+    ) -> None:
+        if not dimensions:
+            raise SchemaError("an array needs at least one dimension")
+        if not attributes:
+            raise SchemaError("an array needs at least one attribute")
+        dim_names = [d.name.lower() for d in dimensions]
+        attr_names = [a.name.lower() for a in attributes]
+        if len(set(dim_names)) != len(dim_names):
+            raise SchemaError("duplicate dimension names")
+        if len(set(attr_names)) != len(attr_names):
+            raise SchemaError("duplicate attribute names")
+        if set(dim_names) & set(attr_names):
+            raise SchemaError("dimension and attribute names must not collide")
+        self.name = name
+        self.dimensions = list(dimensions)
+        self.attributes = list(attributes)
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(d.length for d in self.dimensions)
+
+    @property
+    def cell_count(self) -> int:
+        count = 1
+        for d in self.dimensions:
+            count *= d.length
+        return count
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dimensions)
+
+    def dimension(self, name: str) -> Dimension:
+        for d in self.dimensions:
+            if d.name.lower() == name.lower():
+                return d
+        raise SchemaError(f"no such dimension: {name!r}")
+
+    def dimension_index(self, name: str) -> int:
+        for i, d in enumerate(self.dimensions):
+            if d.name.lower() == name.lower():
+                return i
+        raise SchemaError(f"no such dimension: {name!r}")
+
+    def attribute(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name.lower() == name.lower():
+                return a
+        raise SchemaError(f"no such attribute: {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(a.name.lower() == name.lower() for a in self.attributes)
+
+    def coordinates_to_indexes(self, coordinates: tuple[int, ...]) -> tuple[int, ...]:
+        """Translate dimension coordinates to zero-based numpy indexes."""
+        if len(coordinates) != self.ndim:
+            raise SchemaError(
+                f"expected {self.ndim} coordinates, got {len(coordinates)}"
+            )
+        indexes = []
+        for coord, dim in zip(coordinates, self.dimensions):
+            if not dim.start <= coord <= dim.end:
+                raise SchemaError(
+                    f"coordinate {coord} outside dimension {dim.name!r} "
+                    f"[{dim.start}, {dim.end}]"
+                )
+            indexes.append(coord - dim.start)
+        return tuple(indexes)
+
+    def chunks(self) -> Iterator[tuple[int, ...]]:
+        """Iterate over all chunk index tuples in row-major order."""
+
+        def recurse(prefix: tuple[int, ...], remaining: list[Dimension]) -> Iterator[tuple[int, ...]]:
+            if not remaining:
+                yield prefix
+                return
+            head, *tail = remaining
+            for i in range(head.chunk_count):
+                yield from recurse(prefix + (i,), tail)
+
+        yield from recurse((), self.dimensions)
+
+    def chunk_slices(self, chunk: tuple[int, ...]) -> tuple[slice, ...]:
+        """Numpy slices (zero-based) covering one chunk."""
+        slices = []
+        for index, dim in zip(chunk, self.dimensions):
+            low, high = dim.chunk_bounds(index)
+            slices.append(slice(low - dim.start, high - dim.start + 1))
+        return tuple(slices)
+
+    def rename(self, name: str) -> "ArraySchema":
+        return ArraySchema(name, self.dimensions, self.attributes)
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{d.name}={d.start}:{d.end},{d.chunk_length}" for d in self.dimensions
+        )
+        attrs = ", ".join(f"{a.name}:{a.dtype}" for a in self.attributes)
+        return f"<{self.name}[{dims}]({attrs})>"

@@ -1,0 +1,79 @@
+"""The engine interface the BigDAWG shims program against.
+
+An engine owns data objects (tables, arrays, streams, key-value tables) and
+executes queries in its native language.  The only thing BigDAWG requires of
+an engine is the small surface in :class:`Engine`: enumerate objects, export
+an object as a relation, import a relation as a new object, and report which
+capabilities it has so the planner can route subqueries.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.common.schema import Relation
+
+
+class EngineCapability(enum.Flag):
+    """Feature flags the cross-island planner uses to route subqueries."""
+
+    NONE = 0
+    SQL = enum.auto()
+    ARRAY = enum.auto()
+    KEY_VALUE = enum.auto()
+    TEXT_SEARCH = enum.auto()
+    STREAMING = enum.auto()
+    LINEAR_ALGEBRA = enum.auto()
+    UDF = enum.auto()
+    TRANSACTIONS = enum.auto()
+
+
+class Engine(ABC):
+    """Abstract storage engine federated by BigDAWG."""
+
+    #: Symbolic engine kind, e.g. "relational", "array"; used by the catalog.
+    kind: str = "abstract"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Count of native queries executed; used by the monitor and tests.
+        self.queries_executed = 0
+
+    @property
+    @abstractmethod
+    def capabilities(self) -> EngineCapability:
+        """Capabilities this engine offers."""
+
+    @abstractmethod
+    def list_objects(self) -> list[str]:
+        """Names of all data objects stored in this engine."""
+
+    @abstractmethod
+    def has_object(self, name: str) -> bool:
+        """Whether the engine stores an object with this name."""
+
+    @abstractmethod
+    def export_relation(self, name: str) -> Relation:
+        """Export a stored object as a relation (the CAST egress path)."""
+
+    @abstractmethod
+    def import_relation(self, name: str, relation: Relation, **options: Any) -> None:
+        """Create (or replace) an object from a relation (the CAST ingress path)."""
+
+    @abstractmethod
+    def drop_object(self, name: str) -> None:
+        """Remove an object."""
+
+    def describe(self) -> dict[str, Any]:
+        """Human-readable summary used by EXPLAIN output and the demo."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objects": self.list_objects(),
+            "capabilities": str(self.capabilities),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,35 @@
+"""The key-value engine (Accumulo stand-in): sorted KV store, iterators, text index."""
+
+from repro.engines.keyvalue.engine import KeyValueEngine, KeyValueTable
+from repro.engines.keyvalue.iterators import (
+    CombiningIterator,
+    CountingCombiner,
+    FamilyFilterIterator,
+    FilterIterator,
+    ScanIterator,
+    SummingCombiner,
+    ValueRegexIterator,
+    VersioningIterator,
+)
+from repro.engines.keyvalue.store import Entry, Key, ScanRange, SortedKeyValueStore
+from repro.engines.keyvalue.text_index import InvertedTextIndex, Posting, tokenize
+
+__all__ = [
+    "CombiningIterator",
+    "CountingCombiner",
+    "Entry",
+    "FamilyFilterIterator",
+    "FilterIterator",
+    "InvertedTextIndex",
+    "Key",
+    "KeyValueEngine",
+    "KeyValueTable",
+    "Posting",
+    "ScanIterator",
+    "ScanRange",
+    "SortedKeyValueStore",
+    "SummingCombiner",
+    "ValueRegexIterator",
+    "VersioningIterator",
+    "tokenize",
+]

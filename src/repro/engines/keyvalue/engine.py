@@ -1,0 +1,169 @@
+"""The key-value engine facade: the Accumulo stand-in federated by BigDAWG.
+
+Tables are sorted key-value stores with optional full-text indexing of their
+values, scanned through server-side iterator stacks and split into tablets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.common.errors import DuplicateObjectError, ObjectNotFoundError
+from repro.common.schema import Column, Relation, Schema
+from repro.common.types import DataType, infer_type
+from repro.engines.base import Engine, EngineCapability
+from repro.engines.keyvalue.iterators import ScanIterator, apply_stack
+from repro.engines.keyvalue.store import Entry, ScanRange, SortedKeyValueStore
+from repro.engines.keyvalue.tablet import TabletManager
+from repro.engines.keyvalue.text_index import InvertedTextIndex, Posting
+
+
+class KeyValueTable:
+    """One Accumulo-style table: sorted store + tablets + optional text index."""
+
+    def __init__(self, name: str, text_indexed: bool = False, split_threshold: int = 100_000) -> None:
+        self.name = name
+        self.store = SortedKeyValueStore()
+        self.tablets = TabletManager(name, split_threshold=split_threshold)
+        self.text_index: InvertedTextIndex | None = InvertedTextIndex() if text_indexed else None
+
+    def put(self, row: str, family: str = "", qualifier: str = "", value: Any = None) -> Entry:
+        entry = self.store.put(row, family, qualifier, value)
+        if self.text_index is not None and isinstance(value, str):
+            self.text_index.add_document(row, f"{family}:{qualifier}", value)
+        self.tablets.maybe_split(self.store)
+        return entry
+
+    def scan(self, scan_range: ScanRange | None = None,
+             iterators: list[ScanIterator] | None = None) -> list[Entry]:
+        entries = self.store.scan(scan_range)
+        if iterators:
+            return list(apply_stack(entries, iterators))
+        return list(entries)
+
+
+class KeyValueEngine(Engine):
+    """An in-process sorted key-value store with text search."""
+
+    kind = "keyvalue"
+
+    def __init__(self, name: str = "accumulo") -> None:
+        super().__init__(name)
+        self._tables: dict[str, KeyValueTable] = {}
+
+    # ------------------------------------------------------------- Engine API
+    @property
+    def capabilities(self) -> EngineCapability:
+        return EngineCapability.KEY_VALUE | EngineCapability.TEXT_SEARCH
+
+    def list_objects(self) -> list[str]:
+        return sorted(self._tables)
+
+    def has_object(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def export_relation(self, name: str) -> Relation:
+        """Flatten a key-value table to (row, family, qualifier, value) rows."""
+        table = self.table(name)
+        value_type = DataType.TEXT
+        for entry in table.store.scan():
+            if entry.value is not None:
+                value_type = infer_type(entry.value)
+                break
+        schema = Schema(
+            [
+                Column("row", DataType.TEXT),
+                Column("family", DataType.TEXT),
+                Column("qualifier", DataType.TEXT),
+                Column("value", value_type),
+            ]
+        )
+        relation = Relation(schema)
+        for entry in table.store.scan():
+            relation.append([entry.key.row, entry.key.family, entry.key.qualifier, entry.value])
+        return relation
+
+    def import_relation(self, name: str, relation: Relation, **options: Any) -> None:
+        """Create a table from a relation.
+
+        The first column becomes the row key; remaining columns become
+        (family="attr", qualifier=column name) cells.
+        """
+        if name.lower() in self._tables and not options.get("replace", True):
+            raise DuplicateObjectError(f"key-value table {name!r} already exists")
+        table = KeyValueTable(name, text_indexed=bool(options.get("text_indexed", False)))
+        names = relation.schema.names
+        row_column = options.get("row_column", names[0])
+        for row in relation:
+            row_key = str(row[row_column])
+            for column in names:
+                if column == row_column:
+                    continue
+                table.put(row_key, "attr", column, row[column])
+        self._tables[name.lower()] = table
+
+    def drop_object(self, name: str) -> None:
+        if name.lower() not in self._tables:
+            raise ObjectNotFoundError(f"key-value table {name!r} does not exist")
+        del self._tables[name.lower()]
+
+    # ----------------------------------------------------------------- tables
+    def create_table(self, name: str, text_indexed: bool = False,
+                     split_threshold: int = 100_000, replace: bool = False) -> KeyValueTable:
+        key = name.lower()
+        if key in self._tables and not replace:
+            raise DuplicateObjectError(f"key-value table {name!r} already exists")
+        table = KeyValueTable(name, text_indexed, split_threshold)
+        self._tables[key] = table
+        return table
+
+    def table(self, name: str) -> KeyValueTable:
+        key = name.lower()
+        if key not in self._tables:
+            raise ObjectNotFoundError(f"key-value table {name!r} does not exist in {self.name!r}")
+        return self._tables[key]
+
+    # ------------------------------------------------------------------ access
+    def put(self, table_name: str, row: str, family: str = "", qualifier: str = "",
+            value: Any = None) -> Entry:
+        return self.table(table_name).put(row, family, qualifier, value)
+
+    def put_many(self, table_name: str, entries: Iterable[tuple[str, str, str, Any]]) -> int:
+        table = self.table(table_name)
+        count = 0
+        for row, family, qualifier, value in entries:
+            table.put(row, family, qualifier, value)
+            count += 1
+        return count
+
+    def scan(self, table_name: str, scan_range: ScanRange | None = None,
+             iterators: list[ScanIterator] | None = None) -> list[Entry]:
+        self.queries_executed += 1
+        return self.table(table_name).scan(scan_range, iterators)
+
+    def get_row(self, table_name: str, row: str) -> dict[str, Any]:
+        """All cells of a row as ``{family:qualifier: value}``."""
+        self.queries_executed += 1
+        return {
+            f"{e.key.family}:{e.key.qualifier}": e.value
+            for e in self.table(table_name).store.get_row(row)
+        }
+
+    # ------------------------------------------------------------- text search
+    def text_search(self, table_name: str, phrase: str) -> list[Posting]:
+        """Documents in the table containing a phrase."""
+        self.queries_executed += 1
+        index = self._require_text_index(table_name)
+        return index.search_phrase(phrase)
+
+    def rows_with_min_documents(self, table_name: str, phrase: str, minimum: int) -> list[str]:
+        """Rows with at least ``minimum`` documents containing the phrase."""
+        self.queries_executed += 1
+        index = self._require_text_index(table_name)
+        return index.rows_with_min_documents(phrase, minimum)
+
+    def _require_text_index(self, table_name: str) -> InvertedTextIndex:
+        table = self.table(table_name)
+        if table.text_index is None:
+            raise ObjectNotFoundError(f"table {table_name!r} was not created with text_indexed=True")
+        return table.text_index

@@ -1,0 +1,125 @@
+"""Server-side iterators, Accumulo's mechanism for pushing work to the tablet server.
+
+An iterator wraps a stream of :class:`Entry` objects and transforms it.  The
+engine composes a stack of them for every scan, so filtering, version trimming
+and combining happen close to the data rather than on the client.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.engines.keyvalue.store import Entry, Key
+
+
+class ScanIterator:
+    """Base class: an identity pass over the entry stream."""
+
+    def apply(self, entries: Iterable[Entry]) -> Iterator[Entry]:
+        yield from entries
+
+
+class VersioningIterator(ScanIterator):
+    """Keep only the newest ``max_versions`` versions of each (row, family, qualifier)."""
+
+    def __init__(self, max_versions: int = 1) -> None:
+        if max_versions < 1:
+            raise ValueError("max_versions must be at least 1")
+        self._max_versions = max_versions
+
+    def apply(self, entries: Iterable[Entry]) -> Iterator[Entry]:
+        current_cell: tuple[str, str, str] | None = None
+        emitted = 0
+        for entry in entries:
+            cell = (entry.key.row, entry.key.family, entry.key.qualifier)
+            if cell != current_cell:
+                current_cell = cell
+                emitted = 0
+            if emitted < self._max_versions:
+                emitted += 1
+                yield entry
+
+
+class FilterIterator(ScanIterator):
+    """Keep entries satisfying an arbitrary predicate over the entry."""
+
+    def __init__(self, predicate: Callable[[Entry], bool]) -> None:
+        self._predicate = predicate
+
+    def apply(self, entries: Iterable[Entry]) -> Iterator[Entry]:
+        for entry in entries:
+            if self._predicate(entry):
+                yield entry
+
+
+class FamilyFilterIterator(FilterIterator):
+    """Keep entries from the given column families."""
+
+    def __init__(self, families: Iterable[str]) -> None:
+        allowed = set(families)
+        super().__init__(lambda entry: entry.key.family in allowed)
+
+
+class ValueRegexIterator(FilterIterator):
+    """Keep entries whose value (as text) matches a regular expression."""
+
+    def __init__(self, pattern: str) -> None:
+        import re
+
+        compiled = re.compile(pattern)
+        super().__init__(lambda entry: bool(compiled.search(str(entry.value))))
+
+
+class CombiningIterator(ScanIterator):
+    """Combine all versions/qualifiers of a cell group into one entry.
+
+    ``key_fn`` chooses the grouping granularity (by default per row+family+qualifier);
+    ``combine`` folds the values.
+    """
+
+    def __init__(
+        self,
+        combine: Callable[[list[Any]], Any],
+        key_fn: Callable[[Key], tuple] | None = None,
+    ) -> None:
+        self._combine = combine
+        self._key_fn = key_fn or (lambda key: (key.row, key.family, key.qualifier))
+
+    def apply(self, entries: Iterable[Entry]) -> Iterator[Entry]:
+        current: tuple | None = None
+        bucket: list[Entry] = []
+        for entry in entries:
+            group = self._key_fn(entry.key)
+            if group != current and bucket:
+                yield self._emit(bucket)
+                bucket = []
+            current = group
+            bucket.append(entry)
+        if bucket:
+            yield self._emit(bucket)
+
+    def _emit(self, bucket: list[Entry]) -> Entry:
+        combined = self._combine([entry.value for entry in bucket])
+        return Entry(bucket[0].key, combined)
+
+
+class SummingCombiner(CombiningIterator):
+    """Sum numeric values per cell group (Accumulo's SummingCombiner)."""
+
+    def __init__(self, key_fn: Callable[[Key], tuple] | None = None) -> None:
+        super().__init__(lambda values: sum(float(v) for v in values), key_fn)
+
+
+class CountingCombiner(CombiningIterator):
+    """Count entries per cell group."""
+
+    def __init__(self, key_fn: Callable[[Key], tuple] | None = None) -> None:
+        super().__init__(lambda values: len(values), key_fn)
+
+
+def apply_stack(entries: Iterable[Entry], iterators: list[ScanIterator]) -> Iterator[Entry]:
+    """Thread the entry stream through a stack of iterators, in order."""
+    stream: Iterable[Entry] = entries
+    for iterator in iterators:
+        stream = iterator.apply(stream)
+    yield from stream

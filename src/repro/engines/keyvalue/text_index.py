@@ -1,0 +1,133 @@
+"""An inverted text index over key-value entries.
+
+The MIMIC II demo stores doctors' and nurses' notes in the key-value engine
+and runs keyword queries such as *"patients with at least three reports saying
+'very sick'"* (Section 1.1).  This index maps terms to the (row, qualifier)
+cells containing them and supports AND / OR / phrase queries plus per-row
+occurrence counting — the primitive the text island builds on.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Common English stop words excluded from the index.
+STOP_WORDS = frozenset(
+    "a an and are as at be by for from has he in is it its of on or that the to was were will with".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case word tokens with stop words removed."""
+    return [t for t in _TOKEN_RE.findall(text.lower()) if t not in STOP_WORDS]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One occurrence list entry: a document (row, qualifier) and its term count."""
+
+    row: str
+    qualifier: str
+    count: int
+
+
+class InvertedTextIndex:
+    """Term → postings index with boolean and phrase search."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[tuple[str, str], int]] = defaultdict(dict)
+        self._documents: dict[tuple[str, str], str] = {}
+
+    def __len__(self) -> int:
+        """Number of indexed documents."""
+        return len(self._documents)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def add_document(self, row: str, qualifier: str, text: str) -> None:
+        """Index one document (e.g. one clinical note)."""
+        doc_key = (row, qualifier)
+        self._documents[doc_key] = text
+        for term, count in Counter(tokenize(text)).items():
+            self._postings[term][doc_key] = count
+
+    def remove_row(self, row: str) -> int:
+        """Drop all documents belonging to a row. Returns documents removed."""
+        doomed = [key for key in self._documents if key[0] == row]
+        for key in doomed:
+            del self._documents[key]
+        for postings in self._postings.values():
+            for key in doomed:
+                postings.pop(key, None)
+        return len(doomed)
+
+    # ------------------------------------------------------------------ search
+    def search_term(self, term: str) -> list[Posting]:
+        """Documents containing a single term."""
+        normalized = tokenize(term)
+        if not normalized:
+            return []
+        postings = self._postings.get(normalized[0], {})
+        return [Posting(row, qualifier, count) for (row, qualifier), count in sorted(postings.items())]
+
+    def search_all(self, terms: list[str]) -> list[Posting]:
+        """Documents containing every term (AND). Count is the minimum term count."""
+        keys: set[tuple[str, str]] | None = None
+        for term in terms:
+            normalized = tokenize(term)
+            if not normalized:
+                continue
+            postings = set(self._postings.get(normalized[0], {}))
+            keys = postings if keys is None else keys & postings
+        if not keys:
+            return []
+        results = []
+        for key in sorted(keys):
+            count = min(self._postings[tokenize(t)[0]][key] for t in terms if tokenize(t))
+            results.append(Posting(key[0], key[1], count))
+        return results
+
+    def search_any(self, terms: list[str]) -> list[Posting]:
+        """Documents containing at least one term (OR). Count is the total."""
+        totals: dict[tuple[str, str], int] = defaultdict(int)
+        for term in terms:
+            normalized = tokenize(term)
+            if not normalized:
+                continue
+            for key, count in self._postings.get(normalized[0], {}).items():
+                totals[key] += count
+        return [Posting(row, qualifier, count) for (row, qualifier), count in sorted(totals.items())]
+
+    def search_phrase(self, phrase: str) -> list[Posting]:
+        """Documents containing the exact phrase (post-filtered on the raw text)."""
+        candidates = self.search_all(tokenize(phrase))
+        needle = " ".join(tokenize(phrase))
+        results = []
+        for posting in candidates:
+            text = self._documents[(posting.row, posting.qualifier)]
+            haystack = " ".join(tokenize(text))
+            occurrences = haystack.count(needle)
+            if occurrences:
+                results.append(Posting(posting.row, posting.qualifier, occurrences))
+        return results
+
+    def rows_with_min_documents(self, phrase: str, minimum: int) -> list[str]:
+        """Rows (patients) with at least ``minimum`` documents containing the phrase.
+
+        This is the exact shape of the demo's text-analysis query.
+        """
+        per_row: dict[str, int] = defaultdict(int)
+        for posting in self.search_phrase(phrase):
+            per_row[posting.row] += 1
+        return sorted(row for row, count in per_row.items() if count >= minimum)
+
+    def document(self, row: str, qualifier: str) -> str | None:
+        """Fetch the raw text of one indexed document."""
+        return self._documents.get((row, qualifier))

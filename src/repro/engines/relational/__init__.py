@@ -1,0 +1,7 @@
+"""The relational engine (PostgreSQL stand-in): SQL over row-oriented heap tables."""
+
+from repro.engines.relational.btree import BTreeIndex
+from repro.engines.relational.engine import RelationalEngine
+from repro.engines.relational.storage import HeapTable
+
+__all__ = ["BTreeIndex", "HeapTable", "RelationalEngine"]

@@ -1,0 +1,260 @@
+"""The relational engine facade: the PostgreSQL stand-in federated by BigDAWG.
+
+Usage::
+
+    engine = RelationalEngine("postgres")
+    engine.execute("CREATE TABLE patients (id INTEGER PRIMARY KEY, age INTEGER)")
+    engine.execute("INSERT INTO patients VALUES (1, 64)")
+    result = engine.execute("SELECT count(*) FROM patients WHERE age > 60")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.common.errors import (
+    DuplicateObjectError,
+    ExecutionError,
+    ObjectNotFoundError,
+)
+from repro.common.expressions import evaluate_predicate
+from repro.common.schema import Column, Relation, Row, Schema, TableDefinition
+from repro.engines.base import Engine, EngineCapability
+from repro.engines.relational.executor import Executor
+from repro.engines.relational.planner import Planner, TableStatisticsProvider
+from repro.engines.relational.sql.ast import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from repro.engines.relational.sql.parser import parse_sql
+from repro.engines.relational.storage import HeapTable
+from repro.engines.relational.transactions import Transaction, TransactionManager
+
+
+class RelationalEngine(Engine, TableStatisticsProvider):
+    """An in-process SQL engine over row-oriented heap tables."""
+
+    kind = "relational"
+
+    def __init__(self, name: str = "postgres") -> None:
+        super().__init__(name)
+        self._tables: dict[str, HeapTable] = {}
+        self._planner = Planner(self)
+        self._executor = Executor(self)
+        self._transactions = TransactionManager(self)
+
+    # ------------------------------------------------------------- Engine API
+    @property
+    def capabilities(self) -> EngineCapability:
+        return EngineCapability.SQL | EngineCapability.TRANSACTIONS
+
+    def list_objects(self) -> list[str]:
+        return sorted(self._tables)
+
+    def has_object(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def export_relation(self, name: str) -> Relation:
+        table = self.table(name)
+        relation = Relation(table.schema)
+        for _row_id, values in table.scan():
+            relation.rows.append(Row(table.schema, values))
+        return relation
+
+    def import_relation(self, name: str, relation: Relation, **options: Any) -> None:
+        primary_key = options.get("primary_key", ())
+        replace = options.get("replace", True)
+        key = name.lower()
+        if key in self._tables:
+            if not replace:
+                raise DuplicateObjectError(f"table {name!r} already exists")
+            del self._tables[key]
+        table = HeapTable(name, relation.schema, primary_key)
+        for row in relation:
+            table.insert(row.values)
+        self._tables[key] = table
+
+    def drop_object(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise ObjectNotFoundError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    # -------------------------------------------------------------- statistics
+    def table(self, name: str) -> HeapTable:
+        key = name.lower()
+        if key not in self._tables:
+            raise ObjectNotFoundError(f"table {name!r} does not exist in engine {self.name!r}")
+        return self._tables[key]
+
+    def table_row_count(self, table: str) -> int:
+        return self.table(table).row_count
+
+    def table_indexes(self, table: str) -> dict[str, tuple[str, ...]]:
+        return self.table(table).indexes()
+
+    def table_columns(self, table: str) -> list[str]:
+        return self.table(table).schema.names
+
+    # ------------------------------------------------------------------ DDL/DML
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        primary_key: Sequence[str] = (),
+        if_not_exists: bool = False,
+    ) -> TableDefinition:
+        """Create a table from a schema object (programmatic path, used by loaders)."""
+        key = name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return TableDefinition(name, schema, tuple(primary_key), self.name)
+            raise DuplicateObjectError(f"table {name!r} already exists")
+        self._tables[key] = HeapTable(name, schema, primary_key)
+        return TableDefinition(name, schema, tuple(primary_key), self.name)
+
+    def insert_rows(self, table_name: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        table = self.table(table_name)
+        txn = self._transactions.active_transaction
+        count = 0
+        for values in rows:
+            row_id = table.insert(values)
+            if txn is not None:
+                txn.record_insert(table_name, row_id)
+            count += 1
+        return count
+
+    def create_index(
+        self, index_name: str, table_name: str, columns: Sequence[str], unique: bool = False
+    ) -> None:
+        self.table(table_name).create_index(index_name, columns, unique)
+
+    # ------------------------------------------------------------------ query
+    def execute(self, sql: str) -> Relation:
+        """Parse, plan and execute one SQL statement.
+
+        DDL and DML statements return a one-column relation with the affected
+        row count; SELECT returns its result set.
+        """
+        statement = parse_sql(sql)
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: Statement) -> Relation:
+        self.queries_executed += 1
+        if isinstance(statement, SelectStatement):
+            plan = self._planner.plan_select(statement)
+            return self._executor.execute(plan)
+        if isinstance(statement, CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, DropTableStatement):
+            return self._execute_drop_table(statement)
+        if isinstance(statement, CreateIndexStatement):
+            self.create_index(statement.index, statement.table, statement.columns, statement.unique)
+            return self._count_relation(0)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement)
+        raise ExecutionError(f"unsupported statement type: {type(statement).__name__}")
+
+    def explain(self, sql: str) -> str:
+        """Return the optimized plan for a SELECT statement as indented text."""
+        statement = parse_sql(sql)
+        if not isinstance(statement, SelectStatement):
+            raise ExecutionError("EXPLAIN is only supported for SELECT statements")
+        plan = self._planner.plan_select(statement)
+        return plan.explain()
+
+    # ----------------------------------------------------------------- private
+    def _execute_create_table(self, statement: CreateTableStatement) -> Relation:
+        columns = [Column(c.name, c.dtype, c.nullable) for c in statement.columns]
+        primary_key = tuple(c.name for c in statement.columns if c.primary_key)
+        self.create_table(
+            statement.table, Schema(columns), primary_key, statement.if_not_exists
+        )
+        return self._count_relation(0)
+
+    def _execute_drop_table(self, statement: DropTableStatement) -> Relation:
+        key = statement.table.lower()
+        if key not in self._tables:
+            if statement.if_exists:
+                return self._count_relation(0)
+            raise ObjectNotFoundError(f"table {statement.table!r} does not exist")
+        del self._tables[key]
+        return self._count_relation(0)
+
+    def _execute_insert(self, statement: InsertStatement) -> Relation:
+        table = self.table(statement.table)
+        txn = self._transactions.active_transaction
+        count = 0
+        for expressions in statement.rows:
+            literal_values = [expr.evaluate(None) if _is_constant(expr) else None for expr in expressions]
+            if statement.columns:
+                values = [None] * len(table.schema)
+                for column, value in zip(statement.columns, literal_values):
+                    values[table.schema.index_of(column)] = value
+            else:
+                values = literal_values
+            row_id = table.insert(values)
+            if txn is not None:
+                txn.record_insert(statement.table, row_id)
+            count += 1
+        return self._count_relation(count)
+
+    def _execute_update(self, statement: UpdateStatement) -> Relation:
+        table = self.table(statement.table)
+        txn = self._transactions.active_transaction
+        matching = table.apply_filter(
+            lambda row: evaluate_predicate(statement.where, row)
+        )
+        for row_id in matching:
+            old = table.get(row_id)
+            row = Row(table.schema, old)
+            new_values = list(old)
+            for column, expression in statement.assignments.items():
+                new_values[table.schema.index_of(column)] = expression.evaluate(row)
+            if txn is not None:
+                txn.record_update(statement.table, row_id, old)
+            table.update(row_id, new_values)
+        return self._count_relation(len(matching))
+
+    def _execute_delete(self, statement: DeleteStatement) -> Relation:
+        table = self.table(statement.table)
+        txn = self._transactions.active_transaction
+        matching = table.apply_filter(
+            lambda row: evaluate_predicate(statement.where, row)
+        )
+        for row_id in matching:
+            if txn is not None:
+                txn.record_delete(statement.table, row_id, table.get(row_id))
+            table.delete(row_id)
+        return self._count_relation(len(matching))
+
+    @staticmethod
+    def _count_relation(count: int) -> Relation:
+        schema = Schema([Column("affected_rows", "integer")])
+        relation = Relation(schema)
+        relation.append([count])
+        return relation
+
+    # ------------------------------------------------------------ transactions
+    def begin(self) -> Transaction:
+        """Start a transaction; use as a context manager for commit/rollback."""
+        return self._transactions.begin()
+
+    def _finish_transaction(self, txn: Transaction) -> None:
+        self._transactions.finish(txn)
+
+
+def _is_constant(expr: Any) -> bool:
+    """INSERT values must be constant-foldable (no column references)."""
+    return not expr.referenced_columns()

@@ -1,0 +1,372 @@
+"""Physical execution of logical plans (volcano / iterator style, materialized).
+
+Each ``_execute_*`` method consumes its children's output relations and
+produces a new relation.  This keeps the engine simple while preserving the
+cost structure the benchmarks care about: sequential scans touch every row,
+index scans touch only matching rows, hash joins build on the smaller side.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import ExecutionError
+from repro.common.expressions import ColumnRef, Expression, evaluate_predicate
+from repro.common.schema import Column, Relation, Row, Schema
+from repro.common.types import DataType, infer_type
+from repro.engines.relational.functions import make_aggregate
+from repro.engines.relational.planner import (
+    AggregateNode,
+    FilterNode,
+    IndexScanNode,
+    JoinNode,
+    LimitNode,
+    LogicalPlan,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    SubqueryNode,
+)
+from repro.engines.relational.sql.ast import SelectItem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engines.relational.engine import RelationalEngine
+
+
+_DUAL_SCHEMA = Schema([Column("__dual__", DataType.INTEGER)])
+
+
+class Executor:
+    """Executes logical plans against a :class:`RelationalEngine`'s storage."""
+
+    def __init__(self, engine: "RelationalEngine") -> None:
+        self._engine = engine
+
+    def execute(self, plan: LogicalPlan) -> Relation:
+        if isinstance(plan, ScanNode):
+            return self._execute_scan(plan)
+        if isinstance(plan, IndexScanNode):
+            return self._execute_index_scan(plan)
+        if isinstance(plan, SubqueryNode):
+            return self._execute_subquery(plan)
+        if isinstance(plan, FilterNode):
+            return self._execute_filter(plan)
+        if isinstance(plan, JoinNode):
+            return self._execute_join(plan)
+        if isinstance(plan, AggregateNode):
+            return self._execute_aggregate(plan)
+        if isinstance(plan, ProjectNode):
+            return self._execute_project(plan)
+        if isinstance(plan, SortNode):
+            return self._execute_sort(plan)
+        if isinstance(plan, LimitNode):
+            return self._execute_limit(plan)
+        raise ExecutionError(f"unknown plan node: {type(plan).__name__}")
+
+    # ------------------------------------------------------------------ scans
+    def _execute_scan(self, node: ScanNode) -> Relation:
+        if node.table == "__dual__":
+            relation = Relation(_DUAL_SCHEMA)
+            relation.append([0])
+            return relation
+        table = self._engine.table(node.table)
+        schema = self._qualified_schema(table.schema, node.alias or node.table)
+        relation = Relation(schema)
+        for values in (row for _rid, row in table.scan()):
+            row = Row(schema, values)
+            if node.predicate is None or evaluate_predicate(node.predicate, row):
+                relation.rows.append(row)
+        return relation
+
+    def _execute_index_scan(self, node: IndexScanNode) -> Relation:
+        table = self._engine.table(node.table)
+        schema = self._qualified_schema(table.schema, node.alias or node.table)
+        relation = Relation(schema)
+        if node.equals is not None:
+            matches = table.index_lookup(node.index_name, node.equals)
+        else:
+            matches = list(
+                table.index_range(
+                    node.index_name,
+                    low=node.low,
+                    high=node.high,
+                    include_low=node.include_low,
+                    include_high=node.include_high,
+                )
+            )
+        for _row_id, values in matches:
+            row = Row(schema, values)
+            if node.residual is None or evaluate_predicate(node.residual, row):
+                relation.rows.append(row)
+        return relation
+
+    def _execute_subquery(self, node: SubqueryNode) -> Relation:
+        inner = self.execute(node.plan)
+        schema = self._qualified_schema(inner.schema, node.alias)
+        result = Relation(schema)
+        for row in inner:
+            result.rows.append(Row(schema, row.values))
+        return result
+
+    @staticmethod
+    def _qualified_schema(schema: Schema, qualifier: str) -> Schema:
+        """Expose both bare and table-qualified column names via suffix matching."""
+        # Column.matches already supports "t.col" vs "col"; keep bare names but
+        # prefix them with the qualifier so self-joins stay unambiguous.
+        names = schema.names
+        if any("." in n for n in names):
+            return schema
+        return Schema(
+            [Column(f"{qualifier}.{c.name}", c.dtype, c.nullable) for c in schema]
+        )
+
+    # ---------------------------------------------------------------- operators
+    def _execute_filter(self, node: FilterNode) -> Relation:
+        child = self.execute(node.child)
+        result = Relation(child.schema)
+        for row in child:
+            if evaluate_predicate(node.predicate, row):
+                result.rows.append(row)
+        return result
+
+    def _execute_join(self, node: JoinNode) -> Relation:
+        left = self.execute(node.left)
+        right = self.execute(node.right)
+        joined_schema = left.schema.concat(right.schema)
+        result = Relation(joined_schema)
+        if node.strategy == "hash" and node.condition is not None:
+            keys = self._equi_join_keys(node.condition, left.schema, right.schema)
+            if keys:
+                return self._hash_join(node, left, right, joined_schema, keys)
+        # Nested loop (also used for cross and left joins).
+        for left_row in left:
+            matched = False
+            for right_row in right:
+                candidate = Row(joined_schema, left_row.values + right_row.values)
+                if node.condition is None or evaluate_predicate(node.condition, candidate):
+                    result.rows.append(candidate)
+                    matched = True
+            if node.join_type == "left" and not matched:
+                padding = tuple([None] * len(right.schema))
+                result.rows.append(Row(joined_schema, left_row.values + padding))
+        return result
+
+    def _hash_join(
+        self,
+        node: JoinNode,
+        left: Relation,
+        right: Relation,
+        joined_schema: Schema,
+        keys: list[tuple[str, str]],
+    ) -> Relation:
+        result = Relation(joined_schema)
+        left_cols = [pair[0] for pair in keys]
+        right_cols = [pair[1] for pair in keys]
+        # Build on the left side (the planner already made it the smaller one).
+        build: dict[tuple, list[Row]] = {}
+        for row in left:
+            key = tuple(row[c] for c in left_cols)
+            build.setdefault(key, []).append(row)
+        for right_row in right:
+            key = tuple(right_row[c] for c in right_cols)
+            for left_row in build.get(key, []):
+                candidate = Row(joined_schema, left_row.values + right_row.values)
+                if node.condition is None or evaluate_predicate(node.condition, candidate):
+                    result.rows.append(candidate)
+        return result
+
+    @staticmethod
+    def _equi_join_keys(
+        condition: Expression, left_schema: Schema, right_schema: Schema
+    ) -> list[tuple[str, str]]:
+        """Extract (left column, right column) pairs from equality conjuncts."""
+        from repro.common.expressions import BinaryOp, split_conjuncts
+
+        keys: list[tuple[str, str]] = []
+        for conjunct in split_conjuncts(condition):
+            if not (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op in ("=", "==")
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                continue
+            a, b = conjunct.left.name, conjunct.right.name
+            if left_schema.has_column(a) and right_schema.has_column(b):
+                keys.append((a, b))
+            elif left_schema.has_column(b) and right_schema.has_column(a):
+                keys.append((b, a))
+        return keys
+
+    def _execute_project(self, node: ProjectNode) -> Relation:
+        child = self.execute(node.child)
+        columns: list[Column] = []
+        for item in node.items:
+            if item.star:
+                columns.extend(child.schema.columns)
+            else:
+                dtype = self._expression_type(item.expression, child)
+                columns.append(Column(item.output_name, dtype))
+        schema = Schema(self._dedupe(columns))
+        result = Relation(schema)
+        seen: set[tuple] = set()
+        for row in child:
+            values: list[Any] = []
+            for item in node.items:
+                if item.star:
+                    values.extend(row.values)
+                else:
+                    values.append(item.expression.evaluate(row))
+            candidate = tuple(values)
+            if node.distinct:
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+            result.rows.append(Row(schema, candidate))
+        return result
+
+    def _execute_aggregate(self, node: AggregateNode) -> Relation:
+        child = self.execute(node.child)
+        group_exprs = node.group_by
+        groups: dict[tuple, dict[int, Any]] = {}
+        group_rows: dict[tuple, Row] = {}
+        agg_items = [(i, item) for i, item in enumerate(node.items) if item.aggregate]
+        for row in child:
+            key = tuple(expr.evaluate(row) for expr in group_exprs)
+            if key not in groups:
+                groups[key] = {
+                    i: make_aggregate(
+                        item.aggregate,
+                        count_star=(item.expression is None),
+                        distinct=item.distinct,
+                    )
+                    for i, item in agg_items
+                }
+                group_rows[key] = row
+            for i, item in agg_items:
+                value = 1 if item.expression is None else item.expression.evaluate(row)
+                groups[key][i].add(value)
+        # A global aggregate over zero rows still yields one output row.
+        if not groups and not group_exprs:
+            groups[()] = {
+                i: make_aggregate(
+                    item.aggregate,
+                    count_star=(item.expression is None),
+                    distinct=item.distinct,
+                )
+                for i, item in agg_items
+            }
+            group_rows[()] = None  # type: ignore[assignment]
+
+        columns = []
+        for item in node.items:
+            if item.aggregate:
+                dtype = DataType.FLOAT if item.aggregate in ("avg", "stddev") else DataType.FLOAT
+                if item.aggregate == "count":
+                    dtype = DataType.INTEGER
+                columns.append(Column(item.output_name, dtype))
+            else:
+                dtype = self._expression_type(item.expression, child)
+                columns.append(Column(item.output_name, dtype))
+        schema = Schema(self._dedupe(columns))
+        having_schema = self._having_schema(schema, node.items)
+        result = Relation(schema)
+        for key, accumulators in groups.items():
+            values: list[Any] = []
+            representative = group_rows[key]
+            for i, item in enumerate(node.items):
+                if item.aggregate:
+                    values.append(accumulators[i].result())
+                else:
+                    if representative is None:
+                        values.append(None)
+                    else:
+                        values.append(item.expression.evaluate(representative))
+            out_row = Row(schema, tuple(values))
+            if node.having is not None:
+                # HAVING may reference aggregate outputs either by alias or by
+                # their canonical rendering, e.g. "count(*)"; expose both.
+                having_row = Row(having_schema, tuple(values) + tuple(values))
+                if not evaluate_predicate(node.having, having_row):
+                    continue
+            result.rows.append(out_row)
+        return result
+
+    @staticmethod
+    def _having_schema(schema: Schema, items: list) -> Schema:
+        """Schema exposing output columns twice: under alias and canonical name."""
+        canonical = []
+        used = {c.name.lower() for c in schema.columns}
+        for i, item in enumerate(items):
+            if item.aggregate:
+                inner = "*" if item.expression is None else item.expression.to_sql()
+                name = f"{item.aggregate}({inner})"
+            else:
+                name = item.output_name
+            if name.lower() in used:
+                name = f"__having_{i}__"
+            used.add(name.lower())
+            canonical.append(Column(name, schema.columns[min(i, len(schema.columns) - 1)].dtype))
+        return Schema(list(schema.columns) + canonical)
+
+    def _execute_sort(self, node: SortNode) -> Relation:
+        child = self.execute(node.child)
+
+        def sort_key(row: Row) -> tuple:
+            parts = []
+            for item in node.order_by:
+                value = item.expression.evaluate(row)
+                parts.append((value is None, value))
+            return tuple(parts)
+
+        # Python's sort is stable, so apply keys right-to-left for mixed directions.
+        rows = list(child.rows)
+        for item in reversed(node.order_by):
+            def key(row: Row, item=item) -> tuple:
+                value = item.expression.evaluate(row)
+                return (value is None, value)
+
+            rows.sort(key=key, reverse=item.descending)
+        result = Relation(child.schema)
+        result.rows.extend(rows)
+        return result
+
+    def _execute_limit(self, node: LimitNode) -> Relation:
+        child = self.execute(node.child)
+        start = node.offset or 0
+        end = None if node.limit is None else start + node.limit
+        result = Relation(child.schema)
+        result.rows.extend(child.rows[start:end])
+        return result
+
+    # ------------------------------------------------------------------ helpers
+    def _expression_type(self, expression: Expression | None, child: Relation) -> DataType:
+        if expression is None:
+            return DataType.INTEGER
+        if isinstance(expression, ColumnRef) and child.schema.has_column(expression.name):
+            return child.schema.column(expression.name).dtype
+        if child.rows:
+            try:
+                return infer_type(expression.evaluate(child.rows[0]))
+            except Exception:  # noqa: BLE001 - fall back to float
+                return DataType.FLOAT
+        return DataType.FLOAT
+
+    @staticmethod
+    def _dedupe(columns: list[Column]) -> list[Column]:
+        seen: dict[str, int] = {}
+        out = []
+        for col in columns:
+            key = col.name.lower()
+            if key in seen:
+                seen[key] += 1
+                out.append(col.with_name(f"{col.name}_{seen[key]}"))
+            else:
+                seen[key] = 0
+                out.append(col)
+        return out
+
+
+def make_select_items(names: list[str]) -> list[SelectItem]:
+    """Convenience: build plain column SelectItems from names (used by shims)."""
+    return [SelectItem(expression=ColumnRef(name)) for name in names]

@@ -1,0 +1,448 @@
+"""Logical planning and a small rule/cost-based optimizer for SELECT queries.
+
+The planner turns a parsed :class:`SelectStatement` into a tree of
+:class:`LogicalPlan` nodes.  The optimizer then applies classical rewrites:
+
+* predicate pushdown — WHERE conjuncts that mention only one table's columns
+  move below the join into that table's scan;
+* index selection — an equality or range conjunct on a leading index column
+  turns a sequential scan into an index scan;
+* join ordering — the smaller input (by row-count statistic) becomes the hash
+  join's build side.
+
+The resulting physical plan is executed by
+:mod:`repro.engines.relational.executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import PlanningError
+from repro.common.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    Literal,
+    conjunction,
+    split_conjuncts,
+)
+from repro.engines.relational.sql.ast import SelectStatement, TableRef
+
+
+@dataclass
+class LogicalPlan:
+    """Base class of logical plan nodes. Children are plan-specific."""
+
+    def children(self) -> list["LogicalPlan"]:
+        return []
+
+    def explain(self, depth: int = 0) -> str:
+        """Return an indented text rendering of the plan (EXPLAIN)."""
+        line = "  " * depth + self.describe()
+        parts = [line]
+        for child in self.children():
+            parts.append(child.explain(depth + 1))
+        return "\n".join(parts)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class ScanNode(LogicalPlan):
+    """Sequential scan of a base table (optionally with a residual filter)."""
+
+    table: str
+    alias: str | None = None
+    predicate: Expression | None = None
+
+    def describe(self) -> str:
+        suffix = f" filter={self.predicate.to_sql()}" if self.predicate else ""
+        alias = f" as {self.alias}" if self.alias and self.alias != self.table else ""
+        return f"SeqScan({self.table}{alias}){suffix}"
+
+
+@dataclass
+class IndexScanNode(LogicalPlan):
+    """Index lookup or range scan over a single table."""
+
+    table: str
+    index_name: str
+    column: str
+    alias: str | None = None
+    equals: Any = None
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+    residual: Expression | None = None
+
+    def describe(self) -> str:
+        if self.equals is not None:
+            detail = f"{self.column} = {self.equals!r}"
+        else:
+            detail = f"{self.column} in [{self.low!r}, {self.high!r}]"
+        suffix = f" residual={self.residual.to_sql()}" if self.residual else ""
+        return f"IndexScan({self.table} via {self.index_name}: {detail}){suffix}"
+
+
+@dataclass
+class SubqueryNode(LogicalPlan):
+    """A derived table: a nested SELECT planned independently."""
+
+    plan: LogicalPlan
+    alias: str
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.plan]
+
+    def describe(self) -> str:
+        return f"Subquery(as {self.alias})"
+
+
+@dataclass
+class FilterNode(LogicalPlan):
+    predicate: Expression
+    child: LogicalPlan = None  # type: ignore[assignment]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+@dataclass
+class JoinNode(LogicalPlan):
+    left: LogicalPlan
+    right: LogicalPlan
+    condition: Expression | None
+    join_type: str = "inner"
+    strategy: str = "hash"  # hash | nested_loop
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        cond = self.condition.to_sql() if self.condition else "TRUE"
+        return f"{self.strategy.title()}Join[{self.join_type}]({cond})"
+
+
+@dataclass
+class ProjectNode(LogicalPlan):
+    items: list = field(default_factory=list)  # list[SelectItem]
+    child: LogicalPlan = None  # type: ignore[assignment]
+    distinct: bool = False
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        names = ", ".join(i.output_name for i in self.items)
+        prefix = "Distinct " if self.distinct else ""
+        return f"{prefix}Project({names})"
+
+
+@dataclass
+class AggregateNode(LogicalPlan):
+    group_by: list[Expression] = field(default_factory=list)
+    items: list = field(default_factory=list)  # list[SelectItem]
+    having: Expression | None = None
+    child: LogicalPlan = None  # type: ignore[assignment]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(e.to_sql() for e in self.group_by) or "<global>"
+        return f"Aggregate(group by {keys})"
+
+
+@dataclass
+class SortNode(LogicalPlan):
+    order_by: list = field(default_factory=list)  # list[OrderItem]
+    child: LogicalPlan = None  # type: ignore[assignment]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{o.expression.to_sql()} {'DESC' if o.descending else 'ASC'}" for o in self.order_by
+        )
+        return f"Sort({keys})"
+
+
+@dataclass
+class LimitNode(LogicalPlan):
+    limit: int | None
+    offset: int | None
+    child: LogicalPlan = None  # type: ignore[assignment]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Limit({self.limit}, offset={self.offset or 0})"
+
+
+class TableStatisticsProvider:
+    """Minimal statistics interface the planner needs (row counts and indexes)."""
+
+    def table_row_count(self, table: str) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def table_indexes(self, table: str) -> dict[str, tuple[str, ...]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def table_columns(self, table: str) -> list[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Planner:
+    """Builds and optimizes logical plans for SELECT statements."""
+
+    def __init__(self, statistics: TableStatisticsProvider) -> None:
+        self._stats = statistics
+
+    # ------------------------------------------------------------------ public
+    def plan_select(self, statement: SelectStatement) -> LogicalPlan:
+        if statement.from_table is None:
+            # SELECT without FROM: evaluate expressions over a single empty row.
+            return ProjectNode(items=statement.items, child=ScanNode(table="__dual__"),
+                               distinct=statement.distinct)
+        plan = self._plan_from_clause(statement)
+        plan = self._apply_where(plan, statement)
+        sort_below_project = (
+            bool(statement.order_by)
+            and not statement.has_aggregates
+            and self._order_by_needs_source_columns(statement)
+        )
+        if sort_below_project:
+            plan = SortNode(order_by=statement.order_by, child=plan)
+        if statement.has_aggregates:
+            plan = AggregateNode(
+                group_by=statement.group_by,
+                items=statement.items,
+                having=statement.having,
+                child=plan,
+            )
+        else:
+            plan = ProjectNode(items=statement.items, child=plan, distinct=statement.distinct)
+        if statement.order_by and not sort_below_project:
+            plan = SortNode(order_by=statement.order_by, child=plan)
+        if statement.limit is not None or statement.offset is not None:
+            plan = LimitNode(limit=statement.limit, offset=statement.offset, child=plan)
+        return plan
+
+    @staticmethod
+    def _order_by_needs_source_columns(statement: SelectStatement) -> bool:
+        """True when ORDER BY references columns that the SELECT list does not expose.
+
+        In that case the sort runs below the projection (against source columns),
+        which is what SQL semantics require for ``SELECT a FROM t ORDER BY b``.
+        """
+        if any(item.star for item in statement.items):
+            return False
+        exposed: set[str] = set()
+        for item in statement.items:
+            if item.alias:
+                exposed.add(item.alias.lower())
+            if item.expression is not None:
+                exposed.add(item.expression.to_sql().lower())
+                if isinstance(item.expression, ColumnRef):
+                    exposed.add(item.expression.name.lower().split(".")[-1])
+            if item.aggregate:
+                exposed.add(item.output_name.lower())
+        for order in statement.order_by:
+            refs = {name.split(".")[-1] for name in order.expression.referenced_columns()}
+            rendered = order.expression.to_sql().lower()
+            if rendered in exposed:
+                continue
+            if refs and not (refs <= exposed):
+                return True
+        return False
+
+    # ---------------------------------------------------------------- internal
+    def _plan_table_ref(self, ref: TableRef) -> LogicalPlan:
+        if ref.subquery is not None:
+            inner = self.plan_select(ref.subquery)
+            return SubqueryNode(plan=inner, alias=ref.effective_name)
+        if ref.name is None:
+            raise PlanningError("table reference has neither a name nor a subquery")
+        return ScanNode(table=ref.name, alias=ref.alias)
+
+    def _plan_from_clause(self, statement: SelectStatement) -> LogicalPlan:
+        assert statement.from_table is not None
+        plan = self._plan_table_ref(statement.from_table)
+        for join in statement.joins:
+            right = self._plan_table_ref(join.table)
+            plan = JoinNode(left=plan, right=right, condition=join.condition, join_type=join.join_type)
+        return plan
+
+    def _apply_where(self, plan: LogicalPlan, statement: SelectStatement) -> LogicalPlan:
+        predicate = statement.where
+        if predicate is None:
+            return self._choose_access_paths(plan)
+        conjuncts = split_conjuncts(predicate)
+        plan, remaining = self._push_down(plan, conjuncts)
+        plan = self._choose_access_paths(plan)
+        residual = conjunction(remaining)
+        if residual is not None:
+            plan = FilterNode(predicate=residual, child=plan)
+        return plan
+
+    def _push_down(
+        self, plan: LogicalPlan, conjuncts: list[Expression]
+    ) -> tuple[LogicalPlan, list[Expression]]:
+        """Push WHERE conjuncts onto the scans whose columns they reference."""
+        if isinstance(plan, ScanNode):
+            columns = {c.lower() for c in self._stats.table_columns(plan.table)}
+            alias = (plan.alias or plan.table).lower()
+            local: list[Expression] = []
+            remaining: list[Expression] = []
+            for conjunct in conjuncts:
+                refs = conjunct.referenced_columns()
+                if refs and all(self._column_belongs(ref, columns, alias) for ref in refs):
+                    local.append(conjunct)
+                else:
+                    remaining.append(conjunct)
+            if local:
+                existing = [plan.predicate] if plan.predicate is not None else []
+                plan.predicate = conjunction(existing + local)
+            return plan, remaining
+        if isinstance(plan, JoinNode):
+            plan.left, conjuncts = self._push_down(plan.left, conjuncts)
+            plan.right, conjuncts = self._push_down(plan.right, conjuncts)
+            return plan, conjuncts
+        if isinstance(plan, SubqueryNode):
+            return plan, conjuncts
+        return plan, conjuncts
+
+    @staticmethod
+    def _column_belongs(ref: str, columns: set[str], alias: str) -> bool:
+        name = ref.lower()
+        if "." in name:
+            qualifier, bare = name.split(".", 1)
+            return qualifier == alias and bare in columns
+        return name in columns
+
+    def _choose_access_paths(self, plan: LogicalPlan) -> LogicalPlan:
+        """Replace scans with index scans where a pushed-down predicate allows it."""
+        if isinstance(plan, ScanNode):
+            return self._maybe_index_scan(plan)
+        if isinstance(plan, JoinNode):
+            plan.left = self._choose_access_paths(plan.left)
+            plan.right = self._choose_access_paths(plan.right)
+            return self._order_join(plan)
+        if isinstance(plan, SubqueryNode):
+            return plan
+        for child_attr in ("child",):
+            if hasattr(plan, child_attr):
+                setattr(plan, child_attr, self._choose_access_paths(getattr(plan, child_attr)))
+        return plan
+
+    def _maybe_index_scan(self, scan: ScanNode) -> LogicalPlan:
+        if scan.predicate is None or scan.table == "__dual__":
+            return scan
+        indexes = self._stats.table_indexes(scan.table)
+        if not indexes:
+            return scan
+        leading = {}
+        for index_name, columns in indexes.items():
+            if columns:
+                leading.setdefault(columns[0].lower(), index_name)
+        conjuncts = split_conjuncts(scan.predicate)
+        for i, conjunct in enumerate(conjuncts):
+            simple = self._simple_comparison(conjunct)
+            if simple is None:
+                continue
+            column, op, value = simple
+            bare = column.split(".")[-1].lower()
+            if bare not in leading:
+                continue
+            index_name = leading[bare]
+            residual = conjunction(conjuncts[:i] + conjuncts[i + 1 :])
+            if op in ("=", "=="):
+                return IndexScanNode(
+                    table=scan.table, index_name=index_name, column=bare,
+                    alias=scan.alias, equals=value, residual=residual,
+                )
+            if op in ("<", "<=", ">", ">="):
+                node = IndexScanNode(
+                    table=scan.table, index_name=index_name, column=bare,
+                    alias=scan.alias, residual=residual,
+                )
+                if op in (">", ">="):
+                    node.low = value
+                    node.include_low = op == ">="
+                else:
+                    node.high = value
+                    node.include_high = op == "<="
+                return node
+        return scan
+
+    @staticmethod
+    def _simple_comparison(expr: Expression) -> tuple[str, str, Any] | None:
+        """Recognise ``column <op> literal`` (either side), else None."""
+        if not isinstance(expr, BinaryOp):
+            return None
+        op = expr.op
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+            return expr.left.name, op, expr.right.value
+        if isinstance(expr.left, Literal) and isinstance(expr.right, ColumnRef):
+            if op in flipped:
+                return expr.right.name, flipped[op], expr.left.value
+            if op in ("=", "=="):
+                return expr.right.name, op, expr.left.value
+        return None
+
+    def _order_join(self, join: JoinNode) -> JoinNode:
+        """Put the smaller side on the build side of a hash join."""
+        if join.join_type != "inner" or join.condition is None:
+            join.strategy = "nested_loop" if join.condition is not None or join.join_type == "cross" else join.strategy
+            if join.join_type == "left":
+                join.strategy = "nested_loop"
+            return join
+        if not self._is_equi_join(join.condition):
+            join.strategy = "nested_loop"
+            return join
+        left_rows = self._estimate_rows(join.left)
+        right_rows = self._estimate_rows(join.right)
+        if right_rows > left_rows:
+            join.left, join.right = join.right, join.left
+        join.strategy = "hash"
+        return join
+
+    @staticmethod
+    def _is_equi_join(condition: Expression) -> bool:
+        conjuncts = split_conjuncts(condition)
+        for conjunct in conjuncts:
+            if (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op in ("=", "==")
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                return True
+        return False
+
+    def _estimate_rows(self, plan: LogicalPlan) -> int:
+        if isinstance(plan, (ScanNode,)):
+            try:
+                count = self._stats.table_row_count(plan.table)
+            except Exception:  # noqa: BLE001 - statistics are best-effort
+                return 1000
+            # A pushed-down filter is assumed to keep a third of the rows.
+            return max(1, count // 3) if plan.predicate is not None else count
+        if isinstance(plan, IndexScanNode):
+            return 10
+        if isinstance(plan, JoinNode):
+            return self._estimate_rows(plan.left) * max(1, self._estimate_rows(plan.right) // 10)
+        children = plan.children()
+        if children:
+            return self._estimate_rows(children[0])
+        return 1000

@@ -1,0 +1,33 @@
+"""SQL front end for the relational engine: lexer, AST and recursive-descent parser."""
+
+from repro.engines.relational.sql.ast import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    TableRef,
+    UpdateStatement,
+)
+from repro.engines.relational.sql.parser import parse_sql
+
+__all__ = [
+    "CreateIndexStatement",
+    "CreateTableStatement",
+    "DeleteStatement",
+    "DropTableStatement",
+    "InsertStatement",
+    "JoinClause",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "Statement",
+    "TableRef",
+    "UpdateStatement",
+    "parse_sql",
+]

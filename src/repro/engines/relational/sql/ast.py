@@ -1,0 +1,135 @@
+"""AST node definitions for the SQL subset understood by the relational engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.expressions import Expression
+from repro.common.types import DataType
+
+
+class Statement:
+    """Base class for every SQL statement."""
+
+
+@dataclass
+class ColumnDefinition:
+    """A column in a CREATE TABLE statement."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    primary_key: bool = False
+
+
+@dataclass
+class CreateTableStatement(Statement):
+    table: str
+    columns: list[ColumnDefinition]
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropTableStatement(Statement):
+    table: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateIndexStatement(Statement):
+    index: str
+    table: str
+    columns: list[str]
+    unique: bool = False
+
+
+@dataclass
+class InsertStatement(Statement):
+    table: str
+    columns: list[str]
+    rows: list[list[Expression]]
+
+
+@dataclass
+class UpdateStatement(Statement):
+    table: str
+    assignments: dict[str, Expression]
+    where: Expression | None = None
+
+
+@dataclass
+class DeleteStatement(Statement):
+    table: str
+    where: Expression | None = None
+
+
+@dataclass
+class TableRef:
+    """A table in the FROM clause, optionally aliased; may be a subquery."""
+
+    name: str | None = None
+    alias: str | None = None
+    subquery: "SelectStatement | None" = None
+
+    @property
+    def effective_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.name:
+            return self.name
+        return "subquery"
+
+
+@dataclass
+class JoinClause:
+    """A JOIN against another table with an ON condition."""
+
+    table: TableRef
+    condition: Expression | None
+    join_type: str = "inner"  # inner | left | cross
+
+
+@dataclass
+class SelectItem:
+    """One item of the SELECT list; ``star`` means ``*``."""
+
+    expression: Expression | None = None
+    alias: str | None = None
+    star: bool = False
+    aggregate: str | None = None  # count / sum / avg / min / max / stddev
+    distinct: bool = False
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            inner = "*" if self.expression is None else self.expression.to_sql()
+            return f"{self.aggregate}({inner})"
+        if self.expression is not None:
+            return self.expression.to_sql()
+        return "*"
+
+
+@dataclass
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement(Statement):
+    items: list[SelectItem] = field(default_factory=list)
+    from_table: TableRef | None = None
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(item.aggregate for item in self.items) or bool(self.group_by)

@@ -1,0 +1,128 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit", "offset",
+    "insert", "into", "values", "update", "set", "delete", "create", "drop", "table",
+    "index", "unique", "on", "as", "and", "or", "not", "null", "is", "in", "like",
+    "join", "inner", "left", "cross", "outer", "distinct", "asc", "desc", "case",
+    "when", "then", "else", "end", "primary", "key", "if", "exists", "between",
+    "true", "false", "count", "sum", "avg", "min", "max", "stddev",
+    "integer", "int", "bigint", "float", "double", "real", "text", "varchar",
+    "boolean", "bool", "timestamp",
+}
+
+_OPERATOR_CHARS = set("=<>!+-*/%")
+_TWO_CHAR_OPERATORS = {"<=", ">=", "!=", "<>", "=="}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        if value is None:
+            return True
+        return self.value.lower() == value.lower()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens, raising :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # Line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n and (
+                text[i].isdigit()
+                or (text[i] == "." and not seen_dot)
+                or (text[i] in "eE" and not seen_exp)
+                or (text[i] in "+-" and i > start and text[i - 1] in "eE")
+            ):
+                if text[i] == ".":
+                    seen_dot = True
+                if text[i] in "eE":
+                    seen_exp = True
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while i < n:
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    break
+                parts.append(text[i])
+                i += 1
+            if i >= n:
+                raise ParseError("unterminated string literal", start)
+            i += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "_."):
+                i += 1
+            word = text[start:i]
+            if word.lower() in KEYWORDS and "." not in word:
+                tokens.append(Token(TokenType.KEYWORD, word.lower(), start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        if ch in _OPERATOR_CHARS:
+            if i + 1 < n and text[i : i + 2] in _TWO_CHAR_OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, text[i : i + 2], i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, ch, i))
+                i += 1
+            continue
+        if ch in "(),;*":
+            token_type = TokenType.PUNCTUATION
+            if ch == "*":
+                # '*' is both multiplication and the star selector; the parser decides.
+                token_type = TokenType.OPERATOR
+            tokens.append(Token(token_type, ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,182 @@
+"""Row storage for the relational engine.
+
+A :class:`HeapTable` stores rows in insertion order keyed by a monotonically
+increasing row id, with optional B+tree secondary indexes kept in sync on
+insert, update and delete.  Deletes are tombstoned so row ids remain stable
+for index entries and in-flight scans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.common.errors import ConstraintViolationError, ObjectNotFoundError, SchemaError
+from repro.common.schema import Row, Schema
+from repro.engines.relational.btree import BTreeIndex
+
+
+class HeapTable:
+    """An append-ordered row store with secondary indexes."""
+
+    def __init__(self, name: str, schema: Schema, primary_key: Sequence[str] = ()) -> None:
+        self.name = name
+        self.schema = schema
+        self.primary_key = tuple(primary_key)
+        self._rows: dict[int, tuple[Any, ...]] = {}
+        self._next_row_id = 0
+        self._indexes: dict[str, tuple[tuple[str, ...], BTreeIndex]] = {}
+        if self.primary_key:
+            for col in self.primary_key:
+                if not schema.has_column(col):
+                    raise SchemaError(f"primary key column {col!r} not in table {name!r}")
+            self.create_index("__pk__", self.primary_key, unique=True)
+
+    # ------------------------------------------------------------------ basic
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def insert(self, values: Sequence[Any]) -> int:
+        """Validate, store and index one row. Returns the new row id."""
+        validated = self.schema.validate_row(values)
+        row_id = self._next_row_id
+        for index_name, (columns, index) in self._indexes.items():
+            key = self._key_for(validated, columns)
+            if index is not None and index_name == "__pk__":
+                if index.search(key):
+                    raise ConstraintViolationError(
+                        f"duplicate primary key {key!r} in table {self.name!r}"
+                    )
+        self._rows[row_id] = validated
+        self._next_row_id += 1
+        for columns, index in self._indexes.values():
+            index.insert(self._key_for(validated, columns), row_id)
+        return row_id
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> list[int]:
+        """Insert a batch of rows; returns their row ids."""
+        return [self.insert(row) for row in rows]
+
+    def get(self, row_id: int) -> tuple[Any, ...]:
+        """Fetch one row by id."""
+        if row_id not in self._rows:
+            raise ObjectNotFoundError(f"row {row_id} not found in table {self.name!r}")
+        return self._rows[row_id]
+
+    def delete(self, row_id: int) -> None:
+        """Delete one row by id, maintaining all indexes."""
+        values = self.get(row_id)
+        for columns, index in self._indexes.values():
+            index.delete(self._key_for(values, columns), row_id)
+        del self._rows[row_id]
+
+    def update(self, row_id: int, new_values: Sequence[Any]) -> None:
+        """Replace a row in place, maintaining all indexes."""
+        old = self.get(row_id)
+        validated = self.schema.validate_row(new_values)
+        for columns, index in self._indexes.values():
+            index.delete(self._key_for(old, columns), row_id)
+            index.insert(self._key_for(validated, columns), row_id)
+        self._rows[row_id] = validated
+
+    def scan(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Yield (row_id, values) for every live row in insertion order."""
+        yield from self._rows.items()
+
+    def rows(self) -> Iterator[Row]:
+        """Yield :class:`Row` objects for every live row."""
+        for values in self._rows.values():
+            yield Row(self.schema, values)
+
+    def truncate(self) -> None:
+        """Remove all rows but keep schema and index definitions."""
+        self._rows.clear()
+        definitions = [(name, cols) for name, (cols, _idx) in self._indexes.items()]
+        self._indexes.clear()
+        for name, cols in definitions:
+            self.create_index(name, cols, unique=(name == "__pk__"), if_not_exists=True)
+
+    # ---------------------------------------------------------------- indexes
+    def create_index(
+        self,
+        index_name: str,
+        columns: Sequence[str],
+        unique: bool = False,
+        if_not_exists: bool = False,
+    ) -> None:
+        """Create a B+tree index over the named columns and backfill it."""
+        if index_name in self._indexes:
+            if if_not_exists:
+                return
+            raise SchemaError(f"index {index_name!r} already exists on {self.name!r}")
+        for col in columns:
+            if not self.schema.has_column(col):
+                raise SchemaError(f"index column {col!r} not in table {self.name!r}")
+        index = BTreeIndex(unique=unique)
+        resolved = tuple(columns)
+        for row_id, values in self._rows.items():
+            index.insert(self._key_for(values, resolved), row_id)
+        self._indexes[index_name] = (resolved, index)
+
+    def drop_index(self, index_name: str) -> None:
+        if index_name not in self._indexes:
+            raise ObjectNotFoundError(f"index {index_name!r} does not exist on {self.name!r}")
+        del self._indexes[index_name]
+
+    def indexes(self) -> dict[str, tuple[str, ...]]:
+        """Return {index name: indexed columns}."""
+        return {name: cols for name, (cols, _idx) in self._indexes.items()}
+
+    def find_index(self, column: str) -> tuple[str, BTreeIndex] | None:
+        """Return an index whose leading column is ``column``, if one exists."""
+        target = column.lower()
+        for name, (columns, index) in self._indexes.items():
+            if columns and columns[0].lower() == target:
+                return name, index
+        return None
+
+    def index_lookup(self, index_name: str, key: Any) -> list[tuple[int, tuple[Any, ...]]]:
+        """Equality lookup through an index; returns (row_id, values) pairs."""
+        columns, index = self._indexes[index_name]
+        if not isinstance(key, tuple):
+            key = (key,)
+        return [(row_id, self._rows[row_id]) for row_id in index.search(key) if row_id in self._rows]
+
+    def index_range(
+        self,
+        index_name: str,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Range scan through an index; returns (row_id, values) pairs in key order."""
+        _columns, index = self._indexes[index_name]
+        low_key = (low,) if low is not None and not isinstance(low, tuple) else low
+        high_key = (high,) if high is not None and not isinstance(high, tuple) else high
+        for _key, row_id in index.range_scan(low_key, high_key, include_low, include_high):
+            if row_id in self._rows:
+                yield row_id, self._rows[row_id]
+
+    def _key_for(self, values: Sequence[Any], columns: Sequence[str]) -> tuple[Any, ...]:
+        return tuple(values[self.schema.index_of(col)] for col in columns)
+
+    # ------------------------------------------------------------------ stats
+    def statistics(self) -> dict[str, Any]:
+        """Cheap table statistics used by the planner's cost model."""
+        return {
+            "row_count": len(self._rows),
+            "column_count": len(self.schema),
+            "indexes": list(self._indexes),
+        }
+
+    def apply_filter(self, predicate: Callable[[Row], bool]) -> list[int]:
+        """Return row ids of rows matching a Python predicate (used by UPDATE/DELETE)."""
+        matching = []
+        for row_id, values in self._rows.items():
+            if predicate(Row(self.schema, values)):
+                matching.append(row_id)
+        return matching

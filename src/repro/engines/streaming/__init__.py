@@ -1,0 +1,28 @@
+"""The streaming engine (S-Store stand-in): transactional stream processing."""
+
+from repro.engines.streaming.aging import AgingPolicy
+from repro.engines.streaming.engine import StreamingEngine, windowed_average_procedure
+from repro.engines.streaming.ingestion import FeedConnection, IngestionModule
+from repro.engines.streaming.procedures import (
+    ProcedureContext,
+    StoredProcedure,
+    TransactionScheduler,
+)
+from repro.engines.streaming.recovery import RecoveryManager
+from repro.engines.streaming.streams import SlidingWindow, Stream, StreamTuple, TumblingWindow
+
+__all__ = [
+    "AgingPolicy",
+    "FeedConnection",
+    "IngestionModule",
+    "ProcedureContext",
+    "RecoveryManager",
+    "SlidingWindow",
+    "StoredProcedure",
+    "Stream",
+    "StreamTuple",
+    "StreamingEngine",
+    "TransactionScheduler",
+    "TumblingWindow",
+    "windowed_average_procedure",
+]

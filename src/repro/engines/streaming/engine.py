@@ -1,0 +1,235 @@
+"""The streaming engine facade: the S-Store stand-in federated by BigDAWG.
+
+The engine owns streams (time-varying tables), registers stored procedures
+against them, ingests feeds through the ingestion module, executes procedures
+tuple-at-a-time (or in small batches) under the transaction scheduler, logs
+commits for lightweight recovery, and ages old tuples into the array engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.errors import DuplicateObjectError, ObjectNotFoundError
+from repro.common.schema import Column, Relation, Schema
+from repro.common.types import DataType
+from repro.engines.base import Engine, EngineCapability
+from repro.engines.streaming.aging import AgingPolicy
+from repro.engines.streaming.ingestion import FeedConnection, IngestionModule
+from repro.engines.streaming.procedures import (
+    ProcedureBody,
+    ProcedureContext,
+    StoredProcedure,
+    TransactionScheduler,
+)
+from repro.engines.streaming.recovery import CommandLogRecord, RecoveryManager
+from repro.engines.streaming.streams import SlidingWindow, Stream, StreamTuple
+
+
+class StreamingEngine(Engine):
+    """A transactional stream processing engine with tuple-at-a-time latency."""
+
+    kind = "streaming"
+
+    def __init__(self, name: str = "sstore", snapshot_interval: int = 500) -> None:
+        super().__init__(name)
+        self._streams: dict[str, Stream] = {}
+        self._procedures: dict[str, StoredProcedure] = {}
+        self._procedure_state: dict[str, dict[str, Any]] = {}
+        self._by_input_stream: dict[str, list[str]] = {}
+        self.scheduler = TransactionScheduler()
+        self.recovery = RecoveryManager(snapshot_interval=snapshot_interval)
+        self.ingestion = IngestionModule(on_batch=self._on_ingest)
+        self.alerts: list[dict[str, Any]] = []
+        self.aging_policies: list[AgingPolicy] = []
+
+    # ------------------------------------------------------------- Engine API
+    @property
+    def capabilities(self) -> EngineCapability:
+        return EngineCapability.STREAMING | EngineCapability.TRANSACTIONS
+
+    def list_objects(self) -> list[str]:
+        return sorted(self._streams)
+
+    def has_object(self, name: str) -> bool:
+        return name.lower() in self._streams
+
+    def export_relation(self, name: str) -> Relation:
+        """Export the live (retained) contents of a stream as a relation."""
+        stream = self.stream(name)
+        schema = Schema(
+            [Column("timestamp", DataType.FLOAT)] + list(stream.schema.columns)
+        )
+        relation = Relation(schema)
+        for item in stream.tuples():
+            relation.append([item.timestamp, *item.values])
+        return relation
+
+    def import_relation(self, name: str, relation: Relation, **options: Any) -> None:
+        """Create a stream from a relation; a ``timestamp`` column orders the tuples."""
+        retention = float(options.get("retention_seconds", 3600.0))
+        names = relation.schema.names
+        ts_column = options.get("timestamp_column", "timestamp" if "timestamp" in [n.lower() for n in names] else names[0])
+        payload_columns = [c for c in relation.schema.columns if c.name.lower() != ts_column.lower()]
+        stream = self.create_stream(name, Schema(payload_columns), retention, replace=True)
+        ordered = sorted(relation.rows, key=lambda r: r[ts_column])
+        for row in ordered:
+            stream.append(float(row[ts_column]), [row[c.name] for c in payload_columns])
+
+    def drop_object(self, name: str) -> None:
+        if name.lower() not in self._streams:
+            raise ObjectNotFoundError(f"stream {name!r} does not exist")
+        del self._streams[name.lower()]
+
+    # ---------------------------------------------------------------- streams
+    def create_stream(self, name: str, schema: Schema, retention_seconds: float = 60.0,
+                      replace: bool = False) -> Stream:
+        key = name.lower()
+        if key in self._streams and not replace:
+            raise DuplicateObjectError(f"stream {name!r} already exists")
+        stream = Stream(name, schema, retention_seconds)
+        self._streams[key] = stream
+        return stream
+
+    def stream(self, name: str) -> Stream:
+        key = name.lower()
+        if key not in self._streams:
+            raise ObjectNotFoundError(f"stream {name!r} does not exist in {self.name!r}")
+        return self._streams[key]
+
+    # ------------------------------------------------------------- procedures
+    def register_procedure(
+        self,
+        name: str,
+        input_stream: str,
+        body: ProcedureBody,
+        window_seconds: float | None = None,
+        batch_size: int = 1,
+    ) -> StoredProcedure:
+        """Register a stored procedure triggered by new tuples on a stream."""
+        if name in self._procedures:
+            raise DuplicateObjectError(f"procedure {name!r} already exists")
+        stream = self.stream(input_stream)
+        window = SlidingWindow(stream, window_seconds) if window_seconds else None
+        procedure = StoredProcedure(name, input_stream, body, window, batch_size)
+        self._procedures[name] = procedure
+        self._procedure_state[name] = {}
+        self._by_input_stream.setdefault(input_stream.lower(), []).append(name)
+        return procedure
+
+    def procedure(self, name: str) -> StoredProcedure:
+        if name not in self._procedures:
+            raise ObjectNotFoundError(f"procedure {name!r} is not registered")
+        return self._procedures[name]
+
+    def procedure_state(self, name: str) -> dict[str, Any]:
+        return self._procedure_state[name]
+
+    # -------------------------------------------------------------- ingestion
+    def attach_feed(self, connection: FeedConnection, stream_name: str) -> None:
+        """Attach a feed connection to a stream."""
+        self.ingestion.attach(connection, self.stream(stream_name))
+
+    def pump(self, max_tuples: int = 1000) -> int:
+        """Pump every attached feed once (triggering procedures per batch)."""
+        return self.ingestion.pump_all(max_tuples)
+
+    def append(self, stream_name: str, timestamp: float, values: tuple | list) -> list[ProcedureContext]:
+        """Append one tuple directly and run the procedures it triggers.
+
+        This is the lowest-latency path: the tuple is processed immediately,
+        which is what gives S-Store its tens-of-milliseconds responses.
+        """
+        stream = self.stream(stream_name)
+        item = stream.append(timestamp, values)
+        return self._trigger(stream_name, [item], timestamp)
+
+    def _on_ingest(self, stream_name: str, count: int, timestamp: float) -> None:
+        stream = self.stream(stream_name)
+        batch = list(stream.tuples())[-count:]
+        self._trigger(stream_name, batch, timestamp)
+
+    def _trigger(self, stream_name: str, batch: list[StreamTuple], timestamp: float) -> list[ProcedureContext]:
+        contexts = []
+        for proc_name in self._by_input_stream.get(stream_name.lower(), []):
+            procedure = self._procedures[proc_name]
+            state = self._procedure_state[proc_name]
+            context = self.scheduler.execute(
+                procedure, batch, timestamp, state, self._streams_by_name()
+            )
+            self.queries_executed += 1
+            self.alerts.extend(context.alerts)
+            self.recovery.record(
+                CommandLogRecord(
+                    transaction_id=context.transaction_id,
+                    procedure=proc_name,
+                    timestamp=timestamp,
+                    batch=[(t.timestamp, t.values) for t in batch],
+                )
+            )
+            self.recovery.maybe_snapshot(context.transaction_id, self._procedure_state)
+            contexts.append(context)
+        for policy in self.aging_policies:
+            policy.age_out()
+        return contexts
+
+    def _streams_by_name(self) -> dict[str, Stream]:
+        return {stream.name: stream for stream in self._streams.values()}
+
+    # ----------------------------------------------------------------- aging
+    def add_aging_policy(self, policy: AgingPolicy) -> None:
+        """Register a policy that moves evicted tuples to the array engine."""
+        self.aging_policies.append(policy)
+
+    # --------------------------------------------------------------- recovery
+    def simulate_crash_and_recover(self) -> int:
+        """Rebuild procedure state from the latest snapshot plus the command log.
+
+        Returns the number of command-log records replayed.  Procedure bodies
+        are re-executed against the recovered state, so deterministic bodies
+        end up in exactly the pre-crash state.
+        """
+        recovered_state = self.recovery.recovery_state()
+        self._procedure_state = {name: recovered_state.get(name, {}) for name in self._procedures}
+        replayed = 0
+        for record in self.recovery.records_to_replay():
+            procedure = self._procedures.get(record.procedure)
+            if procedure is None:
+                continue
+            batch = [StreamTuple(ts, tuple(values)) for ts, values in record.batch]
+            state = self._procedure_state[record.procedure]
+            context = ProcedureContext(
+                transaction_id=record.transaction_id,
+                timestamp=record.timestamp,
+                batch=batch,
+                window=procedure.window,
+                state=state,
+            )
+            procedure.body(context)
+            replayed += 1
+        return replayed
+
+    # ------------------------------------------------------------------ stats
+    def statistics(self) -> dict[str, Any]:
+        return {
+            "streams": {name: len(stream) for name, stream in self._streams.items()},
+            "procedures": {name: proc.invocations for name, proc in self._procedures.items()},
+            "committed_transactions": len(self.scheduler.committed),
+            "aborted_transactions": self.scheduler.aborted,
+            "alerts": len(self.alerts),
+            "snapshots": len(self.recovery.snapshots),
+        }
+
+
+def windowed_average_procedure(column: str, threshold: float, alert_kind: str = "threshold") -> Callable[[ProcedureContext], None]:
+    """A ready-made procedure body: alert when the window average crosses a threshold."""
+
+    def body(context: ProcedureContext) -> None:
+        if context.window is None:
+            return
+        average = context.window.aggregate(column, lambda vs: sum(vs) / len(vs), context.timestamp)
+        context.state["last_average"] = average
+        if average is not None and average > threshold:
+            context.alert(kind=alert_kind, average=average, threshold=threshold)
+
+    return body

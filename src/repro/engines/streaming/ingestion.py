@@ -1,0 +1,90 @@
+"""The ingestion module: absorbing data feeds into streams.
+
+The paper lists "an ingestion module for absorbing data feeds directly from a
+TCP/IP connection" as one of S-Store's extensions.  Real sockets would make
+the benchmarks depend on the host's networking stack, so a
+:class:`FeedConnection` models the connection as an ordered tuple source with
+the same failure modes (malformed tuples, out-of-order arrival) and the same
+per-tuple accounting, and :class:`IngestionModule` pulls from any number of
+connections into named streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.common.errors import IngestionError
+from repro.engines.streaming.streams import Stream
+
+
+@dataclass
+class FeedConnection:
+    """An ordered source of (timestamp, values) tuples, like one TCP connection."""
+
+    name: str
+    source: Iterator[tuple[float, tuple[Any, ...]]]
+    tuples_delivered: int = 0
+    tuples_rejected: int = 0
+
+    @classmethod
+    def from_iterable(cls, name: str, items: Iterable[tuple[float, tuple[Any, ...]]]) -> "FeedConnection":
+        return cls(name=name, source=iter(items))
+
+    def read(self, max_tuples: int) -> list[tuple[float, tuple[Any, ...]]]:
+        """Pull up to ``max_tuples`` tuples off the connection."""
+        batch = []
+        for _ in range(max_tuples):
+            try:
+                batch.append(next(self.source))
+            except StopIteration:
+                break
+        return batch
+
+
+@dataclass
+class IngestionModule:
+    """Routes feed connections into streams, tolerating malformed tuples."""
+
+    on_batch: Callable[[str, int, float], None] | None = None
+    connections: dict[str, tuple[FeedConnection, str]] = field(default_factory=dict)
+
+    def attach(self, connection: FeedConnection, stream: Stream) -> None:
+        """Bind a connection to a destination stream."""
+        self.connections[connection.name] = (connection, stream.name)
+        self._streams = getattr(self, "_streams", {})
+        self._streams[stream.name] = stream
+
+    def pump(self, connection_name: str, max_tuples: int = 1000) -> int:
+        """Pull one batch from a connection into its stream.
+
+        Returns the number of tuples successfully ingested.  Malformed or
+        out-of-order tuples are counted as rejected rather than failing the
+        whole batch, which matches how a network listener must behave.
+        """
+        if connection_name not in self.connections:
+            raise IngestionError(f"unknown feed connection: {connection_name!r}")
+        connection, stream_name = self.connections[connection_name]
+        stream = self._streams[stream_name]
+        batch = connection.read(max_tuples)
+        ingested = 0
+        last_timestamp = 0.0
+        for timestamp, values in batch:
+            try:
+                stream.append(timestamp, values)
+                ingested += 1
+                last_timestamp = timestamp
+            except (IngestionError, Exception) as exc:  # noqa: BLE001
+                if not isinstance(exc, IngestionError):
+                    # Schema violations also count as rejections.
+                    connection.tuples_rejected += 1
+                    continue
+                connection.tuples_rejected += 1
+        connection.tuples_delivered += ingested
+        if ingested and self.on_batch is not None:
+            self.on_batch(stream_name, ingested, last_timestamp)
+        return ingested
+
+    def pump_all(self, max_tuples: int = 1000) -> int:
+        """Pump every attached connection once; returns total tuples ingested."""
+        return sum(self.pump(name, max_tuples) for name in list(self.connections))

@@ -1,0 +1,74 @@
+"""Lightweight recovery for the streaming engine.
+
+S-Store replaces H-Store's heavyweight recovery with a lightweight scheme
+suited to streams: periodic snapshots of procedure state plus a command log
+of committed invocations; on restart the latest snapshot is restored and the
+command log is replayed from that point.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class CommandLogRecord:
+    """One logged stored-procedure invocation (enough to re-execute it)."""
+
+    transaction_id: int
+    procedure: str
+    timestamp: float
+    batch: list[tuple[float, tuple]]
+
+
+@dataclass
+class Snapshot:
+    """A point-in-time copy of all procedure state, tagged with the last txn applied."""
+
+    last_transaction_id: int
+    state: dict[str, dict[str, Any]]
+
+
+@dataclass
+class RecoveryManager:
+    """Maintains the command log and snapshots; replays them after a crash."""
+
+    snapshot_interval: int = 100
+    log: list[CommandLogRecord] = field(default_factory=list)
+    snapshots: list[Snapshot] = field(default_factory=list)
+
+    def record(self, record: CommandLogRecord) -> None:
+        """Append one committed invocation to the command log."""
+        self.log.append(record)
+
+    def maybe_snapshot(self, last_transaction_id: int, state: dict[str, dict[str, Any]]) -> bool:
+        """Take a snapshot every ``snapshot_interval`` commits. Returns True if taken."""
+        if last_transaction_id == 0:
+            return False
+        if last_transaction_id % self.snapshot_interval != 0:
+            return False
+        self.snapshots.append(Snapshot(last_transaction_id, copy.deepcopy(state)))
+        # Truncate the log: records at or before the snapshot are no longer needed.
+        self.log = [r for r in self.log if r.transaction_id > last_transaction_id]
+        return True
+
+    def latest_snapshot(self) -> Snapshot | None:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def records_to_replay(self) -> list[CommandLogRecord]:
+        """Command-log records newer than the latest snapshot, in commit order."""
+        snapshot = self.latest_snapshot()
+        floor = snapshot.last_transaction_id if snapshot else 0
+        return sorted(
+            (r for r in self.log if r.transaction_id > floor),
+            key=lambda r: r.transaction_id,
+        )
+
+    def recovery_state(self) -> dict[str, dict[str, Any]]:
+        """The state to restore before replay (deep copy of the latest snapshot)."""
+        snapshot = self.latest_snapshot()
+        if snapshot is None:
+            return {}
+        return copy.deepcopy(snapshot.state)

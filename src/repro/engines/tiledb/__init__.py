@@ -1,0 +1,14 @@
+"""The TileDB prototype engine: arrays built from irregular dense/sparse tiles."""
+
+from repro.engines.tiledb.engine import TileDBArray, TileDBArraySchema, TileDBEngine
+from repro.engines.tiledb.tiles import DenseTile, SparseTile, Tile, TileExtent
+
+__all__ = [
+    "DenseTile",
+    "SparseTile",
+    "Tile",
+    "TileDBArray",
+    "TileDBArraySchema",
+    "TileDBEngine",
+    "TileExtent",
+]

@@ -1,0 +1,178 @@
+"""Tiles: TileDB's fundamental unit of storage and computation.
+
+A tile is an irregular subarray that can be optimized for dense or sparse
+content (paper, Section 2.5).  Dense tiles store a contiguous numpy block;
+sparse tiles store coordinate/value pairs.  Both expose the same interface so
+the array above them does not care which representation a region uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class TileExtent:
+    """The inclusive coordinate box a tile covers."""
+
+    low: tuple[int, ...]
+    high: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.low) != len(self.high):
+            raise SchemaError("tile extent bounds must have the same arity")
+        for lo, hi in zip(self.low, self.high):
+            if lo > hi:
+                raise SchemaError(f"tile extent low {lo} exceeds high {hi}")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(hi - lo + 1 for lo, hi in zip(self.low, self.high))
+
+    @property
+    def cell_capacity(self) -> int:
+        capacity = 1
+        for size in self.shape:
+            capacity *= size
+        return capacity
+
+    def contains(self, coordinates: tuple[int, ...]) -> bool:
+        return all(lo <= c <= hi for c, lo, hi in zip(coordinates, self.low, self.high))
+
+    def overlaps(self, low: tuple[int, ...], high: tuple[int, ...]) -> bool:
+        return all(lo <= h and l <= hi for lo, hi, l, h in zip(self.low, self.high, low, high))
+
+
+class Tile:
+    """Common interface of dense and sparse tiles."""
+
+    def __init__(self, extent: TileExtent) -> None:
+        self.extent = extent
+
+    @property
+    def cell_count(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_sparse(self) -> bool:
+        raise NotImplementedError
+
+    def write(self, coordinates: tuple[int, ...], value: float) -> None:
+        raise NotImplementedError
+
+    def read(self, coordinates: tuple[int, ...]) -> float | None:
+        raise NotImplementedError
+
+    def cells(self) -> Iterator[tuple[tuple[int, ...], float]]:
+        raise NotImplementedError
+
+    @property
+    def density(self) -> float:
+        """Fraction of the extent's capacity that holds a value."""
+        return self.cell_count / self.extent.cell_capacity
+
+    def values(self) -> np.ndarray:
+        return np.array([v for _c, v in self.cells()], dtype=float)
+
+
+class DenseTile(Tile):
+    """A tile storing a contiguous block; best when most cells are populated."""
+
+    def __init__(self, extent: TileExtent) -> None:
+        super().__init__(extent)
+        self._data = np.zeros(extent.shape, dtype=float)
+        self._present = np.zeros(extent.shape, dtype=bool)
+
+    @property
+    def cell_count(self) -> int:
+        return int(self._present.sum())
+
+    @property
+    def is_sparse(self) -> bool:
+        return False
+
+    def _index(self, coordinates: tuple[int, ...]) -> tuple[int, ...]:
+        if not self.extent.contains(coordinates):
+            raise SchemaError(f"coordinates {coordinates} outside tile extent")
+        return tuple(c - lo for c, lo in zip(coordinates, self.extent.low))
+
+    def write(self, coordinates: tuple[int, ...], value: float) -> None:
+        index = self._index(coordinates)
+        self._data[index] = value
+        self._present[index] = True
+
+    def read(self, coordinates: tuple[int, ...]) -> float | None:
+        index = self._index(coordinates)
+        if not self._present[index]:
+            return None
+        return float(self._data[index])
+
+    def cells(self) -> Iterator[tuple[tuple[int, ...], float]]:
+        for index in np.argwhere(self._present):
+            coordinates = tuple(int(i) + lo for i, lo in zip(index, self.extent.low))
+            yield coordinates, float(self._data[tuple(index)])
+
+    def block(self) -> np.ndarray:
+        """The dense block (zeros where no value was written)."""
+        return self._data.copy()
+
+
+class SparseTile(Tile):
+    """A tile storing (coordinate → value) pairs; best for mostly-empty regions."""
+
+    def __init__(self, extent: TileExtent) -> None:
+        super().__init__(extent)
+        self._cells: dict[tuple[int, ...], float] = {}
+
+    @property
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    @property
+    def is_sparse(self) -> bool:
+        return True
+
+    def write(self, coordinates: tuple[int, ...], value: float) -> None:
+        if not self.extent.contains(coordinates):
+            raise SchemaError(f"coordinates {coordinates} outside tile extent")
+        self._cells[coordinates] = value
+
+    def read(self, coordinates: tuple[int, ...]) -> float | None:
+        return self._cells.get(coordinates)
+
+    def cells(self) -> Iterator[tuple[tuple[int, ...], float]]:
+        yield from sorted(self._cells.items())
+
+    def to_dense(self) -> DenseTile:
+        """Convert to a dense tile (used when density crosses the threshold)."""
+        dense = DenseTile(self.extent)
+        for coordinates, value in self._cells.items():
+            dense.write(coordinates, value)
+        return dense
+
+
+@dataclass
+class TileStatistics:
+    """Per-tile statistics the engine uses to pick representations."""
+
+    extent: TileExtent
+    cell_count: int
+    density: float
+    is_sparse: bool
+    minimum: float | None = None
+    maximum: float | None = None
+    total: float = 0.0
+    representation_switches: int = field(default=0)
+
+
+def choose_representation(extent: TileExtent, expected_density: float,
+                          sparse_threshold: float = 0.2) -> Tile:
+    """Pick a dense or sparse tile based on expected density."""
+    if expected_density >= sparse_threshold:
+        return DenseTile(extent)
+    return SparseTile(extent)

@@ -1,0 +1,15 @@
+"""The Tupleware prototype engine: compiled UDF workflows."""
+
+from repro.engines.tupleware.compiler import CompiledExecutor, ExecutionReport, InterpretedExecutor
+from repro.engines.tupleware.engine import TuplewareEngine
+from repro.engines.tupleware.workflow import Stage, UdfStatistics, Workflow
+
+__all__ = [
+    "CompiledExecutor",
+    "ExecutionReport",
+    "InterpretedExecutor",
+    "Stage",
+    "TuplewareEngine",
+    "UdfStatistics",
+    "Workflow",
+]

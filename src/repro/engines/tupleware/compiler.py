@@ -1,0 +1,137 @@
+"""Two executors for Tupleware workflows: compiled/fused vs. interpreted.
+
+* :class:`CompiledExecutor` — the Tupleware path.  Stages are fused into a
+  single pass over vectorized numpy buffers: filters become boolean masks,
+  maps become array expressions, the reduce happens on the surviving vector.
+  No per-record dispatch, no intermediate materialization.
+
+* :class:`InterpretedExecutor` — the Hadoop-style baseline.  Every stage is a
+  separate pass that materializes its full intermediate result, and each
+  record goes through Python-level function dispatch, mimicking per-record
+  (de)serialization and task overhead with an optional per-record penalty.
+
+The benchmark for CLAIM-4 runs the same workflow through both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.common.errors import ExecutionError
+from repro.engines.tupleware.workflow import Stage, Workflow
+
+
+@dataclass
+class ExecutionReport:
+    """What an executor did: the result plus operational counters."""
+
+    result: Any
+    records_in: int
+    records_out: int
+    stages_executed: int
+    intermediate_materializations: int
+    fused: bool
+
+
+class CompiledExecutor:
+    """Fuses the workflow into one vectorized pass (the Tupleware strategy)."""
+
+    def execute(self, workflow: Workflow, data: Sequence[float] | np.ndarray) -> ExecutionReport:
+        workflow.validate()
+        values = np.asarray(data, dtype=float)
+        records_in = int(values.size)
+        reduce_stage: Stage | None = None
+        # Single pass: maintain the current vector; apply each stage vectorized.
+        for stage in workflow.stages:
+            if stage.kind == "reduce":
+                reduce_stage = stage
+                break
+            fn = stage.vector_fn
+            if fn is None:
+                # Fall back to vectorizing the scalar function (still one pass).
+                fn = np.vectorize(stage.scalar_fn)
+            if stage.kind == "map":
+                values = np.asarray(fn(values), dtype=float)
+            elif stage.kind == "filter":
+                mask = np.asarray(fn(values), dtype=bool)
+                values = values[mask]
+            else:
+                raise ExecutionError(f"unknown stage kind {stage.kind!r}")
+        result: Any = values
+        if reduce_stage is not None:
+            if reduce_stage.vector_fn is not None:
+                result = reduce_stage.vector_fn(values)
+            else:
+                accumulator = reduce_stage.initial
+                for value in values:
+                    accumulator = reduce_stage.scalar_fn(accumulator, value)
+                result = accumulator
+        return ExecutionReport(
+            result=result,
+            records_in=records_in,
+            records_out=int(values.size),
+            stages_executed=len(workflow.stages),
+            intermediate_materializations=0,
+            fused=True,
+        )
+
+
+class InterpretedExecutor:
+    """Stage-at-a-time, record-at-a-time execution (the Hadoop-style baseline).
+
+    ``per_record_overhead`` adds a fixed amount of wasted Python work per record
+    per stage, standing in for serialization and task-launch costs.
+    """
+
+    def __init__(self, per_record_overhead: int = 0) -> None:
+        self._overhead = per_record_overhead
+
+    def execute(self, workflow: Workflow, data: Sequence[float] | np.ndarray) -> ExecutionReport:
+        workflow.validate()
+        records = [float(v) for v in np.asarray(data, dtype=float).ravel()]
+        records_in = len(records)
+        materializations = 0
+        result: Any = records
+        for stage in workflow.stages:
+            if stage.kind == "map":
+                next_records = []
+                for record in records:
+                    self._burn(record)
+                    next_records.append(stage.scalar_fn(record))
+                records = next_records
+                materializations += 1
+            elif stage.kind == "filter":
+                next_records = []
+                for record in records:
+                    self._burn(record)
+                    if stage.scalar_fn(record):
+                        next_records.append(record)
+                records = next_records
+                materializations += 1
+            elif stage.kind == "reduce":
+                accumulator = stage.initial
+                for record in records:
+                    self._burn(record)
+                    accumulator = stage.scalar_fn(accumulator, record)
+                result = accumulator
+                break
+            else:
+                raise ExecutionError(f"unknown stage kind {stage.kind!r}")
+            result = records
+        return ExecutionReport(
+            result=result,
+            records_in=records_in,
+            records_out=len(records),
+            stages_executed=len(workflow.stages),
+            intermediate_materializations=materializations,
+            fused=False,
+        )
+
+    def _burn(self, record: float) -> float:
+        total = record
+        for _ in range(self._overhead):
+            total = total * 1.0000001 + 0.0
+        return total

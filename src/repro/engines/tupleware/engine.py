@@ -1,0 +1,83 @@
+"""The Tupleware prototype engine: compiled UDF workflows over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.common.errors import DuplicateObjectError, ObjectNotFoundError
+from repro.common.schema import Column, Relation, Schema
+from repro.common.types import DataType
+from repro.engines.base import Engine, EngineCapability
+from repro.engines.tupleware.compiler import CompiledExecutor, ExecutionReport, InterpretedExecutor
+from repro.engines.tupleware.workflow import Workflow
+
+
+class TuplewareEngine(Engine):
+    """Stores numeric datasets and runs UDF workflows over them, compiled by default."""
+
+    kind = "tupleware"
+
+    def __init__(self, name: str = "tupleware") -> None:
+        super().__init__(name)
+        self._datasets: dict[str, np.ndarray] = {}
+        self._compiled = CompiledExecutor()
+        self._interpreted = InterpretedExecutor()
+
+    @property
+    def capabilities(self) -> EngineCapability:
+        return EngineCapability.UDF
+
+    # ------------------------------------------------------------- Engine API
+    def list_objects(self) -> list[str]:
+        return sorted(self._datasets)
+
+    def has_object(self, name: str) -> bool:
+        return name.lower() in self._datasets
+
+    def export_relation(self, name: str) -> Relation:
+        data = self.dataset(name)
+        schema = Schema([Column("index", DataType.INTEGER), Column("value", DataType.FLOAT)])
+        relation = Relation(schema)
+        for i, value in enumerate(data.ravel()):
+            relation.append([i, float(value)])
+        return relation
+
+    def import_relation(self, name: str, relation: Relation, **options: Any) -> None:
+        value_column = options.get("value_column", relation.schema.names[-1])
+        values = [float(row[value_column]) for row in relation if row[value_column] is not None]
+        self.load(name, values, replace=bool(options.get("replace", True)))
+
+    def drop_object(self, name: str) -> None:
+        if name.lower() not in self._datasets:
+            raise ObjectNotFoundError(f"dataset {name!r} does not exist")
+        del self._datasets[name.lower()]
+
+    # ----------------------------------------------------------------- datasets
+    def load(self, name: str, data: Sequence[float] | np.ndarray, replace: bool = False) -> None:
+        key = name.lower()
+        if key in self._datasets and not replace:
+            raise DuplicateObjectError(f"dataset {name!r} already exists")
+        self._datasets[key] = np.asarray(data, dtype=float)
+
+    def dataset(self, name: str) -> np.ndarray:
+        key = name.lower()
+        if key not in self._datasets:
+            raise ObjectNotFoundError(f"dataset {name!r} does not exist in {self.name!r}")
+        return self._datasets[key]
+
+    # ----------------------------------------------------------------- execute
+    def execute(self, workflow: Workflow, dataset: str, compiled: bool = True) -> ExecutionReport:
+        """Run a workflow over a stored dataset, compiled (default) or interpreted."""
+        self.queries_executed += 1
+        data = self.dataset(dataset)
+        executor = self._compiled if compiled else self._interpreted
+        return executor.execute(workflow, data)
+
+    def compare_strategies(self, workflow: Workflow, dataset: str) -> dict[str, ExecutionReport]:
+        """Run the same workflow through both executors (used by the benchmarks)."""
+        return {
+            "compiled": self.execute(workflow, dataset, compiled=True),
+            "interpreted": self.execute(workflow, dataset, compiled=False),
+        }

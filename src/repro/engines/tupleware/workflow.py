@@ -1,0 +1,75 @@
+"""Tupleware-style UDF workflows.
+
+A workflow is a chain of map / filter / reduce stages over a dataset of
+records.  Tupleware's claim is that *compiling* the whole chain into one tight
+program — instead of interpreting each stage record-at-a-time with
+materialization in between, as Hadoop-style systems do — removes runtime
+overhead worth up to two orders of magnitude.  The two execution strategies in
+:mod:`repro.engines.tupleware.compiler` reproduce exactly that contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class UdfStatistics:
+    """Statistics Tupleware gathers about a UDF to drive low-level optimization."""
+
+    name: str
+    predicted_cpu_cycles: int
+    vectorizable: bool
+    selectivity: float = 1.0
+
+
+@dataclass
+class Stage:
+    """One workflow stage."""
+
+    kind: str  # map | filter | reduce
+    #: Row-at-a-time function (record -> record, record -> bool, or (acc, record) -> acc).
+    scalar_fn: Callable[..., Any]
+    #: Vectorized numpy equivalent used by the compiling executor (array -> array / mask / scalar).
+    vector_fn: Callable[..., Any] | None = None
+    statistics: UdfStatistics | None = None
+    initial: Any = None  # reduce only
+
+
+@dataclass
+class Workflow:
+    """A declared chain of stages, independent of how it will be executed."""
+
+    name: str
+    stages: list[Stage] = field(default_factory=list)
+
+    def map(self, scalar_fn: Callable[[Any], Any], vector_fn: Callable | None = None,
+            statistics: UdfStatistics | None = None) -> "Workflow":
+        """Append a map stage (record → record)."""
+        self.stages.append(Stage("map", scalar_fn, vector_fn, statistics))
+        return self
+
+    def filter(self, scalar_fn: Callable[[Any], bool], vector_fn: Callable | None = None,
+               statistics: UdfStatistics | None = None) -> "Workflow":
+        """Append a filter stage (record → keep?)."""
+        self.stages.append(Stage("filter", scalar_fn, vector_fn, statistics))
+        return self
+
+    def reduce(self, scalar_fn: Callable[[Any, Any], Any], initial: Any = 0.0,
+               vector_fn: Callable | None = None,
+               statistics: UdfStatistics | None = None) -> "Workflow":
+        """Append a terminal reduce stage ((accumulator, record) → accumulator)."""
+        self.stages.append(Stage("reduce", scalar_fn, vector_fn, statistics, initial=initial))
+        return self
+
+    def validate(self) -> None:
+        """A reduce stage, if present, must be last."""
+        for i, stage in enumerate(self.stages):
+            if stage.kind == "reduce" and i != len(self.stages) - 1:
+                raise ValueError("reduce must be the final stage of a workflow")
+
+    @property
+    def total_predicted_cycles(self) -> int:
+        """Sum of predicted CPU cycles over stages with statistics."""
+        return sum(s.statistics.predicted_cpu_cycles for s in self.stages if s.statistics)

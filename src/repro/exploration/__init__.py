@@ -1,0 +1,34 @@
+"""Exploratory analysis systems: SeeDB, Searchlight and the ScalaR browser."""
+
+from repro.exploration.scalar_browser import BrowserStatistics, ScalarBrowser, Tile, TileKey
+from repro.exploration.searchlight import (
+    ConstraintQuery,
+    RangeConstraint,
+    SearchReport,
+    Searchlight,
+    SolutionWindow,
+)
+from repro.exploration.seedb import (
+    SeeDB,
+    SeeDBReport,
+    ViewCandidate,
+    ViewResult,
+    deviation_utility,
+)
+
+__all__ = [
+    "BrowserStatistics",
+    "ConstraintQuery",
+    "RangeConstraint",
+    "ScalarBrowser",
+    "SearchReport",
+    "Searchlight",
+    "SeeDB",
+    "SeeDBReport",
+    "SolutionWindow",
+    "Tile",
+    "TileKey",
+    "ViewCandidate",
+    "ViewResult",
+    "deviation_utility",
+]

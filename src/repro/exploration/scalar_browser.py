@@ -1,0 +1,194 @@
+"""ScalaR: scalable detail-on-demand browsing with prefetching (Section 1.1).
+
+ScalaR is the pan/zoom interface over the whole 26,000-patient dataset: a
+top-level view shows coarse aggregates, and drilling down fetches
+progressively finer resolutions.  Because "small vis" (load everything into
+RAM) cannot survive at Big Data scale, ScalaR fetches *tiles* of the current
+resolution on demand and *prefetches the tiles a user is likely to pan to
+next* so gestures feel interactive.
+
+The implementation browses a 2-D (signal x sample) array through the array
+engine's ``regrid`` operator: resolution level L aggregates blocks of
+``base_block * 2**L`` samples.  A small LRU tile cache plus a
+momentum-based prefetcher (fetch the neighbours in the direction of the last
+pan) provide the latency contrast CLAIM-7 measures.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engines.array import operators as ops
+from repro.engines.array.storage import StoredArray
+
+
+@dataclass(frozen=True)
+class TileKey:
+    """Identifies one tile: resolution level plus tile row/column."""
+
+    level: int
+    row: int
+    col: int
+
+
+@dataclass
+class Tile:
+    """One fetched tile: a small dense block of aggregated values."""
+
+    key: TileKey
+    values: np.ndarray
+    fetched_in: float  # seconds spent computing it (0 for cache hits)
+
+
+@dataclass
+class BrowserStatistics:
+    requests: int = 0
+    cache_hits: int = 0
+    prefetch_hits: int = 0
+    tiles_computed: int = 0
+    total_fetch_seconds: float = 0.0
+    per_gesture_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_gesture_seconds(self) -> float:
+        return float(np.mean(self.per_gesture_seconds)) if self.per_gesture_seconds else 0.0
+
+
+class ScalarBrowser:
+    """Detail-on-demand browser over a 2-D stored array."""
+
+    def __init__(self, array: StoredArray, attribute: str = "value",
+                 tile_samples: int = 64, base_block: int = 4,
+                 max_levels: int = 5, cache_capacity: int = 128,
+                 prefetch: bool = True) -> None:
+        self.array = array
+        self.attribute = attribute
+        self.tile_samples = tile_samples
+        self.base_block = base_block
+        self.max_levels = max_levels
+        self.prefetch_enabled = prefetch
+        self._cache: OrderedDict[TileKey, Tile] = OrderedDict()
+        self._cache_capacity = cache_capacity
+        self._prefetched: set[TileKey] = set()
+        self._levels: dict[int, np.ndarray] = {}
+        self._last_move = 0  # -1 pan left, +1 pan right
+        self.stats = BrowserStatistics()
+
+    # ---------------------------------------------------------------- resolution
+    def _level_matrix(self, level: int) -> np.ndarray:
+        """The whole array regridded to one resolution level (computed lazily)."""
+        if level not in self._levels:
+            block = self.base_block * (2 ** level)
+            regridded = ops.regrid(self.array, self.attribute, (1, block), "avg")
+            name = regridded.schema.attributes[0].name
+            self._levels[level] = np.asarray(regridded.buffer(name), dtype=float)
+        return self._levels[level]
+
+    def level_shape(self, level: int) -> tuple[int, int]:
+        return self._level_matrix(level).shape
+
+    def tiles_at_level(self, level: int) -> tuple[int, int]:
+        """(tile rows, tile columns) available at a resolution level."""
+        rows, cols = self.level_shape(level)
+        return rows, (cols + self.tile_samples - 1) // self.tile_samples
+
+    # ------------------------------------------------------------------ fetching
+    def fetch_tile(self, key: TileKey, count_as_gesture: bool = True) -> Tile:
+        """Fetch one tile, serving from cache when possible."""
+        started = time.perf_counter()
+        if count_as_gesture:
+            self.stats.requests += 1
+        if key in self._cache:
+            tile = self._cache.pop(key)
+            self._cache[key] = tile  # LRU refresh
+            if count_as_gesture:
+                self.stats.cache_hits += 1
+                if key in self._prefetched:
+                    self.stats.prefetch_hits += 1
+                    self._prefetched.discard(key)
+                self.stats.per_gesture_seconds.append(time.perf_counter() - started)
+            return tile
+        tile = self._compute_tile(key)
+        self._store(key, tile)
+        if count_as_gesture:
+            self.stats.per_gesture_seconds.append(time.perf_counter() - started)
+        return tile
+
+    def _compute_tile(self, key: TileKey) -> Tile:
+        started = time.perf_counter()
+        matrix = self._level_matrix(key.level)
+        low = key.col * self.tile_samples
+        high = min(low + self.tile_samples, matrix.shape[1])
+        values = matrix[key.row : key.row + 1, low:high].copy()
+        elapsed = time.perf_counter() - started
+        self.stats.tiles_computed += 1
+        self.stats.total_fetch_seconds += elapsed
+        return Tile(key, values, elapsed)
+
+    def _store(self, key: TileKey, tile: Tile) -> None:
+        self._cache[key] = tile
+        while len(self._cache) > self._cache_capacity:
+            evicted_key, _ = self._cache.popitem(last=False)
+            self._prefetched.discard(evicted_key)
+
+    # ------------------------------------------------------------------ gestures
+    def pan(self, key: TileKey, direction: int) -> Tile:
+        """Pan one tile left (-1) or right (+1) at the same resolution."""
+        self._last_move = 1 if direction >= 0 else -1
+        _rows, tile_cols = self.tiles_at_level(key.level)
+        new_col = int(np.clip(key.col + self._last_move, 0, tile_cols - 1))
+        new_key = TileKey(key.level, key.row, new_col)
+        tile = self.fetch_tile(new_key)
+        if self.prefetch_enabled:
+            self._prefetch_neighbours(new_key)
+        return tile
+
+    def zoom_in(self, key: TileKey) -> Tile:
+        """Zoom to the next finer resolution, keeping the viewport centred."""
+        new_level = max(0, key.level - 1)
+        new_key = TileKey(new_level, key.row, key.col * 2)
+        tile = self.fetch_tile(new_key)
+        if self.prefetch_enabled:
+            self._prefetch_neighbours(new_key)
+        return tile
+
+    def zoom_out(self, key: TileKey) -> Tile:
+        new_level = min(self.max_levels, key.level + 1)
+        new_key = TileKey(new_level, key.row, key.col // 2)
+        tile = self.fetch_tile(new_key)
+        if self.prefetch_enabled:
+            self._prefetch_neighbours(new_key)
+        return tile
+
+    def overview(self) -> np.ndarray:
+        """The coarsest, whole-dataset view (the top-level screen of the demo)."""
+        return self._level_matrix(self.max_levels)
+
+    # ----------------------------------------------------------------- prefetch
+    def _prefetch_neighbours(self, key: TileKey) -> None:
+        """Prefetch the tiles a user is most likely to request next."""
+        _rows, tile_cols = self.tiles_at_level(key.level)
+        directions = [self._last_move, self._last_move * 2] if self._last_move else [1, -1]
+        candidates = []
+        for delta in directions:
+            col = key.col + delta
+            if 0 <= col < tile_cols:
+                candidates.append(TileKey(key.level, key.row, col))
+        # Also warm the same viewport one level in and out (zoom anticipation).
+        if key.level > 0:
+            candidates.append(TileKey(key.level - 1, key.row, key.col * 2))
+        if key.level < self.max_levels:
+            candidates.append(TileKey(key.level + 1, key.row, key.col // 2))
+        for candidate in candidates:
+            if candidate not in self._cache:
+                tile = self._compute_tile(candidate)
+                self._store(candidate, tile)
+                self._prefetched.add(candidate)

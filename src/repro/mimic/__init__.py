@@ -1,0 +1,31 @@
+"""Synthetic MIMIC II dataset generation, polystore loading and demo workload."""
+
+from repro.mimic.generator import (
+    Admission,
+    LabResult,
+    MimicDataset,
+    MimicGenerator,
+    Note,
+    Patient,
+    Prescription,
+    WaveformSegment,
+)
+from repro.mimic.loader import MimicDeployment, build_polystore, waveform_feed_tuples
+from repro.mimic.workload import WorkloadQuery, full_workload, run_workload
+
+__all__ = [
+    "Admission",
+    "LabResult",
+    "MimicDataset",
+    "MimicDeployment",
+    "MimicGenerator",
+    "Note",
+    "Patient",
+    "Prescription",
+    "WaveformSegment",
+    "WorkloadQuery",
+    "build_polystore",
+    "full_workload",
+    "run_workload",
+    "waveform_feed_tuples",
+]

@@ -1,0 +1,318 @@
+"""Synthetic MIMIC II dataset generator.
+
+The real MIMIC II dataset (~26,000 ICU admissions) is distributed under a data
+use agreement, so the reproduction generates a synthetic equivalent that
+preserves the *shape* the demo depends on:
+
+* patient demographics (age, sex, race) and admissions with lengths of stay;
+* prescriptions and lab results (semi-structured, per admission);
+* free-text doctor/nurse notes with clinically flavoured phrases, some of
+  which ("very sick") drive the text-analysis demo query;
+* waveform segments (heart-rate-like signals at a configurable sample rate)
+  with injected arrhythmia anomalies for the real-time monitoring demo;
+* one deliberately planted statistical quirk: within a selected subpopulation
+  (an admission-type slice), the race vs. length-of-stay trend *reverses* the
+  trend in the rest of the data — the relationship SeeDB's Figure 2 surfaces.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.rng import derive_seed, make_rng
+
+RACES = ("white", "black", "asian", "hispanic", "other")
+SEXES = ("F", "M")
+ADMISSION_TYPES = ("emergency", "elective", "urgent")
+DRUGS = (
+    "aspirin", "heparin", "warfarin", "metoprolol", "furosemide",
+    "insulin", "morphine", "vancomycin", "dopamine", "amiodarone",
+)
+LAB_TESTS = ("lactate", "creatinine", "hemoglobin", "potassium", "troponin", "glucose")
+
+_NOTE_TEMPLATES = (
+    "patient resting comfortably vital signs stable",
+    "patient remains very sick with ongoing hypotension",
+    "responded well to {drug} continuing current plan",
+    "complains of chest pain ecg ordered",
+    "no acute events overnight tolerating diet",
+    "family meeting held regarding goals of care",
+    "patient very sick requiring increased pressor support",
+    "extubated this morning breathing comfortably on nasal cannula",
+    "started on {drug} for rate control",
+    "mild fever overnight cultures pending",
+)
+
+
+@dataclass(frozen=True)
+class Patient:
+    patient_id: int
+    age: int
+    sex: str
+    race: str
+
+
+@dataclass(frozen=True)
+class Admission:
+    admission_id: int
+    patient_id: int
+    admission_type: str
+    stay_days: float
+    severity: float
+    outcome: str  # discharged | deceased
+
+
+@dataclass(frozen=True)
+class Prescription:
+    prescription_id: int
+    admission_id: int
+    patient_id: int
+    drug: str
+    dose_mg: float
+
+
+@dataclass(frozen=True)
+class LabResult:
+    lab_id: int
+    admission_id: int
+    patient_id: int
+    test: str
+    value: float
+    abnormal: bool
+
+
+@dataclass(frozen=True)
+class Note:
+    note_id: int
+    admission_id: int
+    patient_id: int
+    author: str  # doctor | nurse
+    text: str
+
+
+@dataclass(frozen=True)
+class WaveformSegment:
+    """One patient's waveform: ``values[i]`` sampled at ``sample_rate_hz``."""
+
+    patient_id: int
+    signal_id: int
+    sample_rate_hz: float
+    values: np.ndarray
+    anomaly_start: int | None = None
+    anomaly_end: int | None = None
+
+    @property
+    def has_anomaly(self) -> bool:
+        return self.anomaly_start is not None
+
+
+@dataclass
+class MimicDataset:
+    """The full synthetic dataset."""
+
+    patients: list[Patient] = field(default_factory=list)
+    admissions: list[Admission] = field(default_factory=list)
+    prescriptions: list[Prescription] = field(default_factory=list)
+    labs: list[LabResult] = field(default_factory=list)
+    notes: list[Note] = field(default_factory=list)
+    waveforms: list[WaveformSegment] = field(default_factory=list)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "patients": len(self.patients),
+            "admissions": len(self.admissions),
+            "prescriptions": len(self.prescriptions),
+            "labs": len(self.labs),
+            "notes": len(self.notes),
+            "waveforms": len(self.waveforms),
+        }
+
+
+@dataclass
+class MimicGenerator:
+    """Deterministic generator for :class:`MimicDataset`.
+
+    Parameters
+    ----------
+    patient_count:
+        Number of patients (the paper's dataset has ~26,000; tests use far fewer).
+    waveform_patients:
+        How many patients get a waveform segment (waveforms dominate volume).
+    waveform_samples:
+        Samples per waveform segment.
+    sample_rate_hz:
+        Waveform sample rate (125 Hz in MIMIC II; lower in tests).
+    seed:
+        Base RNG seed; all sub-streams derive from it.
+    """
+
+    patient_count: int = 500
+    waveform_patients: int = 8
+    waveform_samples: int = 4000
+    sample_rate_hz: float = 125.0
+    anomaly_fraction: float = 0.5
+    seed: int = 7
+
+    def generate(self) -> MimicDataset:
+        dataset = MimicDataset()
+        dataset.patients = self._generate_patients()
+        dataset.admissions = self._generate_admissions(dataset.patients)
+        dataset.prescriptions = self._generate_prescriptions(dataset.admissions)
+        dataset.labs = self._generate_labs(dataset.admissions)
+        dataset.notes = self._generate_notes(dataset.admissions)
+        dataset.waveforms = self._generate_waveforms(dataset.patients)
+        return dataset
+
+    # ------------------------------------------------------------- components
+    def _generate_patients(self) -> list[Patient]:
+        rng = make_rng(derive_seed(self.seed, "patients"))
+        patients = []
+        for patient_id in range(1, self.patient_count + 1):
+            age = int(np.clip(rng.normal(62, 18), 18, 95))
+            patients.append(
+                Patient(
+                    patient_id=patient_id,
+                    age=age,
+                    sex=str(rng.choice(SEXES)),
+                    race=str(rng.choice(RACES, p=(0.55, 0.18, 0.10, 0.12, 0.05))),
+                )
+            )
+        return patients
+
+    def _generate_admissions(self, patients: list[Patient]) -> list[Admission]:
+        rng = make_rng(derive_seed(self.seed, "admissions"))
+        admissions = []
+        admission_id = 1
+        # Global trend: longer stays for the "black" and "hispanic" groups
+        # (reflecting the kind of disparity SeeDB's example highlights)…
+        global_bias = {"white": 0.0, "black": 1.6, "asian": -0.4, "hispanic": 1.1, "other": 0.3}
+        # …which is REVERSED inside the elective-admission subpopulation.
+        elective_bias = {"white": 1.4, "black": -1.2, "asian": 0.8, "hispanic": -0.9, "other": 0.0}
+        for patient in patients:
+            for _ in range(int(rng.integers(1, 3))):
+                admission_type = str(rng.choice(ADMISSION_TYPES, p=(0.6, 0.25, 0.15)))
+                severity = float(np.clip(rng.normal(0.5 + patient.age / 200, 0.2), 0.05, 1.0))
+                base_stay = float(np.clip(rng.gamma(2.0, 2.0) + severity * 3, 0.5, 60.0))
+                bias = elective_bias if admission_type == "elective" else global_bias
+                stay = float(np.clip(base_stay + bias[patient.race] + rng.normal(0, 0.5), 0.25, 60.0))
+                outcome = "deceased" if rng.random() < severity * 0.12 else "discharged"
+                admissions.append(
+                    Admission(
+                        admission_id=admission_id,
+                        patient_id=patient.patient_id,
+                        admission_type=admission_type,
+                        stay_days=round(stay, 2),
+                        severity=round(severity, 3),
+                        outcome=outcome,
+                    )
+                )
+                admission_id += 1
+        return admissions
+
+    def _generate_prescriptions(self, admissions: list[Admission]) -> list[Prescription]:
+        rng = make_rng(derive_seed(self.seed, "prescriptions"))
+        prescriptions = []
+        prescription_id = 1
+        for admission in admissions:
+            for _ in range(int(rng.integers(1, 6))):
+                prescriptions.append(
+                    Prescription(
+                        prescription_id=prescription_id,
+                        admission_id=admission.admission_id,
+                        patient_id=admission.patient_id,
+                        drug=str(rng.choice(DRUGS)),
+                        dose_mg=round(float(rng.uniform(1, 500)), 1),
+                    )
+                )
+                prescription_id += 1
+        return prescriptions
+
+    def _generate_labs(self, admissions: list[Admission]) -> list[LabResult]:
+        rng = make_rng(derive_seed(self.seed, "labs"))
+        labs = []
+        lab_id = 1
+        for admission in admissions:
+            for _ in range(int(rng.integers(2, 8))):
+                test = str(rng.choice(LAB_TESTS))
+                value = round(float(rng.lognormal(1.0, 0.6)), 2)
+                labs.append(
+                    LabResult(
+                        lab_id=lab_id,
+                        admission_id=admission.admission_id,
+                        patient_id=admission.patient_id,
+                        test=test,
+                        value=value,
+                        abnormal=bool(value > 4.0 or rng.random() < admission.severity * 0.2),
+                    )
+                )
+                lab_id += 1
+        return labs
+
+    def _generate_notes(self, admissions: list[Admission]) -> list[Note]:
+        rng = make_rng(derive_seed(self.seed, "notes"))
+        notes = []
+        note_id = 1
+        for admission in admissions:
+            note_count = int(rng.integers(1, 5)) + (3 if admission.severity > 0.8 else 0)
+            for _ in range(note_count):
+                template = str(rng.choice(_NOTE_TEMPLATES))
+                # Sicker patients attract the "very sick" phrasing more often.
+                if admission.severity > 0.7 and rng.random() < 0.5:
+                    template = "patient remains very sick with ongoing hypotension"
+                text = template.format(drug=str(rng.choice(DRUGS)))
+                notes.append(
+                    Note(
+                        note_id=note_id,
+                        admission_id=admission.admission_id,
+                        patient_id=admission.patient_id,
+                        author=str(rng.choice(("doctor", "nurse"))),
+                        text=text,
+                    )
+                )
+                note_id += 1
+        return notes
+
+    def _generate_waveforms(self, patients: list[Patient]) -> list[WaveformSegment]:
+        rng = make_rng(derive_seed(self.seed, "waveforms"))
+        segments = []
+        chosen = patients[: self.waveform_patients]
+        for signal_id, patient in enumerate(chosen):
+            values, start, end = self._synthesize_waveform(rng, signal_id)
+            segments.append(
+                WaveformSegment(
+                    patient_id=patient.patient_id,
+                    signal_id=signal_id,
+                    sample_rate_hz=self.sample_rate_hz,
+                    values=values,
+                    anomaly_start=start,
+                    anomaly_end=end,
+                )
+            )
+        return segments
+
+    def _synthesize_waveform(self, rng: np.random.Generator, signal_id: int
+                             ) -> tuple[np.ndarray, int | None, int | None]:
+        """A quasi-periodic 'heartbeat' signal; optionally with a tachycardic burst."""
+        n = self.waveform_samples
+        t = np.arange(n) / self.sample_rate_hz
+        heart_rate_hz = rng.uniform(1.0, 1.5)  # 60-90 bpm
+        signal = (
+            np.sin(2 * np.pi * heart_rate_hz * t)
+            + 0.4 * np.sin(2 * np.pi * 2 * heart_rate_hz * t + 0.5)
+            + rng.normal(0, 0.08, size=n)
+        )
+        anomaly_start = anomaly_end = None
+        if rng.random() < self.anomaly_fraction:
+            anomaly_start = int(rng.integers(n // 3, 2 * n // 3))
+            anomaly_end = min(n, anomaly_start + int(self.sample_rate_hz * rng.uniform(2, 6)))
+            burst_t = t[anomaly_start:anomaly_end]
+            # A much faster rhythm with larger amplitude: the anomaly to detect.
+            signal[anomaly_start:anomaly_end] = (
+                2.2 * np.sin(2 * np.pi * heart_rate_hz * 3.0 * burst_t)
+                + rng.normal(0, 0.1, size=anomaly_end - anomaly_start)
+            )
+        return signal, anomaly_start, anomaly_end

@@ -1,0 +1,179 @@
+"""Loading the synthetic MIMIC II dataset into the polystore.
+
+Section 3 of the paper: "our demo partitions the MIMIC II dataset across the
+various engines" — patient metadata into Postgres, historical waveforms into
+SciDB, notes into Accumulo, and the live waveform feed through S-Store.  The
+loader reproduces exactly that placement against our stand-in engines and
+registers every object in the BigDAWG catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.schema import Schema
+from repro.core.bigdawg import BigDawg
+from repro.engines.array.engine import ArrayEngine
+from repro.engines.array.schema import ArraySchema, Attribute, Dimension
+from repro.engines.keyvalue.engine import KeyValueEngine
+from repro.engines.relational.engine import RelationalEngine
+from repro.engines.streaming.engine import StreamingEngine
+from repro.mimic.generator import MimicDataset, MimicGenerator
+
+
+#: Schemas of the relational tables, as a hospital application would define them.
+PATIENTS_SCHEMA = Schema(
+    [("patient_id", "integer", False), ("age", "integer"), ("sex", "text"), ("race", "text")]
+)
+ADMISSIONS_SCHEMA = Schema(
+    [
+        ("admission_id", "integer", False),
+        ("patient_id", "integer", False),
+        ("admission_type", "text"),
+        ("stay_days", "float"),
+        ("severity", "float"),
+        ("outcome", "text"),
+    ]
+)
+PRESCRIPTIONS_SCHEMA = Schema(
+    [
+        ("prescription_id", "integer", False),
+        ("admission_id", "integer", False),
+        ("patient_id", "integer", False),
+        ("drug", "text"),
+        ("dose_mg", "float"),
+    ]
+)
+LABS_SCHEMA = Schema(
+    [
+        ("lab_id", "integer", False),
+        ("admission_id", "integer", False),
+        ("patient_id", "integer", False),
+        ("test", "text"),
+        ("value", "float"),
+        ("abnormal", "boolean"),
+    ]
+)
+WAVEFORM_FEED_SCHEMA = Schema(
+    [("signal_id", "integer", False), ("sample_index", "integer", False), ("value", "float")]
+)
+
+
+@dataclass
+class MimicDeployment:
+    """Handles to everything the loader created."""
+
+    bigdawg: BigDawg
+    dataset: MimicDataset
+    relational: RelationalEngine
+    array: ArrayEngine
+    keyvalue: KeyValueEngine
+    streaming: StreamingEngine
+
+
+def build_polystore(dataset: MimicDataset | None = None,
+                    generator: MimicGenerator | None = None) -> MimicDeployment:
+    """Create engines, load the dataset the way the demo partitions it, and wire BigDAWG."""
+    if dataset is None:
+        dataset = (generator or MimicGenerator()).generate()
+    bigdawg = BigDawg()
+    relational = RelationalEngine("postgres")
+    array = ArrayEngine("scidb")
+    keyvalue = KeyValueEngine("accumulo")
+    streaming = StreamingEngine("sstore")
+    bigdawg.add_engine(relational)
+    bigdawg.add_engine(array)
+    bigdawg.add_engine(keyvalue)
+    bigdawg.add_engine(streaming)
+
+    load_relational(relational, dataset)
+    load_array(array, dataset)
+    load_keyvalue(keyvalue, dataset)
+    load_streaming(streaming, dataset)
+
+    for table in ("patients", "admissions", "prescriptions", "labs"):
+        bigdawg.catalog.register_object(table, "postgres", "table", replace=True)
+    bigdawg.catalog.register_object("waveform_history", "scidb", "array", replace=True)
+    bigdawg.catalog.register_object("notes", "accumulo", "kvtable", replace=True)
+    bigdawg.catalog.register_object("waveform_feed", "sstore", "stream", replace=True)
+    return MimicDeployment(bigdawg, dataset, relational, array, keyvalue, streaming)
+
+
+def load_relational(engine: RelationalEngine, dataset: MimicDataset) -> None:
+    """Patient metadata, admissions, prescriptions and labs go to the relational engine."""
+    engine.create_table("patients", PATIENTS_SCHEMA, primary_key=("patient_id",), if_not_exists=True)
+    engine.create_table("admissions", ADMISSIONS_SCHEMA, primary_key=("admission_id",), if_not_exists=True)
+    engine.create_table("prescriptions", PRESCRIPTIONS_SCHEMA, primary_key=("prescription_id",), if_not_exists=True)
+    engine.create_table("labs", LABS_SCHEMA, primary_key=("lab_id",), if_not_exists=True)
+    engine.insert_rows(
+        "patients", [(p.patient_id, p.age, p.sex, p.race) for p in dataset.patients]
+    )
+    engine.insert_rows(
+        "admissions",
+        [
+            (a.admission_id, a.patient_id, a.admission_type, a.stay_days, a.severity, a.outcome)
+            for a in dataset.admissions
+        ],
+    )
+    engine.insert_rows(
+        "prescriptions",
+        [
+            (p.prescription_id, p.admission_id, p.patient_id, p.drug, p.dose_mg)
+            for p in dataset.prescriptions
+        ],
+    )
+    engine.insert_rows(
+        "labs",
+        [(l.lab_id, l.admission_id, l.patient_id, l.test, l.value, l.abnormal) for l in dataset.labs],
+    )
+    engine.create_index("idx_admissions_patient", "admissions", ["patient_id"])
+    engine.create_index("idx_prescriptions_patient", "prescriptions", ["patient_id"])
+
+
+def load_array(engine: ArrayEngine, dataset: MimicDataset, array_name: str = "waveform_history") -> None:
+    """Historical waveform segments go to the array engine as a (signal, sample) array."""
+    if not dataset.waveforms:
+        return
+    samples = max(len(w.values) for w in dataset.waveforms)
+    schema = ArraySchema(
+        array_name,
+        [
+            Dimension("signal", 0, len(dataset.waveforms) - 1, 1),
+            Dimension("sample", 0, samples - 1, min(10_000, samples)),
+        ],
+        [Attribute("value", "float")],
+    )
+    stored = engine.create_array(schema, replace=True)
+    for waveform in dataset.waveforms:
+        block = np.asarray(waveform.values, dtype=float).reshape(1, -1)
+        stored.write_block("value", (waveform.signal_id, 0), block)
+
+
+def load_keyvalue(engine: KeyValueEngine, dataset: MimicDataset, table_name: str = "notes") -> None:
+    """Clinical notes go to the key-value engine, text-indexed."""
+    table = engine.create_table(table_name, text_indexed=True, replace=True)
+    for note in dataset.notes:
+        row_key = f"patient_{note.patient_id:06d}"
+        table.put(row_key, note.author, f"note_{note.note_id:08d}", note.text)
+
+
+def load_streaming(engine: StreamingEngine, dataset: MimicDataset,
+                   stream_name: str = "waveform_feed",
+                   retention_seconds: float = 8.0) -> None:
+    """The live waveform feed enters through the streaming engine."""
+    engine.create_stream(stream_name, WAVEFORM_FEED_SCHEMA, retention_seconds, replace=True)
+
+
+def waveform_feed_tuples(dataset: MimicDataset, signal_id: int = 0
+                         ) -> list[tuple[float, tuple[int, int, float]]]:
+    """Turn one waveform segment into an ordered feed of (timestamp, tuple) pairs."""
+    for waveform in dataset.waveforms:
+        if waveform.signal_id == signal_id:
+            rate = waveform.sample_rate_hz
+            return [
+                (i / rate, (waveform.signal_id, i, float(v)))
+                for i, v in enumerate(waveform.values)
+            ]
+    return []

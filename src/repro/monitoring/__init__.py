@@ -1,0 +1,5 @@
+"""Real-time monitoring: reference-based waveform anomaly detection and alerts."""
+
+from repro.monitoring.waveform import Alert, ReferenceProfile, WaveformMonitor
+
+__all__ = ["Alert", "ReferenceProfile", "WaveformMonitor"]

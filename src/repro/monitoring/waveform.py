@@ -1,0 +1,151 @@
+"""Real-time waveform monitoring (Section 1.1, "Real-Time Monitoring").
+
+"We have a workflow that compares the incoming waveforms to reference ones,
+raising an alert when we identify significant differences between the two."
+
+:class:`WaveformMonitor` implements that workflow as an S-Store stored
+procedure body:
+
+* a *reference profile* is built offline from historical (non-anomalous)
+  waveform data in the array engine — windowed amplitude statistics plus the
+  dominant frequency;
+* the stored procedure maintains a sliding window over the live feed, computes
+  the same features, and raises an alert whenever the live features deviate
+  from the reference by more than the configured number of standard
+  deviations (or the dominant frequency shifts by more than the tolerance).
+
+Detection latency — the gap between the first anomalous sample's timestamp and
+the alert's timestamp — is what the CLAIM-3 benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analytics.algorithms import dominant_frequency
+from repro.engines.streaming.engine import StreamingEngine
+from repro.engines.streaming.procedures import ProcedureContext
+
+
+@dataclass(frozen=True)
+class ReferenceProfile:
+    """Summary of what 'normal' looks like for one signal."""
+
+    mean_amplitude: float
+    amplitude_std: float
+    rms: float
+    dominant_frequency_hz: float
+    sample_rate_hz: float
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray, sample_rate_hz: float) -> "ReferenceProfile":
+        values = np.asarray(samples, dtype=float).ravel()
+        return cls(
+            mean_amplitude=float(np.mean(np.abs(values))),
+            amplitude_std=float(np.std(np.abs(values))),
+            rms=float(np.sqrt(np.mean(values ** 2))),
+            dominant_frequency_hz=dominant_frequency(values, sample_rate_hz),
+            sample_rate_hz=sample_rate_hz,
+        )
+
+
+@dataclass
+class Alert:
+    """One raised alert."""
+
+    signal_id: int
+    timestamp: float
+    kind: str
+    observed: float
+    expected: float
+    deviation: float
+
+
+@dataclass
+class WaveformMonitor:
+    """Builds the stored-procedure body that watches one waveform feed."""
+
+    reference: ReferenceProfile
+    window_seconds: float = 1.0
+    #: Alert when the window RMS exceeds the reference RMS by this factor.
+    rms_alert_ratio: float = 1.5
+    frequency_tolerance_hz: float = 0.8
+    min_window_samples: int = 16
+    alerts: list[Alert] = field(default_factory=list)
+
+    def procedure_body(self, value_column: str = "value", signal_column: str = "signal_id"):
+        """The callable to register as an S-Store stored procedure."""
+
+        def body(context: ProcedureContext) -> None:
+            window = context.window
+            if window is None:
+                return
+            contents = window.contents(context.timestamp)
+            if len(contents) < self.min_window_samples:
+                return
+            value_idx = window.stream.schema.index_of(value_column)
+            signal_idx = window.stream.schema.index_of(signal_column)
+            values = np.array([t.values[value_idx] for t in contents], dtype=float)
+            signal_id = int(contents[-1].values[signal_idx])
+            self._check_amplitude(context, signal_id, values)
+            self._check_frequency(context, signal_id, values)
+
+        return body
+
+    # ----------------------------------------------------------------- checks
+    def _check_amplitude(self, context: ProcedureContext, signal_id: int, values: np.ndarray) -> None:
+        observed = float(np.sqrt(np.mean(values ** 2)))
+        expected = max(self.reference.rms, 1e-6)
+        deviation = observed / expected
+        if deviation > self.rms_alert_ratio:
+            alert = Alert(
+                signal_id=signal_id,
+                timestamp=context.timestamp,
+                kind="amplitude",
+                observed=observed,
+                expected=expected,
+                deviation=deviation,
+            )
+            self.alerts.append(alert)
+            context.alert(kind=alert.kind, signal_id=signal_id, observed=observed,
+                          expected=alert.expected, deviation=deviation)
+
+    def _check_frequency(self, context: ProcedureContext, signal_id: int, values: np.ndarray) -> None:
+        # A short window cannot resolve frequencies finer than rate / n samples;
+        # skip the check when its resolution is coarser than the tolerance,
+        # otherwise quantization alone would raise false alarms.
+        resolution = self.reference.sample_rate_hz / max(len(values), 1)
+        if resolution > self.frequency_tolerance_hz:
+            return
+        observed = dominant_frequency(values, self.reference.sample_rate_hz)
+        shift = abs(observed - self.reference.dominant_frequency_hz)
+        if shift > self.frequency_tolerance_hz:
+            alert = Alert(
+                signal_id=signal_id,
+                timestamp=context.timestamp,
+                kind="frequency",
+                observed=observed,
+                expected=self.reference.dominant_frequency_hz,
+                deviation=shift,
+            )
+            self.alerts.append(alert)
+            context.alert(kind=alert.kind, signal_id=signal_id, observed=observed,
+                          expected=alert.expected, deviation=shift)
+
+    # ------------------------------------------------------------------ wiring
+    def register(self, engine: StreamingEngine, stream_name: str,
+                 procedure_name: str = "waveform_monitor") -> None:
+        """Register the monitoring procedure against a stream."""
+        engine.register_procedure(
+            procedure_name,
+            stream_name,
+            self.procedure_body(),
+            window_seconds=self.window_seconds,
+        )
+
+    def first_alert_after(self, timestamp: float) -> Alert | None:
+        """The earliest alert at or after a given feed timestamp (detection latency)."""
+        eligible = [a for a in self.alerts if a.timestamp >= timestamp]
+        return min(eligible, key=lambda a: a.timestamp) if eligible else None

@@ -1,0 +1,30 @@
+"""Shared fixtures: a small deterministic MIMIC deployment reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mimic import MimicGenerator, build_polystore
+from repro.mimic.generator import MimicDataset
+
+
+SMALL_GENERATOR = MimicGenerator(
+    patient_count=60,
+    waveform_patients=3,
+    waveform_samples=1000,
+    sample_rate_hz=50.0,
+    anomaly_fraction=1.0,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="session")
+def mimic_dataset() -> MimicDataset:
+    """A small synthetic MIMIC II dataset (generated once per test session)."""
+    return SMALL_GENERATOR.generate()
+
+
+@pytest.fixture()
+def deployment(mimic_dataset):
+    """A freshly loaded polystore over the shared dataset (per test, engines are mutable)."""
+    return build_polystore(dataset=mimic_dataset)

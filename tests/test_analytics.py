@@ -1,0 +1,161 @@
+"""Tests for the complex-analytics algorithms and their polystore runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import (
+    AnalyticsRunner,
+    dominant_frequency,
+    fft_spectrum,
+    kmeans,
+    linear_regression,
+    pagerank,
+    pca,
+    power_iteration,
+)
+
+
+class TestRegression:
+    def test_recovers_known_coefficients(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 2))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 5.0 + rng.normal(0, 0.01, 500)
+        fit = linear_regression(X, y)
+        np.testing.assert_allclose(fit.coefficients, [3.0, -2.0], atol=0.01)
+        assert fit.intercept == pytest.approx(5.0, abs=0.01)
+        assert fit.r_squared > 0.999
+        predictions = fit.predict(X[:5])
+        np.testing.assert_allclose(predictions, y[:5], atol=0.1)
+
+    def test_single_feature_and_shape_errors(self):
+        fit = linear_regression(np.array([1.0, 2.0, 3.0]), np.array([2.0, 4.0, 6.0]))
+        assert fit.coefficients[0] == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            linear_regression(np.zeros((3, 1)), np.zeros(4))
+
+
+class TestPca:
+    def test_components_capture_variance_direction(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(400, 1))
+        data = np.hstack([base, base * 2 + rng.normal(0, 0.01, size=(400, 1))])
+        result = pca(data, n_components=1)
+        assert result.explained_variance_ratio[0] > 0.99
+        direction = np.abs(result.components[0])
+        assert direction[1] > direction[0]  # the second column has twice the spread
+
+    def test_transform_centers_data(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        result = pca(data)
+        transformed = result.transform(data)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError):
+            pca(np.arange(5))
+
+
+class TestKMeans:
+    def test_separates_well_separated_clusters(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 0.2, size=(50, 2))
+        b = rng.normal(5, 0.2, size=(50, 2))
+        result = kmeans(np.vstack([a, b]), k=2, seed=3)
+        labels_a = set(result.labels[:50])
+        labels_b = set(result.labels[50:])
+        assert len(labels_a) == 1 and len(labels_b) == 1 and labels_a != labels_b
+        assert result.inertia < 50
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(60, 2))
+        first = kmeans(data, k=3, seed=9)
+        second = kmeans(data, k=3, seed=9)
+        np.testing.assert_allclose(first.centroids, second.centroids)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), k=0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), k=5)
+
+
+class TestSpectral:
+    def test_fft_and_dominant_frequency(self):
+        t = np.arange(2000) / 200.0
+        signal = np.sin(2 * np.pi * 7.0 * t) + 0.2 * np.sin(2 * np.pi * 20.0 * t)
+        frequencies, magnitudes = fft_spectrum(signal, 200.0)
+        assert frequencies.size == magnitudes.size
+        assert dominant_frequency(signal, 200.0) == pytest.approx(7.0, abs=0.2)
+
+    def test_degenerate_signal(self):
+        assert dominant_frequency(np.array([1.0]), 100.0) == 0.0
+
+
+class TestGraphAnalytics:
+    def test_power_iteration_matches_numpy(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(6, 6))
+        matrix = matrix @ matrix.T  # symmetric positive semi-definite
+        eigenvalue, _vector = power_iteration(matrix)
+        expected = max(np.linalg.eigvalsh(matrix))
+        assert eigenvalue == pytest.approx(expected, rel=1e-4)
+
+    def test_power_iteration_requires_square(self):
+        with pytest.raises(ValueError):
+            power_iteration(np.zeros((2, 3)))
+
+    def test_pagerank_sums_to_one_and_ranks_hub_highest(self):
+        adjacency = np.array(
+            [
+                [0, 1, 1, 1],
+                [0, 0, 1, 0],
+                [0, 1, 0, 0],
+                [0, 1, 1, 0],
+            ],
+            dtype=float,
+        )
+        ranks = pagerank(adjacency)
+        assert ranks.sum() == pytest.approx(1.0)
+        assert ranks[0] == pytest.approx(ranks.min())  # nothing links to node 0
+
+
+class TestAnalyticsRunner:
+    def test_runner_over_polystore(self, deployment):
+        runner = AnalyticsRunner(deployment.bigdawg)
+        matrix = runner.waveform_matrix("waveform_history")
+        assert matrix.shape[0] == len(deployment.dataset.waveforms)
+        fit = runner.regression(
+            "SELECT a.severity, p.age, a.stay_days FROM admissions a "
+            "JOIN patients p ON a.patient_id = p.patient_id",
+            ["a.severity", "p.age"], "a.stay_days",
+        )
+        assert 0.0 <= fit.r_squared <= 1.0
+        frequency = runner.waveform_dominant_frequency("waveform_history", 0, 50.0)
+        assert 0.5 <= frequency <= 5.0  # a plausible heart-rate fundamental
+        clusters = runner.patient_clusters(
+            "SELECT age, stay_days FROM patients p JOIN admissions a ON p.patient_id = a.patient_id",
+            ["age", "stay_days"], k=2,
+        )
+        assert set(clusters.labels) == {0, 1}
+        components = runner.patient_pca(
+            "SELECT age, stay_days, severity FROM patients p JOIN admissions a "
+            "ON p.patient_id = a.patient_id",
+            ["age", "stay_days", "severity"], n_components=2,
+        )
+        assert components.components.shape[0] == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 30), st.floats(-5, 5), st.floats(-5, 5))
+def test_property_regression_on_exact_line_is_perfect(n, slope, intercept):
+    """Property: regression on noise-free data recovers the line with r^2 == 1."""
+    x = np.linspace(0, 10, n)
+    y = slope * x + intercept
+    fit = linear_regression(x, y)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.coefficients[0] == pytest.approx(slope, abs=1e-6)

@@ -1,0 +1,181 @@
+"""Tests for repro.common.schema: columns, schemas, rows and relations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SchemaError, TypeMismatchError
+from repro.common.schema import Column, Relation, Row, Schema, TableDefinition
+from repro.common.types import DataType
+
+
+@pytest.fixture()
+def patient_schema() -> Schema:
+    return Schema(
+        [
+            Column("patient_id", DataType.INTEGER, nullable=False),
+            Column("age", DataType.INTEGER),
+            Column("race", DataType.TEXT),
+            Column("stay_days", DataType.FLOAT),
+        ]
+    )
+
+
+class TestColumn:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.TEXT)
+
+    def test_type_aliases_resolved(self):
+        assert Column("x", "bigint").dtype is DataType.INTEGER
+
+    def test_matches_is_case_insensitive_and_suffix_aware(self):
+        column = Column("patients.age", DataType.INTEGER)
+        assert column.matches("AGE")
+        assert column.matches("patients.age")
+        assert not column.matches("stay")
+
+    def test_with_name_preserves_type(self):
+        renamed = Column("a", DataType.FLOAT, nullable=False).with_name("b")
+        assert renamed.name == "b"
+        assert renamed.dtype is DataType.FLOAT
+        assert renamed.nullable is False
+
+
+class TestSchema:
+    def test_tuple_shorthand(self):
+        schema = Schema([("a", "integer"), ("b", "text", False)])
+        assert schema.column("b").nullable is False
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "integer"), ("A", "text")])
+
+    def test_index_of_and_ambiguity(self, patient_schema):
+        assert patient_schema.index_of("age") == 1
+        assert patient_schema.index_of("AGE") == 1
+        with pytest.raises(SchemaError):
+            patient_schema.index_of("missing")
+
+    def test_qualified_lookup_through_suffix(self):
+        schema = Schema([Column("p.age", DataType.INTEGER), Column("p.race", DataType.TEXT)])
+        assert schema.index_of("age") == 0
+        assert schema.index_of("p.race") == 1
+
+    def test_ambiguous_suffix_raises(self):
+        schema = Schema([Column("p.id", DataType.INTEGER), Column("r.id", DataType.INTEGER)])
+        with pytest.raises(SchemaError):
+            schema.index_of("id")
+
+    def test_project_and_rename(self, patient_schema):
+        projected = patient_schema.project(["race", "age"])
+        assert projected.names == ["race", "age"]
+        renamed = patient_schema.rename({"race": "ethnicity"})
+        assert "ethnicity" in renamed.names
+
+    def test_concat_and_prefixed(self, patient_schema):
+        other = Schema([("drug", "text")])
+        combined = patient_schema.concat(other)
+        assert len(combined) == 5
+        prefixed = patient_schema.prefixed("p")
+        assert prefixed.names[0] == "p.patient_id"
+
+    def test_merge_types_promotes(self):
+        a = Schema([("x", "integer"), ("y", "integer")])
+        b = Schema([("x", "float"), ("y", "integer")])
+        merged = a.merge_types(b)
+        assert merged.column("x").dtype is DataType.FLOAT
+        assert merged.column("y").dtype is DataType.INTEGER
+
+    def test_merge_types_width_mismatch(self):
+        with pytest.raises(SchemaError):
+            Schema([("x", "integer")]).merge_types(Schema([("x", "integer"), ("y", "text")]))
+
+    def test_validate_row_coerces_and_checks_nulls(self, patient_schema):
+        values = patient_schema.validate_row(["7", "64", "white", "3.5"])
+        assert values == (7, 64, "white", 3.5)
+        with pytest.raises(TypeMismatchError):
+            patient_schema.validate_row([None, 60, "white", 1.0])
+        with pytest.raises(SchemaError):
+            patient_schema.validate_row([1, 2])
+
+
+class TestRow:
+    def test_access_by_index_and_name(self, patient_schema):
+        row = Row(patient_schema, (1, 64, "white", 3.5))
+        assert row[0] == 1
+        assert row["race"] == "white"
+        assert row.get("missing", "default") == "default"
+
+    def test_to_dict_and_equality(self, patient_schema):
+        row = Row(patient_schema, (1, 64, "white", 3.5))
+        assert row.to_dict()["age"] == 64
+        assert row == (1, 64, "white", 3.5)
+        assert hash(row) == hash(Row(patient_schema, (1, 64, "white", 3.5)))
+
+    def test_concat_and_project(self, patient_schema):
+        row = Row(patient_schema, (1, 64, "white", 3.5))
+        extra = Row(Schema([("drug", "text")]), ("aspirin",))
+        combined = row.concat(extra)
+        assert combined["drug"] == "aspirin"
+        projected = row.project(["race", "age"])
+        assert projected.values == ("white", 64)
+
+
+class TestRelation:
+    def test_append_validates(self, patient_schema):
+        relation = Relation(patient_schema)
+        relation.append([1, "64", "white", 2])
+        assert relation.rows[0]["age"] == 64
+        with pytest.raises(SchemaError):
+            relation.append([1, 2])
+
+    def test_column_extraction_and_sort(self, patient_schema):
+        relation = Relation(patient_schema, [
+            [2, 70, "black", 7.2],
+            [1, 64, "white", 3.5],
+            [3, None, "asian", 2.0],
+        ])
+        assert relation.column("patient_id") == [2, 1, 3]
+        ordered = relation.sorted_by("age")
+        # NULLs sort last.
+        assert ordered.rows[-1]["patient_id"] == 3
+        descending = relation.sorted_by("stay_days", descending=True)
+        assert descending.rows[0]["patient_id"] == 2  # longest stay first
+
+    def test_from_dicts_and_head(self, patient_schema):
+        relation = Relation.from_dicts(
+            patient_schema,
+            [{"patient_id": 1, "age": 50, "race": "white", "stay_days": 1.0},
+             {"patient_id": 2, "age": 60, "race": "black", "stay_days": 2.0}],
+        )
+        assert len(relation) == 2
+        assert len(relation.head(1)) == 1
+
+    def test_equality(self, patient_schema):
+        a = Relation(patient_schema, [[1, 60, "white", 1.0]])
+        b = Relation(patient_schema, [[1, 60, "white", 1.0]])
+        assert a == b
+
+
+class TestTableDefinition:
+    def test_primary_key_must_exist(self, patient_schema):
+        TableDefinition("patients", patient_schema, ("patient_id",))
+        with pytest.raises(SchemaError):
+            TableDefinition("patients", patient_schema, ("missing",))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-1000, 1000), st.floats(allow_nan=False, allow_infinity=False)),
+        min_size=0, max_size=30,
+    )
+)
+def test_relation_roundtrip_through_dicts(rows):
+    """Property: Relation -> dicts -> Relation preserves content."""
+    schema = Schema([("a", "integer"), ("b", "float")])
+    relation = Relation(schema, [list(row) for row in rows])
+    rebuilt = Relation.from_dicts(schema, relation.to_dicts())
+    assert rebuilt == relation

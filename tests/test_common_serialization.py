@@ -1,0 +1,123 @@
+"""Tests for the CSV and binary codecs used by the CAST operator."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CastError
+from repro.common.schema import Relation, Schema
+from repro.common.serialization import BinaryCodec, CsvCodec
+
+
+SCHEMA = Schema(
+    [("id", "integer"), ("name", "text"), ("score", "float"), ("active", "boolean"), ("seen", "timestamp")]
+)
+
+
+def sample_relation() -> Relation:
+    relation = Relation(SCHEMA)
+    relation.append([1, "alice", 3.5, True, datetime(2015, 8, 31, 12, 0, tzinfo=timezone.utc)])
+    relation.append([2, "bob, the builder", None, False, None])
+    relation.append([3, 'quote "x"\nnewline', -1.25, None, datetime(2020, 1, 1, tzinfo=timezone.utc)])
+    return relation
+
+
+@pytest.mark.parametrize("codec", [CsvCodec(), BinaryCodec()], ids=["csv", "binary"])
+class TestRoundTrip:
+    def test_roundtrip_preserves_values(self, codec):
+        original = sample_relation()
+        decoded = codec.decode(codec.encode(original), SCHEMA)
+        assert len(decoded) == len(original)
+        assert decoded.rows[0]["id"] == 1
+        assert decoded.rows[0]["name"] == "alice"
+        assert decoded.rows[1]["score"] is None
+        assert decoded.rows[1]["active"] is False
+        assert decoded.rows[0]["active"] is True
+        assert decoded.rows[2]["score"] == -1.25
+
+    def test_empty_relation(self, codec):
+        empty = Relation(SCHEMA)
+        decoded = codec.decode(codec.encode(empty), SCHEMA)
+        assert len(decoded) == 0
+
+    def test_timestamps_survive(self, codec):
+        original = sample_relation()
+        decoded = codec.decode(codec.encode(original), SCHEMA)
+        assert decoded.rows[0]["seen"].year == 2015
+        assert decoded.rows[1]["seen"] is None
+
+
+class TestCsvSpecifics:
+    def test_quoting_of_delimiters_and_quotes(self):
+        codec = CsvCodec()
+        decoded = codec.decode(codec.encode(sample_relation()), SCHEMA)
+        assert decoded.rows[1]["name"] == "bob, the builder"
+        assert '"x"' in decoded.rows[2]["name"]
+
+    def test_header_row_present(self):
+        payload = CsvCodec().encode(sample_relation()).decode("utf-8")
+        assert payload.splitlines()[0].startswith("id,")
+
+    def test_width_mismatch_raises(self):
+        payload = b"id,name\n1,alice,extra\n"
+        with pytest.raises(CastError):
+            CsvCodec().decode(payload, Schema([("id", "integer"), ("name", "text")]))
+
+    def test_unparseable_value_raises(self):
+        payload = b"id\nnot_a_number\n"
+        with pytest.raises(CastError):
+            CsvCodec().decode(payload, Schema([("id", "integer")]))
+
+
+class TestBinarySpecifics:
+    def test_binary_size_is_comparable_to_csv_for_numeric_data(self):
+        schema = Schema([("i", "integer"), ("v", "float")])
+        relation = Relation(schema, [[i, i * 1.5] for i in range(1000)])
+        binary = BinaryCodec().encode(relation)
+        csv = CsvCodec().encode(relation)
+        # The binary frame is fixed-width per value; it must stay within a small
+        # constant factor of the text size while avoiding any text parsing.
+        assert len(binary) < len(csv) * 2.0
+
+    def test_column_count_mismatch_raises(self):
+        relation = Relation(Schema([("a", "integer")]), [[1]])
+        payload = BinaryCodec().encode(relation)
+        with pytest.raises(CastError):
+            BinaryCodec().decode(payload, Schema([("a", "integer"), ("b", "integer")]))
+
+
+_value_strategy = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    st.text(max_size=20),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(-10**6, 10**6), st.text(max_size=12),
+                           st.floats(allow_nan=False, allow_infinity=False, width=32)),
+                max_size=20))
+def test_property_binary_roundtrip(rows):
+    """Property: arbitrary (int, text, float) relations survive the binary codec."""
+    schema = Schema([("a", "integer"), ("b", "text"), ("c", "float")])
+    relation = Relation(schema, [list(r) for r in rows])
+    decoded = BinaryCodec().decode(BinaryCodec().encode(relation), schema)
+    assert [tuple(r.values) for r in decoded] == [tuple(r.values) for r in relation]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(-10**6, 10**6),
+                           st.text(alphabet=st.characters(blacklist_categories=("Cs", "Cc"),
+                                                          blacklist_characters="\\"),
+                                   max_size=12)),
+                max_size=20))
+def test_property_csv_roundtrip(rows):
+    """Property: arbitrary (int, text) relations survive the CSV codec."""
+    schema = Schema([("a", "integer"), ("b", "text")])
+    relation = Relation(schema, [list(r) for r in rows])
+    decoded = CsvCodec().decode(CsvCodec().encode(relation), schema)
+    assert [tuple(r.values) for r in decoded] == [tuple(r.values) for r in relation]

@@ -1,0 +1,140 @@
+"""Tests for repro.common.types: parsing, inference, coercion and unification."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import TypeMismatchError
+from repro.common.types import DataType, coerce, common_type, infer_type, is_numeric, parse_type
+
+
+class TestParseType:
+    def test_parses_canonical_names(self):
+        assert parse_type("integer") is DataType.INTEGER
+        assert parse_type("float") is DataType.FLOAT
+        assert parse_type("text") is DataType.TEXT
+        assert parse_type("boolean") is DataType.BOOLEAN
+        assert parse_type("timestamp") is DataType.TIMESTAMP
+
+    def test_parses_engine_aliases(self):
+        assert parse_type("bigint") is DataType.INTEGER
+        assert parse_type("double") is DataType.FLOAT
+        assert parse_type("varchar") is DataType.TEXT
+        assert parse_type("bool") is DataType.BOOLEAN
+
+    def test_parses_parameterized_types(self):
+        assert parse_type("varchar(32)") is DataType.TEXT
+        assert parse_type("decimal(10, 2)") is DataType.FLOAT
+
+    def test_is_case_insensitive_and_passes_through_datatype(self):
+        assert parse_type("INTEGER") is DataType.INTEGER
+        assert parse_type(DataType.FLOAT) is DataType.FLOAT
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            parse_type("geometry")
+
+
+class TestInferType:
+    def test_infers_each_python_type(self):
+        assert infer_type(None) is DataType.NULL
+        assert infer_type(True) is DataType.BOOLEAN
+        assert infer_type(3) is DataType.INTEGER
+        assert infer_type(3.5) is DataType.FLOAT
+        assert infer_type("abc") is DataType.TEXT
+        assert infer_type(datetime(2015, 8, 31)) is DataType.TIMESTAMP
+
+    def test_bool_is_not_integer(self):
+        assert infer_type(True) is DataType.BOOLEAN
+
+    def test_unknown_object_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(object())
+
+
+class TestCoerce:
+    def test_none_is_always_allowed(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+
+    def test_integer_coercions(self):
+        assert coerce("42", DataType.INTEGER) == 42
+        assert coerce(3.0, DataType.INTEGER) == 3
+        assert coerce(True, DataType.INTEGER) == 1
+
+    def test_lossy_float_to_integer_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(3.5, DataType.INTEGER)
+
+    def test_float_coercions(self):
+        assert coerce("2.5", DataType.FLOAT) == 2.5
+        assert coerce(2, DataType.FLOAT) == 2.0
+
+    def test_text_coercions(self):
+        assert coerce(12, DataType.TEXT) == "12"
+        stamp = datetime(2015, 8, 31, tzinfo=timezone.utc)
+        assert "2015-08-31" in coerce(stamp, DataType.TEXT)
+
+    def test_boolean_coercions(self):
+        assert coerce("true", DataType.BOOLEAN) is True
+        assert coerce("no", DataType.BOOLEAN) is False
+        assert coerce(0, DataType.BOOLEAN) is False
+        with pytest.raises(TypeMismatchError):
+            coerce("maybe", DataType.BOOLEAN)
+
+    def test_timestamp_coercions(self):
+        parsed = coerce("2015-08-31T12:00:00", DataType.TIMESTAMP)
+        assert parsed.year == 2015
+        from_epoch = coerce(0, DataType.TIMESTAMP)
+        assert from_epoch.year == 1970
+        with pytest.raises(TypeMismatchError):
+            coerce("not a date", DataType.TIMESTAMP)
+
+    def test_bad_numeric_strings_raise(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("abc", DataType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            coerce("abc", DataType.FLOAT)
+
+
+class TestCommonType:
+    def test_same_type_is_identity(self):
+        assert common_type(DataType.TEXT, DataType.TEXT) is DataType.TEXT
+
+    def test_null_yields_other_type(self):
+        assert common_type(DataType.NULL, DataType.FLOAT) is DataType.FLOAT
+        assert common_type(DataType.INTEGER, DataType.NULL) is DataType.INTEGER
+
+    def test_numeric_promotion(self):
+        assert common_type(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT
+        assert common_type(DataType.BOOLEAN, DataType.INTEGER) is DataType.INTEGER
+
+    def test_text_absorbs_other_types(self):
+        assert common_type(DataType.TEXT, DataType.INTEGER) is DataType.TEXT
+
+    def test_incompatible_types_raise(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(DataType.TIMESTAMP, DataType.BOOLEAN)
+
+    def test_is_numeric(self):
+        assert is_numeric(DataType.INTEGER)
+        assert is_numeric(DataType.FLOAT)
+        assert is_numeric(DataType.BOOLEAN)
+        assert not is_numeric(DataType.TEXT)
+
+
+@given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+def test_integer_roundtrip_through_text(value):
+    """Property: integers survive a round trip through the TEXT representation."""
+    assert coerce(coerce(value, DataType.TEXT), DataType.INTEGER) == value
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float_coercion_idempotent(value):
+    """Property: coercing a float to FLOAT twice equals coercing once."""
+    once = coerce(value, DataType.FLOAT)
+    assert coerce(once, DataType.FLOAT) == once

@@ -1,0 +1,196 @@
+"""Tests for the islands: relational, array, text, D4M, Myria and degenerate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ObjectNotFoundError, ParseError, PlanningError
+from repro.common.schema import Row
+from repro.core.bigdawg import BigDawg
+from repro.core.islands.myria import MyriaPlan
+from repro.engines.array import ArrayEngine
+from repro.engines.keyvalue import KeyValueEngine
+from repro.engines.relational import RelationalEngine
+
+
+@pytest.fixture()
+def bigdawg() -> BigDawg:
+    bd = BigDawg()
+    postgres = RelationalEngine("postgres")
+    scidb = ArrayEngine("scidb")
+    accumulo = KeyValueEngine("accumulo")
+    bd.add_engine(postgres)
+    bd.add_engine(scidb)
+    bd.add_engine(accumulo)
+    postgres.execute("CREATE TABLE patients (id INTEGER PRIMARY KEY, age INTEGER, race TEXT)")
+    postgres.execute(
+        "INSERT INTO patients VALUES (1, 64, 'white'), (2, 70, 'black'), (3, 41, 'asian'), (4, 85, 'white')"
+    )
+    postgres.execute("CREATE TABLE rx (pid INTEGER, drug TEXT)")
+    postgres.execute("INSERT INTO rx VALUES (1, 'heparin'), (2, 'aspirin'), (2, 'heparin')")
+    scidb.load_numpy("waves", np.vstack([np.linspace(0, 1, 50), np.linspace(1, 2, 50)]))
+    accumulo.create_table("notes", text_indexed=True)
+    accumulo.put("notes", "p1", "doctor", "n1", "patient very sick")
+    accumulo.put("notes", "p1", "doctor", "n2", "still very sick")
+    accumulo.put("notes", "p2", "nurse", "n1", "doing fine")
+    return bd
+
+
+class TestRelationalIsland:
+    def test_native_pushdown_when_single_sql_engine(self, bigdawg):
+        island = bigdawg.island("relational")
+        before = bigdawg.engine("postgres").queries_executed
+        result = island.execute("SELECT count(*) AS n FROM patients WHERE age > 60")
+        assert result.rows[0]["n"] == 3
+        assert bigdawg.engine("postgres").queries_executed == before + 1
+
+    def test_sql_over_array_object_via_shim(self, bigdawg):
+        island = bigdawg.island("relational")
+        result = island.execute("SELECT count(*) AS n FROM waves WHERE value > 1.0")
+        assert result.rows[0]["n"] == 49
+
+    def test_cross_engine_join(self, bigdawg):
+        island = bigdawg.island("relational")
+        result = island.execute(
+            "SELECT p.id, w.value FROM patients p JOIN waves w ON p.id = w.i WHERE w.j = 0"
+        )
+        assert len(result) == 1  # only patient id 1 matches array row index 1
+
+    def test_referenced_tables_extraction(self, bigdawg):
+        island = bigdawg.island("relational")
+        tables = island.referenced_tables(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN (SELECT * FROM c) s ON s.y = a.y"
+        )
+        assert tables == ["a", "b", "c"]
+        assert island.referenced_tables("UPDATE t SET x = 1") == ["t"]
+
+    def test_can_answer(self, bigdawg):
+        island = bigdawg.island("relational")
+        assert island.can_answer("SELECT 1")
+        assert not island.can_answer("scan(waves)")
+
+
+class TestArrayIsland:
+    def test_afl_execution_to_relation(self, bigdawg):
+        island = bigdawg.island("array")
+        result = island.execute("aggregate(waves, avg(value), count(value))")
+        assert result.rows[0]["count(value)"] == 100.0
+        grouped = island.execute("aggregate(waves, avg(value), i)")
+        assert len(grouped) == 2
+
+    def test_array_result_flattened(self, bigdawg):
+        island = bigdawg.island("array")
+        result = island.execute("filter(waves, value > 1.5)")
+        assert set(result.schema.names) == {"i", "j", "value"}
+        assert all(row["value"] > 1.5 for row in result)
+
+    def test_object_not_reachable_through_island(self, bigdawg):
+        island = bigdawg.island("array")
+        with pytest.raises(ObjectNotFoundError):
+            island.execute("scan(patients)")  # patients lives in postgres, not an array engine
+
+    def test_can_answer(self, bigdawg):
+        island = bigdawg.island("array")
+        assert island.can_answer("aggregate(waves, avg(value))")
+        assert not island.can_answer("SELECT 1")
+
+
+class TestTextIsland:
+    def test_phrase_search_and_min_documents(self, bigdawg):
+        island = bigdawg.island("text")
+        hits = island.execute('SEARCH notes FOR "very sick"')
+        assert len(hits) == 2
+        rows = island.execute('SEARCH notes FOR "very sick" MIN 2')
+        assert [r["row"] for r in rows] == ["p1"]
+
+    def test_conjunctive_search(self, bigdawg):
+        island = bigdawg.island("text")
+        hits = island.execute('SEARCH notes FOR "patient" AND "sick"')
+        assert [r["row"] for r in hits.rows] == ["p1"]
+
+    def test_malformed_query(self, bigdawg):
+        island = bigdawg.island("text")
+        with pytest.raises(ParseError):
+            island.execute("FIND ME something")
+
+
+class TestD4MIsland:
+    def test_fetch_and_textual_queries(self, bigdawg):
+        island = bigdawg.island("d4m")
+        assoc = island.fetch("notes")
+        assert assoc.nnz() == 3
+        degrees = island.execute("ASSOC notes DEGREE ROWS")
+        by_key = {r["key"]: r["degree"] for r in degrees}
+        assert by_key == {"p1": 2.0, "p2": 1.0}
+        subset = island.execute("ASSOC patients ROWS 1,2")
+        assert set(r["row"] for r in subset) == {"1", "2"}
+        filtered = island.execute("ASSOC patients COLS age FILTER > 60")
+        assert {r["row"] for r in filtered} == {"1", "2", "4"}
+
+
+class TestMyriaIsland:
+    def test_plan_execution_with_join_and_group_by(self, bigdawg):
+        island = bigdawg.island("myria")
+        plan = (
+            MyriaPlan()
+            .scan("patients")
+            .select(lambda row: row["age"] > 50)
+            .join(MyriaPlan().scan("rx"), "id", "pid")
+            .group_by(["l.race"], {"prescriptions": ("count", "*")})
+        )
+        result = island.execute(plan)
+        by_race = {r["l.race"]: r["prescriptions"] for r in result}
+        assert by_race == {"white": 1, "black": 2}
+
+    def test_iteration_reaches_fixpoint(self, bigdawg):
+        island = bigdawg.island("myria")
+        seed = island.execute(MyriaPlan().scan("patients").project(["id"]))
+
+        def next_plan(previous):
+            # A no-op plan over the same table: the fixpoint is reached immediately.
+            return MyriaPlan().scan("patients").project(["id"])
+
+        result, iterations = island.iterate(next_plan, seed, max_iterations=10)
+        assert iterations == 1
+        assert len(result) == 4
+
+    def test_plan_must_start_with_scan(self, bigdawg):
+        island = bigdawg.island("myria")
+        with pytest.raises(PlanningError):
+            island.execute(MyriaPlan().project(["id"]))
+        with pytest.raises(PlanningError):
+            island.execute("SELECT 1")
+
+
+class TestDegenerateIslands:
+    def test_relational_passthrough(self, bigdawg):
+        island = bigdawg.degenerate_island("postgres")
+        result = island.execute("SELECT max(age) AS m FROM patients")
+        assert result.rows[0]["m"] == 85
+
+    def test_array_passthrough_native(self, bigdawg):
+        island = bigdawg.degenerate_island("scidb")
+        native = island.execute_native("aggregate(waves, max(value))")
+        assert native["max(value)"] == pytest.approx(2.0)
+
+    def test_keyvalue_mini_language(self, bigdawg):
+        island = bigdawg.degenerate_island("accumulo")
+        row = island.execute("GET notes p1")
+        assert len(row) == 2
+        scan = island.execute("SCAN notes")
+        assert len(scan) == 3
+        from repro.common.errors import UnsupportedOperationError
+
+        with pytest.raises(UnsupportedOperationError):
+            island.execute("DELETE notes")
+
+    def test_call_escape_hatch(self, bigdawg):
+        island = bigdawg.degenerate_island("accumulo")
+        count = island.call(lambda engine: len(engine.scan("notes")))
+        assert count == 3
+
+    def test_island_lookup_by_both_names(self, bigdawg):
+        assert bigdawg.island("degenerate_postgres") is bigdawg.degenerate_island("postgres")
+        with pytest.raises(ObjectNotFoundError):
+            bigdawg.island("degenerate_mysql")

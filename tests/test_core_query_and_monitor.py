@@ -1,0 +1,230 @@
+"""Tests for the SCOPE/CAST language, the cross-island planner, the monitor and semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ParseError, PlanningError
+from repro.core.bigdawg import BigDawg
+from repro.core.monitor import ExecutionMonitor
+from repro.core.query.language import parse_query, parse_scope
+from repro.core.query.planner import CastStep, IslandQueryStep
+from repro.core.semantics import ProbeCase, SemanticProber
+from repro.engines.array import ArrayEngine
+from repro.engines.keyvalue import KeyValueEngine
+from repro.engines.relational import RelationalEngine
+
+
+# ----------------------------------------------------------------- language
+class TestQueryLanguage:
+    def test_parse_scope_and_casts(self):
+        scope = parse_scope(
+            "RELATIONAL(SELECT * FROM CAST(waves, relational) WHERE value > 5)"
+        )
+        assert scope.island == "relational"
+        assert len(scope.casts) == 1
+        assert scope.casts[0].object_name == "waves"
+        assert scope.casts[0].target_island == "relational"
+        assert "CAST" not in scope.body_without_casts
+
+    def test_bigdawg_wrapper_unwrapped(self):
+        scope = parse_scope("BIGDAWG(ARRAY(scan(waves)))")
+        assert scope.island == "array"
+
+    def test_nested_parentheses_preserved(self):
+        scope = parse_scope("RELATIONAL(SELECT count(*) FROM (SELECT id FROM t) s)")
+        assert scope.body.count("(") == scope.body.count(")")
+
+    def test_with_bindings(self):
+        query = parse_query(
+            "WITH seniors = RELATIONAL(SELECT id FROM patients WHERE age > 65) "
+            "ARRAY(aggregate(waves, avg(value)))"
+        )
+        assert len(query.bindings) == 1
+        assert query.bindings[0][0] == "seniors"
+        assert query.final.island == "array"
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_scope("QUANTUM(SELECT 1)")
+        with pytest.raises(ParseError):
+            parse_scope("RELATIONAL(SELECT 1")
+        with pytest.raises(ParseError):
+            parse_scope("not a scope at all")
+        with pytest.raises(ParseError):
+            parse_query("WITH x = RELATIONAL(SELECT 1)")  # missing final scope
+
+
+# ------------------------------------------------------------------ planner
+@pytest.fixture()
+def bigdawg() -> BigDawg:
+    bd = BigDawg()
+    postgres = RelationalEngine("postgres")
+    scidb = ArrayEngine("scidb")
+    accumulo = KeyValueEngine("accumulo")
+    bd.add_engine(postgres, islands=["relational", "myria", "d4m"])
+    # Note: scidb deliberately NOT a member of the relational island here, so a
+    # CAST into the relational island is actually required.
+    bd.add_engine(scidb, islands=["array"])
+    bd.add_engine(accumulo, islands=["text", "d4m"])
+    postgres.execute("CREATE TABLE patients (id INTEGER PRIMARY KEY, age INTEGER)")
+    postgres.execute("INSERT INTO patients VALUES (1, 64), (2, 70), (3, 41)")
+    scidb.load_numpy("waves", np.arange(12, dtype=float).reshape(3, 4))
+    accumulo.create_table("notes", text_indexed=True)
+    accumulo.put("notes", "p1", "doctor", "n1", "very sick patient")
+    return bd
+
+
+class TestCrossIslandPlanner:
+    def test_plan_contains_cast_step_when_needed(self, bigdawg):
+        plan = bigdawg.plan(
+            "RELATIONAL(SELECT count(*) AS n FROM CAST(waves, relational) WHERE value > 5)"
+        )
+        kinds = [type(step) for step in plan.steps]
+        assert kinds == [CastStep, IslandQueryStep]
+        assert "CAST waves" in plan.explain()
+
+    def test_cast_skipped_when_already_reachable(self, bigdawg):
+        plan = bigdawg.plan("RELATIONAL(SELECT count(*) AS n FROM CAST(patients, relational))")
+        assert [type(step) for step in plan.steps] == [IslandQueryStep]
+
+    def test_execute_cross_island_query(self, bigdawg):
+        result = bigdawg.execute(
+            "RELATIONAL(SELECT count(*) AS n FROM CAST(waves, relational) WHERE value > 5)"
+        )
+        assert result.rows[0]["n"] == 6
+        # The cast materialized the array as a table in the relational engine.
+        assert bigdawg.engine("postgres").has_object("waves")
+        assert len(bigdawg.migrator.history) == 1
+
+    def test_with_binding_visible_to_later_scope(self, bigdawg):
+        result = bigdawg.execute(
+            "WITH seniors = RELATIONAL(SELECT id, age FROM patients WHERE age >= 64) "
+            "RELATIONAL(SELECT count(*) AS n FROM seniors WHERE age >= 70)"
+        )
+        assert result.rows[0]["n"] == 1
+
+    def test_unscoped_query_routed_by_can_answer(self, bigdawg):
+        relational = bigdawg.execute("SELECT count(*) AS n FROM patients")
+        assert relational.rows[0]["n"] == 3
+        text = bigdawg.execute('SEARCH notes FOR "very sick"')
+        assert len(text) == 1
+        with pytest.raises(PlanningError):
+            bigdawg.execute("?? not a query in any island language ??")
+
+    def test_explain_unscoped(self, bigdawg):
+        assert "RELATIONAL" in bigdawg.explain("SELECT 1")
+
+    def test_plan_timings_recorded(self, bigdawg):
+        plan = bigdawg.plan("ARRAY(aggregate(waves, avg(value)))")
+        bigdawg._planner.execute_plan(plan)
+        assert len(plan.timings) == len(plan.steps)
+
+
+# ------------------------------------------------------------------ monitor
+class TestMonitorAndAdvisor:
+    def test_monitor_statistics(self):
+        monitor = ExecutionMonitor()
+        monitor.record("sql_filter", "patients", "postgres", 0.010)
+        monitor.record("sql_filter", "patients", "postgres", 0.014)
+        monitor.record("sql_filter", "patients", "scidb", 0.050)
+        monitor.record("linear_algebra", "patients", "scidb", 0.002)
+        assert monitor.mean_latency("sql_filter", "patients", "postgres") == pytest.approx(0.012)
+        assert monitor.dominant_query_class("patients") == "sql_filter"
+        best_engine, best = monitor.best_engine("sql_filter", "patients")
+        assert best_engine == "postgres" and best == pytest.approx(0.012)
+        assert monitor.best_engine("text_search", "patients") is None
+
+    def test_probe_records_per_engine_latencies(self):
+        monitor = ExecutionMonitor()
+        latencies = monitor.probe(
+            "agg", "waves",
+            {"fast": lambda: sum(range(10)), "slow": lambda: sum(range(200_000))},
+        )
+        assert latencies["fast"] < latencies["slow"]
+        assert len(monitor.observations) == 2
+
+    def test_advisor_recommends_and_applies_migration(self, bigdawg):
+        # Simulate observed latencies: waves (currently in scidb) is much faster
+        # to query in scidb for linear algebra, so no move; patients is faster in
+        # scidb for linear algebra, so a move is recommended.
+        monitor = bigdawg.monitor
+        monitor.record("linear_algebra", "patients", "postgres", 0.5)
+        monitor.record("linear_algebra", "patients", "postgres", 0.4)
+        monitor.record("linear_algebra", "patients", "scidb", 0.01)
+        recommendation = bigdawg.advisor.recommend("patients")
+        assert recommendation.target_engine == "scidb"
+        assert recommendation.expected_speedup > 10
+        moved = bigdawg.advisor.apply(recommendation, dimensions=["id"])
+        assert moved is True
+        assert bigdawg.catalog.locate("patients").engine_name == "scidb"
+        assert bigdawg.engine("scidb").has_object("patients")
+
+    def test_advisor_skips_pointless_moves(self, bigdawg):
+        monitor = bigdawg.monitor
+        monitor.record("sql_filter", "patients", "postgres", 0.001)
+        monitor.record("sql_filter", "patients", "scidb", 0.100)
+        recommendation = bigdawg.advisor.recommend("patients")
+        assert recommendation.target_engine == "postgres"
+        assert recommendation.worthwhile is False
+        assert bigdawg.advisor.apply(recommendation) is False
+
+    def test_rebalance_honours_minimum_speedup(self, bigdawg):
+        monitor = bigdawg.monitor
+        monitor.record("linear_algebra", "patients", "postgres", 0.011)
+        monitor.record("linear_algebra", "patients", "scidb", 0.010)
+        moved = bigdawg.advisor.rebalance(["patients"], minimum_speedup=1.5)
+        assert moved == []
+
+    def test_recommend_without_observations(self, bigdawg):
+        assert bigdawg.advisor.recommend("patients") is None
+
+
+# ----------------------------------------------------------------- semantics
+class TestSemanticProber:
+    def test_common_sub_island_detected(self, bigdawg):
+        prober = SemanticProber(bigdawg)
+        cases = [
+            ProbeCase(
+                name="count_waves_cells",
+                functionality="count",
+                island_queries={
+                    "relational": "SELECT count(*) AS n FROM waves",
+                    "array": "aggregate(waves, count(value))",
+                },
+                normalizer=lambda rel: int(float(rel.rows[0].values[0])),
+            ),
+        ]
+        # The relational island cannot reach 'waves' in this wiring (scidb is
+        # array-only), so first make it reachable by adding the membership.
+        bigdawg.catalog.add_island_member("relational", "scidb")
+        agreements = prober.common_sub_islands(cases)
+        assert agreements == {"count": ["array", "relational"]}
+
+    def test_disagreeing_islands_not_grouped(self, bigdawg):
+        bigdawg.catalog.add_island_member("relational", "scidb")
+        prober = SemanticProber(bigdawg)
+        cases = [
+            ProbeCase(
+                name="different_semantics",
+                functionality="sum",
+                island_queries={
+                    "relational": "SELECT sum(value) AS s FROM waves WHERE value > 5",
+                    "array": "aggregate(waves, sum(value))",
+                },
+                normalizer=lambda rel: round(float(rel.rows[0].values[0]), 6),
+            ),
+        ]
+        assert prober.common_sub_islands(cases) == {}
+
+    def test_failed_probe_recorded_not_raised(self, bigdawg):
+        prober = SemanticProber(bigdawg)
+        case = ProbeCase(
+            name="broken",
+            functionality="count",
+            island_queries={"relational": "SELECT * FROM table_that_does_not_exist"},
+        )
+        outcomes = prober.run_case(case)
+        assert outcomes[0].succeeded is False
+        assert outcomes[0].error

@@ -1,0 +1,149 @@
+"""Tests for D4M associative arrays and their algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SchemaError
+from repro.d4m import AssociativeArray
+
+
+@pytest.fixture()
+def prescriptions() -> AssociativeArray:
+    return AssociativeArray(
+        [
+            ("p1", "aspirin", 2),
+            ("p1", "heparin", 1),
+            ("p2", "aspirin", 1),
+            ("p3", "insulin", 4),
+        ]
+    )
+
+
+class TestBasics:
+    def test_set_get_delete(self):
+        a = AssociativeArray()
+        a.set("r", "c", 1.5)
+        assert a.get("r", "c") == 1.5
+        assert a.get("r", "missing", 0) == 0
+        a.set("r", "c", None)  # None deletes
+        assert len(a) == 0
+
+    def test_keys_and_entries_sorted(self, prescriptions):
+        assert prescriptions.row_keys == ["p1", "p2", "p3"]
+        assert prescriptions.col_keys == ["aspirin", "heparin", "insulin"]
+        entries = list(prescriptions.entries())
+        assert (entries[0].row, entries[0].col) == ("p1", "aspirin")
+
+    def test_copy_is_independent(self, prescriptions):
+        clone = prescriptions.copy()
+        clone.set("p9", "x", 1)
+        assert prescriptions.get("p9", "x") is None
+        assert clone != prescriptions
+
+
+class TestSubsetting:
+    def test_subset_rows_exact_and_prefix(self, prescriptions):
+        subset = prescriptions.subset_rows(["p1", "p3"])
+        assert subset.row_keys == ["p1", "p3"]
+        prefixed = prescriptions.subset_rows("p*")
+        assert prefixed.row_keys == ["p1", "p2", "p3"]
+        assert prescriptions.subset_rows("q*").nnz() == 0
+
+    def test_subset_cols_and_filter(self, prescriptions):
+        aspirin = prescriptions.subset_cols("aspirin")
+        assert aspirin.nnz() == 2
+        heavy = prescriptions.filter_values(lambda v: v >= 2)
+        assert {(e.row, e.col) for e in heavy.entries()} == {("p1", "aspirin"), ("p3", "insulin")}
+
+
+class TestAlgebra:
+    def test_add_unions_keys(self, prescriptions):
+        other = AssociativeArray([("p1", "aspirin", 3), ("p4", "aspirin", 1)])
+        total = prescriptions.add(other)
+        assert total.get("p1", "aspirin") == 5
+        assert total.get("p4", "aspirin") == 1
+
+    def test_multiply_elementwise_intersects(self, prescriptions):
+        other = AssociativeArray([("p1", "aspirin", 10), ("p9", "x", 1)])
+        product = prescriptions.multiply_elementwise(other)
+        assert product.nnz() == 1
+        assert product.get("p1", "aspirin") == 20
+
+    def test_matmul_counts_shared_columns(self, prescriptions):
+        # A @ A.T: entry (p1, p2) counts drugs shared by p1 and p2 weighted by doses.
+        co = prescriptions.matmul(prescriptions.transpose())
+        assert co.get("p1", "p2") == 2  # aspirin 2 * 1
+        assert co.get("p1", "p3") is None
+        assert co.get("p1", "p1") == 5  # 2*2 + 1*1
+
+    def test_matmul_matches_dense_matmul(self, prescriptions):
+        matrix, rows, cols = prescriptions.to_matrix()
+        dense = matrix @ matrix.T
+        assoc = prescriptions.matmul(prescriptions.transpose())
+        rebuilt, r2, _c2 = assoc.to_matrix()
+        # Compare only the nonzero structure common to both labelings.
+        for i, row_a in enumerate(rows):
+            for j, row_b in enumerate(rows):
+                expected = dense[i, j]
+                actual = assoc.get(row_a, row_b) or 0.0
+                assert actual == pytest.approx(expected)
+
+    def test_degrees(self, prescriptions):
+        assert prescriptions.sum_rows() == {"p1": 3.0, "p2": 1.0, "p3": 4.0}
+        assert prescriptions.sum_cols()["aspirin"] == 3.0
+
+    def test_degrees_with_text_values_count_presence(self):
+        notes = AssociativeArray([("p1", "n1", "sick"), ("p1", "n2", "better"), ("p2", "n1", "fine")])
+        assert notes.sum_rows() == {"p1": 2.0, "p2": 1.0}
+
+    def test_numeric_algebra_rejects_text(self):
+        notes = AssociativeArray([("p1", "n1", "sick")])
+        with pytest.raises(SchemaError):
+            notes.matmul(notes.transpose())
+
+
+class TestConversions:
+    def test_matrix_roundtrip(self, prescriptions):
+        matrix, rows, cols = prescriptions.to_matrix()
+        rebuilt = AssociativeArray.from_matrix(matrix, rows, cols)
+        assert rebuilt == prescriptions.filter_values(lambda v: True)
+
+    def test_from_matrix_shape_check(self):
+        with pytest.raises(SchemaError):
+            AssociativeArray.from_matrix(np.zeros((2, 2)), ["a"], ["b", "c"])
+
+    def test_from_edges_builds_multigraph_counts(self):
+        graph = AssociativeArray.from_edges([("a", "b"), ("a", "b"), ("b", "c")])
+        assert graph.get("a", "b") == 2
+        assert graph.sum_rows()["a"] == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("abcd"), st.sampled_from("wxyz"),
+                           st.integers(1, 9)), max_size=25))
+def test_property_transpose_is_involution(entries):
+    """Property: transposing twice gives back the original associative array."""
+    array = AssociativeArray()
+    for row, col, value in entries:
+        array.set(row, col, value)
+    assert array.transpose().transpose() == array
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("abc"), st.sampled_from("xyz"),
+                           st.integers(1, 5)), max_size=20),
+       st.lists(st.tuples(st.sampled_from("abc"), st.sampled_from("xyz"),
+                           st.integers(1, 5)), max_size=20))
+def test_property_add_is_commutative(left_entries, right_entries):
+    """Property: element-wise addition of associative arrays is commutative."""
+    left = AssociativeArray()
+    right = AssociativeArray()
+    for row, col, value in left_entries:
+        left.set(row, col, left.get(row, col, 0) + value)
+    for row, col, value in right_entries:
+        right.set(row, col, right.get(row, col, 0) + value)
+    assert left.add(right) == right.add(left)

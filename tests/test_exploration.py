@@ -1,0 +1,176 @@
+"""Tests for the exploratory-analysis systems: SeeDB, Searchlight and ScalaR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exploration import (
+    ConstraintQuery,
+    RangeConstraint,
+    ScalarBrowser,
+    SeeDB,
+    Searchlight,
+    TileKey,
+    deviation_utility,
+)
+
+
+# -------------------------------------------------------------------- SeeDB
+class TestDeviationUtility:
+    def test_identical_distributions_have_zero_utility(self):
+        series = {"a": 1.0, "b": 2.0}
+        assert deviation_utility(series, dict(series)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_more_different_distributions_score_higher(self):
+        reference = {"a": 1.0, "b": 1.0}
+        slightly = {"a": 1.2, "b": 0.8}
+        very = {"a": 5.0, "b": 0.1}
+        assert deviation_utility(very, reference) > deviation_utility(slightly, reference)
+
+    def test_disjoint_groups_handled(self):
+        assert deviation_utility({"a": 1.0}, {"b": 1.0}) > 0
+        assert deviation_utility({}, {}) == 0.0
+
+
+class TestSeeDB:
+    @pytest.fixture()
+    def seedb(self, deployment) -> SeeDB:
+        return SeeDB(
+            deployment.bigdawg,
+            "admissions",
+            dimensions=["admission_type", "outcome"],
+            measures=["stay_days", "severity"],
+            sample_fraction=0.25,
+            prune_keep=4,
+        )
+
+    def test_candidate_space_is_cartesian_product(self, seedb):
+        assert len(seedb.candidates()) == 2 * 2 * 3
+
+    def test_recommend_returns_ranked_views(self, seedb):
+        report = seedb.recommend("severity > 0.6", k=3)
+        assert len(report.views) == 3
+        utilities = [view.utility for view in report.views]
+        assert utilities == sorted(utilities, reverse=True)
+        assert report.candidates_considered == 12
+        assert report.candidates_pruned > 0
+        chart = report.views[0].as_chart()
+        assert set(chart) >= {"title", "groups", "target", "reference", "utility"}
+
+    def test_pruning_keeps_topk_consistent_with_exhaustive(self, seedb):
+        pruned = seedb.recommend("severity > 0.6", k=2, use_pruning=True)
+        exhaustive = seedb.recommend("severity > 0.6", k=2, use_pruning=False)
+        pruned_labels = {v.candidate.label for v in pruned.views}
+        exhaustive_labels = {v.candidate.label for v in exhaustive.views}
+        # Sampling may reorder close candidates, but the top view must survive pruning.
+        assert exhaustive.views[0].candidate.label in pruned_labels or pruned_labels & exhaustive_labels
+
+    def test_full_phase_does_fewer_evaluations_with_pruning(self, seedb):
+        report = seedb.recommend("severity > 0.6", k=2, use_pruning=True)
+        assert report.full_evaluations < report.candidates_considered
+
+
+# --------------------------------------------------------------- Searchlight
+class TestSearchlight:
+    @pytest.fixture()
+    def searchlight(self, deployment) -> Searchlight:
+        return Searchlight(deployment.array.array("waveform_history"))
+
+    def test_synopsis_and_exhaustive_agree(self, searchlight):
+        query = ConstraintQuery("value", window_length=25, maximum=RangeConstraint(low=1.8))
+        fast = searchlight.search(query, use_synopsis=True)
+        slow = searchlight.search(query, use_synopsis=False)
+        assert {(s.signal, s.start) for s in fast.solutions} == {
+            (s.signal, s.start) for s in slow.solutions
+        }
+        assert fast.windows_validated <= slow.windows_validated
+        assert fast.used_synopsis and not slow.used_synopsis
+
+    def test_solutions_actually_satisfy_constraints(self, searchlight):
+        query = ConstraintQuery(
+            "value", window_length=30,
+            avg=RangeConstraint(low=-0.2, high=0.6),
+            maximum=RangeConstraint(high=3.0),
+            minimum=RangeConstraint(low=-3.0),
+        )
+        report = searchlight.search(query)
+        for solution in report.solutions:
+            assert -0.2 <= solution.average <= 0.6
+            assert solution.peak <= 3.0
+            assert solution.trough >= -3.0
+
+    def test_impossible_constraint_prunes_everything(self, searchlight):
+        query = ConstraintQuery("value", window_length=25, minimum=RangeConstraint(low=100.0))
+        report = searchlight.search(query, use_synopsis=True)
+        assert report.solutions == []
+        assert report.chunks_pruned > 0
+
+    def test_anomalous_windows_found(self, deployment, searchlight):
+        # The injected tachycardia bursts have amplitude > 1.8.
+        query = ConstraintQuery("value", window_length=10, maximum=RangeConstraint(low=1.8))
+        report = searchlight.search(query)
+        anomalous_signals = {s.signal for s in report.solutions}
+        expected = {w.signal_id for w in deployment.dataset.waveforms if w.has_anomaly}
+        assert expected <= anomalous_signals
+
+    def test_requires_two_dimensional_array(self, deployment):
+        from repro.engines.array import linalg
+
+        with pytest.raises(ValueError):
+            Searchlight(linalg.from_matrix("flat", np.arange(5.0)))
+
+
+# -------------------------------------------------------------------- ScalaR
+class TestScalarBrowser:
+    @pytest.fixture()
+    def browser(self, deployment) -> ScalarBrowser:
+        return ScalarBrowser(
+            deployment.array.array("waveform_history"),
+            tile_samples=16, base_block=2, max_levels=4, cache_capacity=64,
+        )
+
+    def test_resolution_levels_shrink(self, browser):
+        fine_rows, fine_cols = browser.level_shape(0)
+        coarse_rows, coarse_cols = browser.level_shape(3)
+        assert fine_rows == coarse_rows
+        assert coarse_cols < fine_cols
+
+    def test_fetch_pan_zoom_produce_tiles(self, browser):
+        tile = browser.fetch_tile(TileKey(level=2, row=0, col=0))
+        assert tile.values.shape[0] == 1
+        panned = browser.pan(tile.key, +1)
+        assert panned.key.col == 1
+        zoomed = browser.zoom_in(panned.key)
+        assert zoomed.key.level == 1
+        out = browser.zoom_out(zoomed.key)
+        assert out.key.level == 2
+        overview = browser.overview()
+        assert overview.shape[0] == 3  # one row per signal
+
+    def test_prefetching_improves_hit_rate(self, deployment):
+        def drive(prefetch: bool) -> float:
+            browser = ScalarBrowser(
+                deployment.array.array("waveform_history"),
+                tile_samples=16, base_block=2, max_levels=4, prefetch=prefetch,
+            )
+            tile = browser.fetch_tile(TileKey(level=1, row=0, col=0))
+            for _ in range(10):
+                tile = browser.pan(tile.key, +1)
+            return browser.stats.hit_rate
+
+        assert drive(True) > drive(False)
+
+    def test_cache_eviction_respects_capacity(self, deployment):
+        browser = ScalarBrowser(
+            deployment.array.array("waveform_history"),
+            tile_samples=8, base_block=2, max_levels=2, cache_capacity=4, prefetch=False,
+        )
+        for col in range(10):
+            browser.fetch_tile(TileKey(level=0, row=0, col=col))
+        assert len(browser._cache) <= 4
+
+    def test_pan_clamps_at_edges(self, browser):
+        tile = browser.fetch_tile(TileKey(level=3, row=0, col=0))
+        panned = browser.pan(tile.key, -1)
+        assert panned.key.col == 0

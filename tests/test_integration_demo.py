@@ -1,0 +1,129 @@
+"""End-to-end integration tests: the five demo interfaces against one polystore.
+
+These tests exercise the whole stack the way the VLDB demo does (Section 3):
+data partitioned across four engines, queried through islands, SCOPE/CAST,
+exploration systems, complex analytics and real-time monitoring — all against
+the same deployment fixture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics import AnalyticsRunner
+from repro.engines.streaming import AgingPolicy
+from repro.exploration import ConstraintQuery, RangeConstraint, ScalarBrowser, SeeDB, Searchlight, TileKey
+from repro.mimic import waveform_feed_tuples
+from repro.monitoring import ReferenceProfile, WaveformMonitor
+
+
+class TestCrossIslandIntegration:
+    def test_relational_query_over_all_three_storage_models(self, deployment):
+        bd = deployment.bigdawg
+        # patients in postgres, waveform_history in scidb, notes in accumulo —
+        # one relational query touches each through the island's shims.
+        patients = bd.execute("RELATIONAL(SELECT count(*) AS n FROM patients)").rows[0]["n"]
+        waves = bd.execute("RELATIONAL(SELECT count(*) AS n FROM waveform_history)").rows[0]["n"]
+        notes = bd.execute("RELATIONAL(SELECT count(*) AS n FROM notes)").rows[0]["n"]
+        assert patients == len(deployment.dataset.patients)
+        assert waves == sum(len(w.values) for w in deployment.dataset.waveforms)
+        assert notes == len(deployment.dataset.notes)
+
+    def test_explicit_cast_query_moves_data_and_answers(self, deployment):
+        bd = deployment.bigdawg
+        result = bd.execute(
+            "RELATIONAL(SELECT signal, count(*) AS n FROM CAST(waveform_history, relational) "
+            "WHERE value > 1.8 GROUP BY signal ORDER BY signal)"
+        )
+        anomalous = {w.signal_id for w in deployment.dataset.waveforms if w.has_anomaly}
+        assert {row["signal"] for row in result} <= {w.signal_id for w in deployment.dataset.waveforms}
+        assert anomalous <= {row["signal"] for row in result}
+
+    def test_text_and_sql_answers_are_consistent(self, deployment):
+        bd = deployment.bigdawg
+        flagged = [r["row"] for r in bd.execute('TEXT(SEARCH notes FOR "very sick" MIN 3)')]
+        # Every flagged patient must actually have >= 3 such notes in the source data.
+        from collections import Counter
+
+        counts = Counter(
+            f"patient_{note.patient_id:06d}"
+            for note in deployment.dataset.notes
+            if "very sick" in note.text
+        )
+        for row in flagged:
+            assert counts[row] >= 3
+
+    def test_monitor_learns_engine_strengths(self, deployment):
+        bd = deployment.bigdawg
+        array_engine = deployment.array
+
+        def run_sql() -> object:
+            return deployment.relational.execute("SELECT count(*) AS n FROM admissions")
+
+        def run_afl() -> object:
+            return array_engine.execute("aggregate(waveform_history, avg(value))")
+
+        bd.monitor.probe("sql_analytics", "admissions", {"postgres": run_sql})
+        bd.monitor.probe("complex_analytics", "waveform_history", {"scidb": run_afl})
+        assert bd.monitor.dominant_query_class("admissions") == "sql_analytics"
+        assert bd.monitor.best_engine("complex_analytics", "waveform_history")[0] == "scidb"
+
+
+class TestFiveInterfaces:
+    def test_browsing_interface(self, deployment):
+        browser = ScalarBrowser(deployment.array.array("waveform_history"),
+                                tile_samples=16, base_block=2, max_levels=3)
+        overview = browser.overview()
+        assert overview.shape[0] == len(deployment.dataset.waveforms)
+        tile = browser.fetch_tile(TileKey(2, 0, 0))
+        for _ in range(4):
+            tile = browser.pan(tile.key, +1)
+        assert browser.stats.requests == 5
+
+    def test_exploratory_interface(self, deployment):
+        seedb = SeeDB(deployment.bigdawg, "admissions",
+                      dimensions=["admission_type", "outcome"],
+                      measures=["stay_days", "severity"])
+        report = seedb.recommend("outcome = 'deceased'", k=2)
+        assert len(report.views) == 2
+        assert all(view.utility >= 0 for view in report.views)
+
+    def test_complex_analytics_interface(self, deployment):
+        runner = AnalyticsRunner(deployment.bigdawg)
+        frequency = runner.waveform_dominant_frequency("waveform_history", 0, 50.0)
+        assert frequency > 0
+        searchlight = Searchlight(deployment.array.array("waveform_history"))
+        report = searchlight.search(
+            ConstraintQuery("value", window_length=20, maximum=RangeConstraint(low=1.8))
+        )
+        assert report.windows_validated <= report.windows_considered
+
+    def test_text_interface(self, deployment):
+        hits = deployment.bigdawg.execute('TEXT(SEARCH notes FOR "chest pain")')
+        for row in hits:
+            text = deployment.keyvalue.table("notes").text_index.document(row["row"], row["qualifier"])
+            assert "chest" in text and "pain" in text
+
+    def test_realtime_interface_with_aging(self, deployment):
+        waveform = deployment.dataset.waveforms[0]
+        reference = ReferenceProfile.from_samples(
+            waveform.values[: waveform.anomaly_start], waveform.sample_rate_hz
+        )
+        monitor = WaveformMonitor(reference, window_seconds=0.5)
+        monitor.register(deployment.streaming, "waveform_feed")
+        policy = AgingPolicy(
+            deployment.streaming.stream("waveform_feed"), deployment.array, "aged_feed",
+            max_series=4, max_samples=len(waveform.values),
+        )
+        deployment.streaming.add_aging_policy(policy)
+        for timestamp, payload in waveform_feed_tuples(deployment.dataset, 0):
+            deployment.streaming.append("waveform_feed", timestamp, payload)
+        anomaly_time = waveform.anomaly_start / waveform.sample_rate_hz
+        assert monitor.first_alert_after(anomaly_time) is not None
+        # Hot + cold reconstruction equals the original signal.
+        combined = policy.combined_series(0)
+        np.testing.assert_allclose(combined, waveform.values)
+        # And the aged data is queryable through the array island.
+        aged = deployment.bigdawg.execute("ARRAY(aggregate(aged_feed, count(value)))")
+        assert aged.rows[0]["count(value)"] == policy.tuples_aged

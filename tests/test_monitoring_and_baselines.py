@@ -1,0 +1,147 @@
+"""Tests for real-time waveform monitoring and the one-size-fits-all / micro-batch baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MicroBatchProcessor, build_one_size_fits_all
+from repro.mimic import waveform_feed_tuples
+from repro.monitoring import ReferenceProfile, WaveformMonitor
+
+
+# --------------------------------------------------------------- monitoring
+class TestReferenceProfile:
+    def test_profile_statistics(self, deployment):
+        waveform = deployment.dataset.waveforms[0]
+        normal = waveform.values[: waveform.anomaly_start]
+        profile = ReferenceProfile.from_samples(normal, waveform.sample_rate_hz)
+        assert profile.rms > 0
+        assert 0.5 <= profile.dominant_frequency_hz <= 3.0
+        assert profile.sample_rate_hz == waveform.sample_rate_hz
+
+
+class TestWaveformMonitor:
+    def _run_monitor(self, deployment, signal_id: int, window_seconds: float = 0.5):
+        from repro.engines.streaming import StreamingEngine
+        from repro.mimic.loader import load_streaming
+
+        waveform = deployment.dataset.waveforms[signal_id]
+        reference = ReferenceProfile.from_samples(
+            waveform.values[: waveform.anomaly_start], waveform.sample_rate_hz
+        )
+        engine = StreamingEngine(f"sstore_{signal_id}")
+        load_streaming(engine, deployment.dataset)
+        monitor = WaveformMonitor(reference, window_seconds=window_seconds)
+        monitor.register(engine, "waveform_feed")
+        for timestamp, payload in waveform_feed_tuples(deployment.dataset, signal_id):
+            engine.append("waveform_feed", timestamp, payload)
+        return waveform, monitor, engine
+
+    def test_detects_anomaly_with_low_latency_and_no_false_alarms(self, deployment):
+        waveform, monitor, _engine = self._run_monitor(deployment, 0)
+        anomaly_time = waveform.anomaly_start / waveform.sample_rate_hz
+        false_alarms = [a for a in monitor.alerts if a.timestamp < anomaly_time]
+        assert false_alarms == []
+        alert = monitor.first_alert_after(anomaly_time)
+        assert alert is not None
+        latency = alert.timestamp - anomaly_time
+        assert 0 <= latency < 1.0  # well inside real-time budget
+
+    def test_alert_payload_propagated_to_engine(self, deployment):
+        _waveform, monitor, engine = self._run_monitor(deployment, 1)
+        assert len(engine.alerts) == len(monitor.alerts)
+        if engine.alerts:
+            assert engine.alerts[0]["kind"] in ("amplitude", "frequency")
+
+    def test_no_alert_before_window_fills(self, deployment):
+        waveform, monitor, _engine = self._run_monitor(deployment, 2, window_seconds=0.5)
+        # The first min_window_samples tuples cannot produce alerts.
+        early_cutoff = monitor.min_window_samples / waveform.sample_rate_hz
+        assert all(a.timestamp >= early_cutoff for a in monitor.alerts)
+
+
+# ------------------------------------------------------------------ baselines
+class TestOneSizeFitsAll:
+    @pytest.fixture()
+    def onesize(self, mimic_dataset):
+        return build_one_size_fits_all(mimic_dataset)
+
+    def test_sql_analytics_match_polystore(self, onesize, deployment):
+        polystore = deployment.bigdawg.execute(
+            "RELATIONAL(SELECT count(*) AS n FROM prescriptions WHERE drug = 'heparin')"
+        ).rows[0]["n"]
+        assert onesize.patients_given_drug("heparin") == polystore
+        stays = onesize.stay_by_race()
+        assert set(stays) >= {"white", "black"}
+
+    def test_waveform_statistics_match_array_engine(self, onesize, deployment):
+        array_stats = deployment.bigdawg.execute(
+            "ARRAY(aggregate(waveform_history, avg(value), stddev(value)))"
+        ).rows[0]
+        sql_stats = onesize.waveform_statistics()
+        assert sql_stats["avg"] == pytest.approx(array_stats["avg(value)"], abs=1e-6)
+        assert sql_stats["stddev"] == pytest.approx(array_stats["stddev(value)"], rel=1e-3)
+
+    def test_windowed_average_and_frequency(self, onesize, deployment):
+        best = onesize.windowed_max_average(window=32)
+        assert best > 0
+        frequency = onesize.dominant_frequency(0)
+        assert frequency > 0
+
+    def test_text_search_agrees_with_text_island(self, onesize, deployment):
+        sql_rows = onesize.patients_with_min_phrase("very sick", 3)
+        island_rows = [
+            r["row"] for r in deployment.bigdawg.execute('TEXT(SEARCH notes FOR "very sick" MIN 3)')
+        ]
+        assert sql_rows == island_rows
+
+    def test_feed_ingest_and_poll(self, onesize, mimic_dataset):
+        batch = waveform_feed_tuples(mimic_dataset, 0)[:100]
+        inserted = onesize.ingest_feed_batch(batch)
+        assert inserted == 100
+        average = onesize.poll_recent_average(0, last_n=10)
+        assert average is not None
+
+
+class TestMicroBatch:
+    def test_alerts_only_at_batch_boundaries(self):
+        processor = MicroBatchProcessor(
+            batch_interval_seconds=1.0, window_seconds=0.5,
+            detector=lambda values: float(np.max(np.abs(values))), threshold=5.0,
+        )
+        # An anomalous value arrives at t=0.7 but the batch only closes at t>=1.0.
+        processor.ingest(0.7, 10.0)
+        assert processor.alerts == []
+        processor.ingest(1.05, 0.0)
+        assert len(processor.alerts) == 1
+        assert processor.alerts[0].timestamp >= 1.0
+
+    def test_detection_latency_floor_is_batch_interval(self, deployment):
+        waveform = deployment.dataset.waveforms[0]
+        reference = ReferenceProfile.from_samples(
+            waveform.values[: waveform.anomaly_start], waveform.sample_rate_hz
+        )
+        processor = MicroBatchProcessor(
+            batch_interval_seconds=1.0, window_seconds=0.5,
+            detector=lambda values: float(np.sqrt(np.mean(values ** 2))),
+            threshold=reference.rms * 1.5,
+        )
+        for timestamp, payload in waveform_feed_tuples(deployment.dataset, 0):
+            processor.ingest(timestamp, payload[2])
+        processor.flush()
+        anomaly_time = waveform.anomaly_start / waveform.sample_rate_hz
+        latency = processor.detection_latency(anomaly_time)
+        assert latency is not None
+        assert latency >= 0
+        assert processor.batches_processed > 0
+
+    def test_flush_processes_trailing_buffer(self):
+        processor = MicroBatchProcessor(
+            batch_interval_seconds=10.0, window_seconds=5.0,
+            detector=lambda values: float(values.max()), threshold=1.0,
+        )
+        processor.ingest(0.5, 3.0)
+        assert processor.alerts == []
+        fired = processor.flush()
+        assert len(fired) == 1

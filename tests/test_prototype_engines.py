@@ -1,0 +1,191 @@
+"""Tests for the prototype engines: TileDB (tiled arrays) and Tupleware (compiled UDFs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DuplicateObjectError, ObjectNotFoundError, SchemaError
+from repro.engines.tiledb import (
+    DenseTile,
+    SparseTile,
+    TileDBArraySchema,
+    TileDBEngine,
+    TileExtent,
+)
+from repro.engines.tupleware import (
+    CompiledExecutor,
+    InterpretedExecutor,
+    TuplewareEngine,
+    UdfStatistics,
+    Workflow,
+)
+
+
+# -------------------------------------------------------------------- TileDB
+class TestTiles:
+    def test_extent_validation_and_shape(self):
+        extent = TileExtent((0, 0), (9, 4))
+        assert extent.shape == (10, 5)
+        assert extent.cell_capacity == 50
+        assert extent.contains((3, 3)) and not extent.contains((10, 0))
+        with pytest.raises(SchemaError):
+            TileExtent((5,), (1,))
+
+    def test_dense_tile_read_write_density(self):
+        tile = DenseTile(TileExtent((0, 0), (4, 4)))
+        tile.write((1, 1), 7.0)
+        assert tile.read((1, 1)) == 7.0
+        assert tile.read((2, 2)) is None
+        assert tile.cell_count == 1
+        assert tile.density == pytest.approx(1 / 25)
+        with pytest.raises(SchemaError):
+            tile.write((9, 9), 1.0)
+
+    def test_sparse_tile_and_densify(self):
+        tile = SparseTile(TileExtent((0, 0), (99, 99)))
+        tile.write((5, 5), 1.0)
+        tile.write((50, 50), 2.0)
+        assert tile.is_sparse and tile.cell_count == 2
+        dense = tile.to_dense()
+        assert dense.read((50, 50)) == 2.0
+        assert not dense.is_sparse
+
+
+class TestTileDBArray:
+    def make_schema(self) -> TileDBArraySchema:
+        return TileDBArraySchema("m", ((0, 99), (0, 99)), (10, 10), sparse_threshold=0.3)
+
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError):
+            TileDBArraySchema("m", ((0, 9),), (5, 5))
+        with pytest.raises(SchemaError):
+            TileDBArraySchema("m", ((9, 0),), (5,))
+
+    def test_sparse_to_dense_promotion(self):
+        engine = TileDBEngine()
+        array = engine.create_array(self.make_schema())
+        # Fill one tile past the density threshold: it should switch representation.
+        array.write_block((0, 0), np.ones((6, 6)))
+        assert array.representation_switches >= 1
+        # A lone cell elsewhere stays sparse.
+        array.write((90, 90), 5.0)
+        stats = {tuple(s.extent.low): s for s in array.tile_statistics()}
+        assert stats[(0, 0)].is_sparse is False
+        assert stats[(90, 90)].is_sparse is True
+
+    def test_slice_box_and_matrix(self):
+        engine = TileDBEngine()
+        array = engine.create_array(self.make_schema())
+        array.write_block((10, 10), np.full((5, 5), 3.0))
+        box = array.slice_box((10, 10), (14, 14))
+        np.testing.assert_allclose(box, np.full((5, 5), 3.0))
+        matrix = array.to_matrix()
+        assert matrix.shape == (100, 100)
+        assert matrix[12, 12] == 3.0 and matrix[0, 0] == 0.0
+
+    def test_out_of_domain_write(self):
+        engine = TileDBEngine()
+        array = engine.create_array(self.make_schema())
+        with pytest.raises(SchemaError):
+            array.write((200, 0), 1.0)
+
+    def test_engine_export_import_and_errors(self):
+        engine = TileDBEngine()
+        array = engine.create_array(self.make_schema())
+        array.write_block((0, 0), np.arange(9, dtype=float).reshape(3, 3))
+        relation = engine.export_relation("m")
+        assert len(relation) == 9
+        engine.import_relation("copy", relation)
+        assert engine.array("copy").cell_count == 9
+        with pytest.raises(DuplicateObjectError):
+            engine.create_array(self.make_schema())
+        with pytest.raises(ObjectNotFoundError):
+            engine.array("missing")
+
+
+# ------------------------------------------------------------------ Tupleware
+class TestWorkflow:
+    def test_builder_and_validation(self):
+        workflow = (
+            Workflow("w")
+            .filter(lambda x: x > 0, statistics=UdfStatistics("pos", 5, True, 0.5))
+            .map(lambda x: x * 2)
+            .reduce(lambda acc, x: acc + x, 0.0)
+        )
+        workflow.validate()
+        assert workflow.total_predicted_cycles == 5
+        bad = Workflow("bad").reduce(lambda a, x: a + x).map(lambda x: x)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+def _standard_workflow() -> Workflow:
+    return (
+        Workflow("pipeline")
+        .filter(lambda x: x > 0.0, lambda a: a > 0.0)
+        .map(lambda x: x * 2.0 + 1.0, lambda a: a * 2.0 + 1.0)
+        .reduce(lambda acc, x: acc + x, 0.0, lambda a: float(a.sum()))
+    )
+
+
+class TestExecutors:
+    def test_compiled_and_interpreted_agree(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=5000)
+        workflow = _standard_workflow()
+        compiled = CompiledExecutor().execute(workflow, data)
+        interpreted = InterpretedExecutor().execute(workflow, data)
+        assert compiled.result == pytest.approx(interpreted.result)
+        assert compiled.fused and not interpreted.fused
+        assert compiled.intermediate_materializations == 0
+        assert interpreted.intermediate_materializations == 2
+
+    def test_map_only_workflow_returns_vector(self):
+        workflow = Workflow("m").map(lambda x: x + 1, lambda a: a + 1)
+        report = CompiledExecutor().execute(workflow, [1.0, 2.0])
+        np.testing.assert_allclose(report.result, [2.0, 3.0])
+
+    def test_compiled_falls_back_to_vectorized_scalar_fn(self):
+        workflow = Workflow("m").map(lambda x: x * 3.0)  # no vector_fn supplied
+        report = CompiledExecutor().execute(workflow, [1.0, 2.0])
+        np.testing.assert_allclose(report.result, [3.0, 6.0])
+
+    def test_record_counts(self):
+        data = np.array([-1.0, 2.0, 3.0])
+        report = CompiledExecutor().execute(_standard_workflow(), data)
+        assert report.records_in == 3
+        assert report.records_out == 2
+
+
+class TestTuplewareEngine:
+    def test_load_execute_compare(self):
+        engine = TuplewareEngine()
+        engine.load("d", np.linspace(-1, 1, 101))
+        results = engine.compare_strategies(_standard_workflow(), "d")
+        assert results["compiled"].result == pytest.approx(results["interpreted"].result)
+        with pytest.raises(DuplicateObjectError):
+            engine.load("d", [1.0], replace=False)
+        with pytest.raises(ObjectNotFoundError):
+            engine.dataset("missing")
+
+    def test_export_import_relation(self):
+        engine = TuplewareEngine()
+        engine.load("d", [1.0, 2.0, 3.0])
+        relation = engine.export_relation("d")
+        assert relation.schema.names == ["index", "value"]
+        engine.import_relation("copy", relation)
+        np.testing.assert_allclose(engine.dataset("copy"), [1.0, 2.0, 3.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+def test_property_compiled_equals_interpreted(values):
+    """Property: the two execution strategies always produce the same answer."""
+    data = np.array(values, dtype=float)
+    workflow = _standard_workflow()
+    compiled = CompiledExecutor().execute(workflow, data)
+    interpreted = InterpretedExecutor().execute(workflow, data)
+    assert compiled.result == pytest.approx(interpreted.result, rel=1e-9, abs=1e-9)
