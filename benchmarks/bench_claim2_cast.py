@@ -5,10 +5,21 @@ file-based import/export" by reading binary data directly.  The benchmark
 casts the same objects between engines through both paths at two sizes and
 prints the throughput ratio; the binary path must not lose (and typically
 wins clearly as row counts grow).
+
+The chunk-size sweep measures the same claim *under bounded wire memory*:
+the streaming pipeline holds at most one encoded frame at a time, so
+``peak_chunk_bytes`` — reported alongside throughput — is the pipeline's
+wire-memory footprint (destination-side buffering is the target engine's
+own, e.g. the array engine still collects cells to size its dimensions),
+and the binary-vs-CSV comparison holds at every chunk size.  The 100k-row
+case checks that chunking costs nothing: the chunked binary path must keep
+up with the old single-shot path while using a fraction of its peak
+wire-frame memory.
 """
 
 from __future__ import annotations
 
+import gc
 import time
 
 import pytest
@@ -82,17 +93,103 @@ def test_cast_csv_large(benchmark, large_catalog):
     assert record.rows == 20_000
 
 
-def test_claim2_summary(large_catalog):
-    """Print the binary-vs-CSV comparison at the larger size."""
+def test_claim2_chunk_size_sweep(large_catalog):
+    """Sweep chunk sizes for both methods; report throughput and peak frame size."""
     migrator = CastMigrator(large_catalog)
+    chunk_sizes = (1_000, 5_000, 20_000)
+    peaks: dict[tuple[str, int], int] = {}
+    print("\nCLAIM-2: chunk-size sweep, 20,000 rows postgres -> accumulo")
+    print(f"  {'method':<8} {'chunk_size':>10} {'rows/s':>12} {'bytes':>12} {'peak_chunk_bytes':>18}")
+    for method in ("binary", "csv"):
+        for chunk_size in chunk_sizes:
+            record = migrator.cast(
+                "waveform_rows", "accumulo", method=method, chunk_size=chunk_size,
+                target_name=f"sweep_{method}_{chunk_size}",
+            )
+            throughput = record.rows / record.seconds
+            peaks[(method, chunk_size)] = record.peak_chunk_bytes
+            print(
+                f"  {method:<8} {chunk_size:>10,} {throughput:>12,.0f} "
+                f"{record.bytes_moved:>12,} {record.peak_chunk_bytes:>18,}"
+            )
+    # Bounded memory: the peak frame scales with the chunk size, not the relation.
+    for method in ("binary", "csv"):
+        assert peaks[(method, 1_000)] < peaks[(method, 20_000)]
+        assert peaks[(method, 1_000)] < peaks[(method, 20_000)] / 10
+
+
+@pytest.fixture(scope="module")
+def xlarge_catalog():
+    return _catalog_with_rows(100_000)
+
+
+def test_claim2_chunked_vs_single_shot_100k(xlarge_catalog):
+    """Chunked binary CAST must keep up with the old single-shot binary path."""
+    migrator = CastMigrator(xlarge_catalog)
+
+    def best_of(chunk_size: int, target: str, attempts: int = 2):
+        # Same noise treatment as test_claim2_summary: best-of-N with the
+        # collector off, so one GC pause cannot flip the comparison.
+        best = None
+        for _ in range(attempts):
+            gc.collect()
+            gc.disable()
+            try:
+                record = migrator.cast(
+                    "waveform_rows", "scidb", method="binary", chunk_size=chunk_size,
+                    target_name=target, dimensions=["sample_index"],
+                )
+            finally:
+                gc.enable()
+            if best is None or record.seconds < best.seconds:
+                best = record
+        return best
+
+    single = best_of(100_000, "wf_single")
+    chunked = best_of(8_192, "wf_chunked")
+    assert single.chunks == 1 and chunked.chunks == 13
+    single_tput = single.rows / single.seconds
+    chunked_tput = chunked.rows / chunked.seconds
+    print("\nCLAIM-2: 100,000-row binary CAST, single-shot vs chunked")
+    print(f"  single-shot : {single_tput:>12,.0f} rows/s, peak frame {single.peak_chunk_bytes:,} bytes")
+    print(f"  chunked     : {chunked_tput:>12,.0f} rows/s, peak frame {chunked.peak_chunk_bytes:,} bytes")
+    # Same work, bounded memory: throughput holds (10% timing tolerance) while
+    # the peak in-memory frame shrinks by the chunking ratio.
+    assert chunked_tput >= single_tput * 0.9
+    assert chunked.peak_chunk_bytes < single.peak_chunk_bytes / 10
+
+
+def test_claim2_summary():
+    """Print the binary-vs-CSV comparison at the larger size."""
+    # A fresh catalog (not the shared module fixture) and best-of-three timing:
+    # the destination import dominates the wall clock and is noisy enough —
+    # especially with other fixtures' data still resident — to flip a close
+    # comparison on a single measurement.
+    migrator = CastMigrator(_catalog_with_rows(20_000))
 
     def timed(method: str, use_tempfile: bool) -> tuple[float, int]:
-        start = time.perf_counter()
-        record = migrator.cast(
-            "waveform_rows", "accumulo", method=method, use_tempfile=use_tempfile,
-            target_name=f"summary_{method}",
-        )
-        return time.perf_counter() - start, record.bytes_moved
+        best, bytes_moved = float("inf"), 0
+        accumulo = migrator.catalog.engine("accumulo")
+        for attempt in range(3):
+            # Keep the live heap identical for every run: drop the previous
+            # destination, then time with the collector off so GC pauses
+            # (which scale with whatever else the process has resident) do
+            # not land on one method's measurement.
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                record = migrator.cast(
+                    "waveform_rows", "accumulo", method=method, use_tempfile=use_tempfile,
+                    target_name="summary_scratch",
+                )
+                best = min(best, time.perf_counter() - start)
+            finally:
+                gc.enable()
+            bytes_moved = record.bytes_moved
+            accumulo.drop_object("summary_scratch")
+            migrator.catalog.unregister_object("summary_scratch")
+        return best, bytes_moved
 
     csv_seconds, csv_bytes = timed("csv", True)
     binary_seconds, binary_bytes = timed("binary", False)

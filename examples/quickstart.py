@@ -66,7 +66,25 @@ def main() -> None:
     )
     print(result.to_dicts())
 
-    # 5. The D4M island sees everything as associative arrays.
+    # 5. Explicit CASTs ride a chunked streaming pipeline: the object moves in
+    #    bounded chunks (never more than one encoded frame in memory), and the
+    #    record reports the per-chunk accounting.  `chunk_size` tunes the row
+    #    budget per chunk; `method` picks the wire format ("binary", "csv", or
+    #    the zero-copy "direct" path).
+    print("== Chunked CAST ==")
+    record = bigdawg.cast(
+        "heart_rate", "postgres", method="binary", target_name="heart_rate_rows",
+        chunk_size=500,
+    )
+    print(
+        f"moved {record.rows} rows in {record.chunks} chunks "
+        f"(peak frame {record.peak_chunk_bytes:,} bytes, {record.bytes_moved:,} total)"
+    )
+    # Cross-island queries accept the same knobs for their implicit CASTs:
+    #   bigdawg.execute("RELATIONAL(... CAST(x, relational) ...)",
+    #                   cast_method="binary", chunk_size=10_000)
+
+    # 6. The D4M island sees everything as associative arrays.
     print("== D4M island ==")
     print(bigdawg.execute("D4M(ASSOC notes DEGREE ROWS)").to_dicts())
 

@@ -7,7 +7,18 @@ The paper contrasts naive *file-based import/export* between engines with a
   written line by line, then re-parsed and re-coerced on the receiving side.
 * :class:`BinaryCodec` — the direct path: values are packed with ``struct``
   into a compact binary frame that the receiver can decode without text
-  parsing, and numeric columns travel as contiguous buffers.
+  parsing.  All-numeric relations are packed *columnar* — one null-flag
+  vector plus one contiguous value buffer per column — so a frame of
+  waveform samples is a handful of bulk packs instead of a per-value loop.
+
+Both codecs also support the chunked CAST pipeline through
+``encode_chunks`` / ``decode_chunks``: each chunk becomes one independent,
+self-describing frame, so a streaming CAST never holds more than a single
+chunk's payload in memory.
+
+Timestamps are normalized to UTC on encode: naive datetimes are interpreted
+as UTC wall-clock times (not local time), so a value decodes to the same
+instant regardless of the host timezone.
 
 Both codecs round-trip a :class:`~repro.common.schema.Relation`, so the CAST
 benchmarks compare like for like.
@@ -18,18 +29,55 @@ from __future__ import annotations
 import io
 import struct
 from datetime import datetime, timezone
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from repro.common.errors import CastError
-from repro.common.schema import Relation, Schema
+from repro.common.schema import Relation, Row, Schema
 from repro.common.types import DataType
 
 
-class CsvCodec:
+def _timestamp_to_epoch(value: Any) -> float:
+    """Convert a timestamp value to UTC epoch seconds.
+
+    Naive datetimes are treated as UTC wall-clock times; interpreting them in
+    local time would make the decoded instant depend on the host timezone.
+    """
+    if isinstance(value, datetime):
+        if value.tzinfo is None:
+            value = value.replace(tzinfo=timezone.utc)
+        return value.timestamp()
+    return float(value)
+
+
+class ChunkedCodecMixin:
+    """Frame-per-chunk streaming on top of a codec's ``encode``/``decode``.
+
+    Each chunk becomes one independent, self-describing payload (CSV frames
+    carry their own header line; binary frames their own type tags), so any
+    frame decodes on its own and a consumer never holds more than one frame.
+    """
+
+    def encode_chunks(self, chunks: Iterable[Relation]) -> Iterator[bytes]:
+        """Encode a stream of chunks as independent payloads, one at a time."""
+        for chunk in chunks:
+            yield self.encode(chunk)
+
+    def decode_chunks(self, payloads: Iterable[bytes], schema: Schema) -> Iterator[Relation]:
+        """Decode a stream of independent payloads back into relation chunks."""
+        for payload in payloads:
+            yield self.decode(payload, schema)
+
+
+class CsvCodec(ChunkedCodecMixin):
     """Text (CSV-like) encoding of a relation, modelling file-based export/import."""
 
     DELIMITER = ","
     NULL_TOKEN = r"\N"
+
+    # Kept in sync with the boolean tokens repro.common.types.coerce accepts,
+    # so a value that imports through validate_row also parses from CSV.
+    _TRUE_TOKENS = frozenset(("true", "t", "1", "yes"))
+    _FALSE_TOKENS = frozenset(("false", "f", "0", "no"))
 
     def encode(self, relation: Relation) -> bytes:
         """Render a relation to delimited text, one row per line."""
@@ -55,8 +103,11 @@ class CsvCodec:
         if not records:
             return Relation(schema)
         relation = Relation(schema)
+        single_text_column = len(schema) == 1 and schema.columns[0].dtype is DataType.TEXT
         for fields in records[1:]:
-            if fields == [""]:
+            if fields == [""] and not single_text_column:
+                # A blank line cannot be a row — except for a single-TEXT-column
+                # schema, where it is a legitimate empty-string value.
                 continue
             if len(fields) != len(schema):
                 raise CastError(
@@ -152,29 +203,52 @@ class CsvCodec:
             if dtype is DataType.FLOAT:
                 return float(field)
             if dtype is DataType.BOOLEAN:
-                return field.strip().lower() in ("true", "t", "1")
+                token = field.strip().lower()
+                if token in self._TRUE_TOKENS:
+                    return True
+                if token in self._FALSE_TOKENS:
+                    return False
+                raise CastError(f"cannot parse {field!r} as {dtype}")
             if dtype is DataType.TIMESTAMP:
-                return datetime.fromisoformat(field)
+                parsed = datetime.fromisoformat(field)
+                if parsed.tzinfo is None:
+                    parsed = parsed.replace(tzinfo=timezone.utc)
+                return parsed
             return field
         except ValueError as exc:
             raise CastError(f"cannot parse {field!r} as {dtype}") from exc
 
 
-class BinaryCodec:
+class BinaryCodec(ChunkedCodecMixin):
     """Compact binary encoding of a relation, modelling a direct binary CAST path.
 
     Frame layout::
 
-        [u32 row_count][u32 column_count]
+        [u8 layout][u32 row_count][u32 column_count]
         for each column: [u8 type_tag]
-        then row-major packed values:
-            null flag (u8) then, when non-null,
-            INTEGER  -> i64
-            FLOAT    -> f64
-            BOOLEAN  -> u8
-            TIMESTAMP-> f64 (epoch seconds, UTC)
-            TEXT     -> u32 length + utf-8 bytes
+
+    followed by, for ``layout == LAYOUT_ROW_MAJOR``, row-major packed values::
+
+        null flag (u8) then, when non-null,
+        INTEGER  -> i64
+        FLOAT    -> f64
+        BOOLEAN  -> u8
+        TIMESTAMP-> f64 (epoch seconds, UTC; naive datetimes treated as UTC)
+        TEXT     -> u32 length + utf-8 bytes
+
+    or, for ``layout == LAYOUT_COLUMNAR`` (chosen automatically when every
+    column is numeric), one column at a time::
+
+        [u8 null flag x row_count]
+        then the non-null values packed contiguously with one bulk
+        ``struct.pack`` (i64 / f64 / u8 as above)
+
+    The columnar layout is what makes large numeric CASTs cheap: encoding and
+    decoding are a few bulk packs per column instead of a per-value loop.
     """
+
+    LAYOUT_ROW_MAJOR = 0
+    LAYOUT_COLUMNAR = 1
 
     _TYPE_TAGS = {
         DataType.INTEGER: 1,
@@ -186,22 +260,43 @@ class BinaryCodec:
     }
     _TAG_TYPES = {v: k for k, v in _TYPE_TAGS.items()}
 
+    #: struct format character for each columnar-packable type.
+    _COLUMNAR_FORMATS = {
+        DataType.INTEGER: "q",
+        DataType.FLOAT: "d",
+        DataType.BOOLEAN: "B",
+        DataType.TIMESTAMP: "d",
+    }
+
+    def __init__(self, columnar: bool = True) -> None:
+        #: When True (the default) all-numeric relations are packed columnar;
+        #: False forces the row-major layout.  Relations with TEXT columns
+        #: always use row-major regardless.
+        self.columnar = columnar
+
     def encode(self, relation: Relation) -> bytes:
         schema = relation.schema
+        use_columnar = self.columnar and all(
+            c.dtype in self._COLUMNAR_FORMATS for c in schema
+        )
+        layout = self.LAYOUT_COLUMNAR if use_columnar else self.LAYOUT_ROW_MAJOR
         out = io.BytesIO()
-        out.write(struct.pack("<II", len(relation), len(schema)))
+        out.write(struct.pack("<BII", layout, len(relation), len(schema)))
         for col in schema:
             out.write(struct.pack("<B", self._TYPE_TAGS[col.dtype]))
-        for row in relation:
-            for value, col in zip(row.values, schema):
-                self._write_value(out, value, col.dtype)
+        if layout == self.LAYOUT_COLUMNAR:
+            self._encode_columnar(out, relation)
+        else:
+            for row in relation:
+                for value, col in zip(row.values, schema):
+                    self._write_value(out, value, col.dtype)
         return out.getvalue()
 
     def decode(self, payload: bytes, schema: Schema) -> Relation:
         view = memoryview(payload)
         offset = 0
-        row_count, col_count = struct.unpack_from("<II", view, offset)
-        offset += 8
+        layout, row_count, col_count = struct.unpack_from("<BII", view, offset)
+        offset += 9
         if col_count != len(schema):
             raise CastError(
                 f"binary frame has {col_count} columns but schema expects {len(schema)}"
@@ -211,6 +306,10 @@ class BinaryCodec:
             (tag,) = struct.unpack_from("<B", view, offset)
             offset += 1
             tags.append(self._TAG_TYPES[tag])
+        if layout == self.LAYOUT_COLUMNAR:
+            return self._decode_columnar(view, offset, row_count, tags, schema)
+        if layout != self.LAYOUT_ROW_MAJOR:
+            raise CastError(f"unknown binary frame layout {layout}")
         relation = Relation(schema)
         for _ in range(row_count):
             values = []
@@ -220,6 +319,58 @@ class BinaryCodec:
             relation.append(values)
         return relation
 
+    # ------------------------------------------------------------ columnar path
+    def _encode_columnar(self, out: io.BytesIO, relation: Relation) -> None:
+        rows = relation.rows
+        for index, col in enumerate(relation.schema):
+            column = [row.values[index] for row in rows]
+            out.write(bytes(1 if value is None else 0 for value in column))
+            if col.dtype is DataType.TIMESTAMP:
+                packed = [_timestamp_to_epoch(v) for v in column if v is not None]
+            elif col.dtype is DataType.BOOLEAN:
+                packed = [1 if v else 0 for v in column if v is not None]
+            elif col.dtype is DataType.INTEGER:
+                packed = [int(v) for v in column if v is not None]
+            else:
+                packed = [float(v) for v in column if v is not None]
+            fmt = self._COLUMNAR_FORMATS[col.dtype]
+            out.write(struct.pack(f"<{len(packed)}{fmt}", *packed))
+
+    def _decode_columnar(self, view: memoryview, offset: int, row_count: int,
+                         tags: list[DataType], schema: Schema) -> Relation:
+        columns: list[list[Any]] = []
+        for dtype in tags:
+            fmt = self._COLUMNAR_FORMATS.get(dtype)
+            if fmt is None:
+                raise CastError(f"columnar frames do not support type {dtype}")
+            flags = bytes(view[offset : offset + row_count])
+            offset += row_count
+            non_null = row_count - sum(flags)
+            values = struct.unpack_from(f"<{non_null}{fmt}", view, offset)
+            offset += struct.calcsize(f"<{non_null}{fmt}")
+            if dtype is DataType.TIMESTAMP:
+                values = [datetime.fromtimestamp(v, tz=timezone.utc) for v in values]
+            elif dtype is DataType.BOOLEAN:
+                values = [bool(v) for v in values]
+            column: list[Any] = []
+            it = iter(values)
+            for flag in flags:
+                column.append(None if flag else next(it))
+            columns.append(column)
+        relation = Relation(schema)
+        if tags == schema.types:
+            # The unpacked values already have the exact Python types the
+            # schema asks for; skip per-value re-validation so the decode
+            # stays a bulk operation.
+            rows = relation.rows
+            for values in zip(*columns) if columns else ():
+                rows.append(Row(schema, values))
+        else:
+            for values in zip(*columns) if columns else ():
+                relation.append(list(values))
+        return relation
+
+    # ----------------------------------------------------------- row-major path
     def _write_value(self, out: io.BytesIO, value: Any, dtype: DataType) -> None:
         if value is None:
             out.write(b"\x01")
@@ -232,11 +383,7 @@ class BinaryCodec:
         elif dtype is DataType.BOOLEAN:
             out.write(struct.pack("<B", 1 if value else 0))
         elif dtype is DataType.TIMESTAMP:
-            if isinstance(value, datetime):
-                stamp = value.timestamp()
-            else:
-                stamp = float(value)
-            out.write(struct.pack("<d", stamp))
+            out.write(struct.pack("<d", _timestamp_to_epoch(value)))
         elif dtype in (DataType.TEXT, DataType.NULL):
             encoded = str(value).encode("utf-8")
             out.write(struct.pack("<I", len(encoded)))

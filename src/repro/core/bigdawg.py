@@ -103,34 +103,48 @@ class BigDawg:
         return self._degenerate[key]
 
     # ------------------------------------------------------------------- query
-    def execute(self, query: str, cast_method: str = "binary") -> Relation:
+    def execute(self, query: str, cast_method: str = "binary",
+                chunk_size: int | None = None) -> Relation:
         """Execute a BigDAWG query.
 
         Accepts either a scoped query (``RELATIONAL(...)``, ``ARRAY(...)``, ...)
         — possibly with ``WITH`` bindings and ``CAST`` terms — or bare island
         text, in which case the island is chosen automatically from the ones
-        whose ``can_answer`` matches.
+        whose ``can_answer`` matches.  ``cast_method`` and ``chunk_size`` set
+        the policy for any CASTs the plan performs.
         """
         stripped = query.strip()
         if self._looks_scoped(stripped):
-            return self._planner.execute(parse_query(stripped), cast_method=cast_method)
+            return self._planner.execute(
+                parse_query(stripped), cast_method=cast_method, chunk_size=chunk_size
+            )
         island = self._choose_island(stripped)
         return island.execute(stripped)
 
-    def explain(self, query: str) -> str:
-        """Return the cross-island plan for a scoped query as numbered steps."""
+    def explain(self, query: str, cast_method: str = "binary",
+                chunk_size: int | None = None) -> str:
+        """Return the cross-island plan for a scoped query as numbered steps.
+
+        Pass the same ``cast_method``/``chunk_size`` the query will be
+        executed with so the explained CAST steps match what would run.
+        """
         if not self._looks_scoped(query.strip()):
             island = self._choose_island(query.strip())
             return f"1. EXECUTE on island {island.name.upper()}"
-        return self._planner.plan(parse_query(query.strip())).explain()
+        return self.plan(query, cast_method=cast_method, chunk_size=chunk_size).explain()
 
-    def plan(self, query: str) -> QueryPlan:
-        return self._planner.plan(parse_query(query.strip()))
+    def plan(self, query: str, cast_method: str = "binary",
+             chunk_size: int | None = None) -> QueryPlan:
+        return self._planner.plan(
+            parse_query(query.strip()), cast_method=cast_method, chunk_size=chunk_size
+        )
 
     def cast(self, object_name: str, target_engine: str, method: str = "binary",
-             **options: Any) -> CastRecord:
+             chunk_size: int | None = None, **options: Any) -> CastRecord:
         """Explicitly CAST an object to another engine."""
-        return self.migrator.cast(object_name, target_engine, method=method, **options)
+        return self.migrator.cast(
+            object_name, target_engine, method=method, chunk_size=chunk_size, **options
+        )
 
     # ----------------------------------------------------------------- helpers
     @staticmethod

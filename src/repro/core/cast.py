@@ -6,17 +6,32 @@ results from one storage engine to another, and notes the project is
 file-based import/export", with a binary access method that reads data
 directly from another engine.
 
-:class:`CastMigrator` implements both paths over the engines' relation
-export/import interface:
+:class:`CastMigrator` implements the move as a *chunked streaming pipeline*
+over the engines' chunk export/import interface: the source yields relations
+of at most ``chunk_size`` rows, each chunk is encoded into one frame, decoded
+by the receiver and imported before the next chunk is produced.  At no point
+does the migrator hold more than one encoded frame (or, on the zero-copy
+path, one decoded chunk) in memory, so the *wire* side of a CAST runs in
+bounded space.  Destination-side memory depends on the target: engines with
+incremental import (relational, key-value) consume each chunk as it arrives,
+while the array engine — which needs its dimension bounds before it can
+allocate — buffers the decoded cells until the stream ends.
 
-* ``method="binary"`` — the direct path: the exported relation is framed with
-  the compact binary codec and decoded by the receiver without text parsing.
-* ``method="csv"``    — the file-based path: the relation is rendered to
+Three methods are supported:
+
+* ``method="binary"`` — the direct path: each chunk is framed with the
+  compact binary codec (columnar for all-numeric schemas) and decoded by the
+  receiver without text parsing.
+* ``method="csv"``    — the file-based path: each chunk is rendered to
   delimited text (optionally staged through a real temporary file) and
   re-parsed on the way in.
+* ``method="direct"`` — the zero-copy fast path for engines that share the
+  in-memory :class:`~repro.common.schema.Relation` representation: chunks
+  flow from exporter to importer with no serialization at all.
 
-Every cast is recorded so the monitor and benchmarks can inspect volume and
-latency.
+Every cast is recorded — including per-chunk accounting (``chunks``,
+``peak_chunk_bytes``) — so the monitor and benchmarks can inspect volume,
+latency and memory behaviour.
 """
 
 from __future__ import annotations
@@ -25,12 +40,13 @@ import os
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from repro.common.errors import CastError
-from repro.common.schema import Relation
+from repro.common.schema import Relation, Schema
 from repro.common.serialization import BinaryCodec, CsvCodec
 from repro.core.catalog import BigDawgCatalog
+from repro.engines.base import DEFAULT_CHUNK_ROWS
 
 
 @dataclass
@@ -44,6 +60,12 @@ class CastRecord:
     rows: int
     bytes_moved: int
     seconds: float
+    #: Number of chunks the object was streamed in.
+    chunks: int = 1
+    #: Largest single encoded frame held in memory during the cast.
+    peak_chunk_bytes: int = 0
+    #: The row budget per chunk the pipeline ran with.
+    chunk_size: int = DEFAULT_CHUNK_ROWS
 
 
 @dataclass
@@ -61,9 +83,10 @@ class CastMigrator:
         target_name: str | None = None,
         drop_source: bool = False,
         use_tempfile: bool = False,
+        chunk_size: int | None = None,
         **import_options: Any,
     ) -> CastRecord:
-        """Copy (or move) an object to another engine.
+        """Copy (or move) an object to another engine, one chunk at a time.
 
         Parameters
         ----------
@@ -72,33 +95,63 @@ class CastMigrator:
         target_engine:
             Name of the destination engine.
         method:
-            ``"binary"`` for the direct path or ``"csv"`` for file-based export/import.
+            ``"binary"`` for the direct binary path, ``"csv"`` for file-based
+            export/import, or ``"direct"`` for the zero-copy in-memory path.
         target_name:
             Name for the object at the destination (defaults to the same name).
         drop_source:
             When True the source copy is dropped and the catalog records the move.
         use_tempfile:
-            For the CSV path, stage the payload through an actual temporary file,
-            as a real file-based export/import would.
+            For the CSV path, stage each chunk through an actual temporary
+            file, as a real file-based export/import would.
+        chunk_size:
+            Rows per chunk on the streaming pipeline (default
+            :data:`~repro.engines.base.DEFAULT_CHUNK_ROWS`).  Only one chunk's
+            encoded payload is ever held in memory.
         import_options:
-            Passed to the destination engine's ``import_relation`` (e.g.
+            Passed to the destination engine's ``import_chunks`` (e.g.
             ``dimensions=[...]`` when casting into the array engine).
         """
+        codec = self._codec(method)
         location = self.catalog.locate(object_name)
         source = self.catalog.engine(location.engine_name)
         target = self.catalog.engine(target_engine)
-        if source.name == target.name and (target_name or object_name) == object_name:
-            raise CastError(f"object {object_name!r} already lives in engine {target_engine!r}")
-        started = time.perf_counter()
-        relation = source.export_relation(object_name)
-        payload = self._encode(relation, method, use_tempfile)
-        decoded = self._decode(payload, relation, method, use_tempfile)
         destination_name = target_name or object_name
-        target.import_relation(destination_name, decoded, **import_options)
+        if source is target and destination_name.lower() == object_name.lower():
+            # Same comparison as the drop_source path below: names are
+            # case-insensitive, so a case-variant target_name is the same
+            # object and casting would destroy it.
+            raise CastError(f"object {object_name!r} already lives in engine {target_engine!r}")
+        size = chunk_size if chunk_size is not None else DEFAULT_CHUNK_ROWS
+        if size <= 0:
+            raise CastError(f"chunk_size must be positive, got {size}")
+        stats = _PipelineStats()
+        started = time.perf_counter()
+        # One export_stream call: engines with native chunk support answer
+        # from metadata, and fallback engines export the relation only once.
+        schema, exported = source.export_stream(object_name, size)
+        if codec is None:
+            # Zero-copy fast path: every engine here shares the in-memory
+            # Relation representation, so chunks flow through unserialized.
+            decoded = self._count_rows(exported, stats)
+        else:
+            decoded = self._frame_pipeline(exported, schema, codec, method, use_tempfile, stats)
+        target.import_chunks(destination_name, schema, decoded, **import_options)
         elapsed = time.perf_counter() - started
         if drop_source:
             source.drop_object(object_name)
-            self.catalog.move_object(object_name, target.name, target.kind)
+            if destination_name.lower() == object_name.lower():
+                self.catalog.move_object(object_name, target.name, target.kind)
+            else:
+                # The object changed name as it moved: retire the old catalog
+                # entry and register the new one (carrying its properties, as
+                # move_object does), so the catalog never points at a name
+                # that does not exist on the target engine.
+                self.catalog.unregister_object(object_name)
+                self.catalog.register_object(
+                    destination_name, target.name, target.kind, replace=True,
+                    **location.properties,
+                )
         else:
             self.catalog.register_object(
                 destination_name, target.name, target.kind, replace=True
@@ -108,36 +161,66 @@ class CastMigrator:
             source_engine=source.name,
             target_engine=target.name,
             method=method,
-            rows=len(relation),
-            bytes_moved=len(payload),
+            rows=stats.rows,
+            bytes_moved=stats.bytes_moved,
             seconds=elapsed,
+            chunks=stats.chunks,
+            peak_chunk_bytes=stats.peak_chunk_bytes,
+            chunk_size=size,
         )
         self.history.append(record)
         return record
 
     # ----------------------------------------------------------------- helpers
-    def _encode(self, relation: Relation, method: str, use_tempfile: bool) -> bytes:
+    def _codec(self, method: str) -> BinaryCodec | CsvCodec | None:
         if method == "binary":
-            return BinaryCodec().encode(relation)
+            return BinaryCodec()
         if method == "csv":
-            payload = CsvCodec().encode(relation)
-            if use_tempfile:
-                # Round-trip through a real file to model export-to-disk.
-                fd, path = tempfile.mkstemp(suffix=".csv")
-                try:
-                    with os.fdopen(fd, "wb") as handle:
-                        handle.write(payload)
-                    with open(path, "rb") as handle:
-                        payload = handle.read()
-                finally:
-                    os.unlink(path)
-            return payload
-        raise CastError(f"unknown cast method {method!r}; use 'binary' or 'csv'")
+            return CsvCodec()
+        if method == "direct":
+            return None
+        raise CastError(
+            f"unknown cast method {method!r}; use 'binary', 'csv' or 'direct'"
+        )
 
-    def _decode(self, payload: bytes, relation: Relation, method: str, use_tempfile: bool) -> Relation:
-        if method == "binary":
-            return BinaryCodec().decode(payload, relation.schema)
-        return CsvCodec().decode(payload, relation.schema)
+    def _frame_pipeline(
+        self,
+        chunks: Iterator[Relation],
+        schema: Schema,
+        codec: BinaryCodec | CsvCodec,
+        method: str,
+        use_tempfile: bool,
+        stats: "_PipelineStats",
+    ) -> Iterator[Relation]:
+        """encode -> (stage) -> decode, one frame at a time."""
+        for chunk in chunks:
+            payload = codec.encode(chunk)
+            if method == "csv" and use_tempfile:
+                payload = self._stage_through_tempfile(payload)
+            stats.rows += len(chunk)
+            stats.chunks += 1
+            stats.bytes_moved += len(payload)
+            stats.peak_chunk_bytes = max(stats.peak_chunk_bytes, len(payload))
+            yield codec.decode(payload, schema)
+
+    @staticmethod
+    def _count_rows(chunks: Iterator[Relation], stats: "_PipelineStats") -> Iterator[Relation]:
+        for chunk in chunks:
+            stats.rows += len(chunk)
+            stats.chunks += 1
+            yield chunk
+
+    @staticmethod
+    def _stage_through_tempfile(payload: bytes) -> bytes:
+        """Round-trip one chunk through a real file to model export-to-disk."""
+        fd, path = tempfile.mkstemp(suffix=".csv")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            with open(path, "rb") as handle:
+                return handle.read()
+        finally:
+            os.unlink(path)
 
     # ------------------------------------------------------------------ stats
     def total_bytes_moved(self) -> int:
@@ -150,3 +233,13 @@ class CastMigrator:
             if record.source_engine.lower() == source.lower()
             and record.target_engine.lower() == target.lower()
         ]
+
+
+@dataclass
+class _PipelineStats:
+    """Mutable per-cast counters threaded through the streaming generators."""
+
+    rows: int = 0
+    chunks: int = 0
+    bytes_moved: int = 0
+    peak_chunk_bytes: int = 0

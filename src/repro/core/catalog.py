@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.common.errors import CatalogError, DuplicateObjectError, ObjectNotFoundError
+from repro.common.schema import Schema
 from repro.engines.base import Engine
 
 
@@ -24,6 +25,12 @@ class ObjectLocation:
     object_type: str  # table | array | stream | kvtable | dataset
     properties: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Engine names are case-insensitive everywhere else in the catalog;
+        # normalizing here (the single place locations are created) means
+        # consumers such as the planner can compare engine names directly.
+        self.engine_name = self.engine_name.lower()
+
 
 class BigDawgCatalog:
     """Registry of engines, island memberships and object placements."""
@@ -32,6 +39,7 @@ class BigDawgCatalog:
         self._engines: dict[str, Engine] = {}
         self._island_members: dict[str, set[str]] = {}
         self._objects: dict[str, ObjectLocation] = {}
+        self._schemas: dict[str, Schema] = {}
 
     # ----------------------------------------------------------------- engines
     def register_engine(self, engine: Engine, islands: Iterable[str] = ()) -> None:
@@ -85,12 +93,14 @@ class BigDawgCatalog:
             raise DuplicateObjectError(f"object {name!r} is already registered")
         if engine_name.lower() not in self._engines:
             raise ObjectNotFoundError(f"engine {engine_name!r} is not registered")
-        location = ObjectLocation(name, engine_name.lower(), object_type, dict(properties))
+        location = ObjectLocation(name, engine_name, object_type, dict(properties))
         self._objects[key] = location
+        self._schemas.pop(key, None)
         return location
 
     def unregister_object(self, name: str) -> None:
         self._objects.pop(name.lower(), None)
+        self._schemas.pop(name.lower(), None)
 
     def locate(self, name: str) -> ObjectLocation:
         """Find where an object lives, checking registrations first, then engines."""
@@ -100,7 +110,7 @@ class BigDawgCatalog:
         # Fall back to asking the engines directly (objects created out-of-band).
         for engine in self._engines.values():
             if engine.has_object(name):
-                return ObjectLocation(name, engine.name.lower(), engine.kind)
+                return ObjectLocation(name, engine.name, engine.kind)
         raise ObjectNotFoundError(f"object {name!r} is not stored in any registered engine")
 
     def has_object(self, name: str) -> bool:
@@ -126,10 +136,43 @@ class BigDawgCatalog:
         if target_engine.lower() not in self._engines:
             raise CatalogError(f"target engine {target_engine!r} is not registered")
         location = ObjectLocation(
-            current.name, target_engine.lower(), object_type or current.object_type, current.properties
+            current.name, target_engine, object_type or current.object_type, current.properties
         )
         self._objects[name.lower()] = location
+        self._schemas.pop(name.lower(), None)
         return location
+
+    # ----------------------------------------------------------------- schemas
+    def schema_of(self, name: str) -> Schema:
+        """The relational schema an export of ``name`` would have.
+
+        Planning a CAST only needs the schema, never the data.  Engines with
+        a native (metadata-only) ``export_schema`` are asked directly every
+        time, so engine-side DDL such as drop-and-recreate is always
+        reflected.  Only for engines relying on the full-export fallback is
+        the result cached — there a lookup costs a whole relation export —
+        with the entry dropped whenever the object is re-registered, moved
+        or unregistered (out-of-band mutation needs ``invalidate_schema``).
+        """
+        location = self.locate(name)
+        engine = self.engine(location.engine_name)
+        if type(engine).export_schema is not Engine.export_schema:
+            return engine.export_schema(name)
+        key = name.lower()
+        if key not in self._schemas:
+            self._schemas[key] = engine.export_schema(name)
+        return self._schemas[key]
+
+    def invalidate_schema(self, name: str | None = None) -> None:
+        """Drop cached schemas (all of them when ``name`` is None).
+
+        Call this after mutating an object's shape directly on an engine,
+        outside the catalog's register/move/unregister paths.
+        """
+        if name is None:
+            self._schemas.clear()
+        else:
+            self._schemas.pop(name.lower(), None)
 
     def describe(self) -> dict:
         """Summary used by the demo's status screen."""

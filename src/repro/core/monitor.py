@@ -155,14 +155,20 @@ class MigrationAdvisor:
         )
 
     def apply(self, recommendation: MigrationRecommendation, method: str = "binary",
-              **cast_options) -> bool:
-        """Apply a worthwhile recommendation by casting the object. Returns True if moved."""
+              chunk_size: int | None = None, **cast_options) -> bool:
+        """Apply a worthwhile recommendation by casting the object. Returns True if moved.
+
+        Migrations ride the chunked streaming pipeline, so rebalancing a large
+        object does not spike memory; ``chunk_size`` tunes the per-chunk row
+        budget.
+        """
         if not recommendation.worthwhile:
             return False
         self.migrator.cast(
             recommendation.object_name,
             recommendation.target_engine,
             method=method,
+            chunk_size=chunk_size,
             drop_source=True,
             **cast_options,
         )
@@ -170,7 +176,8 @@ class MigrationAdvisor:
         return True
 
     def rebalance(self, objects: list[str], minimum_speedup: float = 1.5,
-                  cast_options: dict | None = None) -> list[MigrationRecommendation]:
+                  cast_options: dict | None = None,
+                  chunk_size: int | None = None) -> list[MigrationRecommendation]:
         """Recommend-and-apply for a set of objects; returns what was moved."""
         moved = []
         for object_name in objects:
@@ -178,6 +185,9 @@ class MigrationAdvisor:
             if recommendation is None or recommendation.expected_speedup < minimum_speedup:
                 continue
             options = dict(cast_options or {})
+            if chunk_size is not None:
+                # The explicit argument wins over a chunk_size in cast_options.
+                options["chunk_size"] = chunk_size
             if self.apply(recommendation, **options):
                 moved.append(recommendation)
         return moved

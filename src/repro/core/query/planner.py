@@ -39,11 +39,13 @@ class CastStep:
     target_island: str
     target_engine: str
     method: str = "binary"
+    chunk_size: int | None = None
 
     def describe(self) -> str:
+        detail = self.method if self.chunk_size is None else f"{self.method}, chunks of {self.chunk_size}"
         return (
             f"CAST {self.object_name} -> engine {self.target_engine} "
-            f"(island {self.target_island}, {self.method})"
+            f"(island {self.target_island}, {detail})"
         )
 
 
@@ -86,30 +88,33 @@ class CrossIslandPlanner:
         self._bigdawg = bigdawg
 
     # ------------------------------------------------------------------ plan
-    def plan(self, query: CrossIslandQuery | str) -> QueryPlan:
+    def plan(self, query: CrossIslandQuery | str, cast_method: str = "binary",
+             chunk_size: int | None = None) -> QueryPlan:
         if isinstance(query, str):
             query = parse_query(query)
         if query.final is None:
             raise PlanningError("a BigDAWG query needs a final scoped query")
         plan = QueryPlan()
         for name, scope in query.bindings:
-            plan.steps.extend(self._cast_steps(scope))
+            plan.steps.extend(self._cast_steps(scope, cast_method, chunk_size))
             plan.steps.append(BindingStep(name, scope))
-        plan.steps.extend(self._cast_steps(query.final))
+        plan.steps.extend(self._cast_steps(query.final, cast_method, chunk_size))
         plan.steps.append(IslandQueryStep(query.final))
         return plan
 
-    def _cast_steps(self, scope: ScopedQuery) -> list[CastStep]:
+    def _cast_steps(self, scope: ScopedQuery, cast_method: str = "binary",
+                    chunk_size: int | None = None) -> list[CastStep]:
         steps = []
         for cast in scope.casts:
             island = self._bigdawg.island(cast.target_island)
             members = {engine.name.lower() for engine in island.member_engines()}
             location = self._bigdawg.catalog.locate(cast.object_name)
-            if location.engine_name in members:
+            if location.engine_name in members:  # ObjectLocation normalizes case
                 continue  # already reachable through the target island
             target_engine = self._choose_target_engine(cast.target_island)
             steps.append(
-                CastStep(cast.object_name, cast.target_island, target_engine)
+                CastStep(cast.object_name, cast.target_island, target_engine,
+                         method=cast_method, chunk_size=chunk_size)
             )
         return steps
 
@@ -132,18 +137,23 @@ class CrossIslandPlanner:
         return members[0].name
 
     # --------------------------------------------------------------- execution
-    def execute(self, query: CrossIslandQuery | str, cast_method: str = "binary") -> Relation:
-        plan = self.plan(query)
-        return self.execute_plan(plan, cast_method=cast_method)
+    def execute(self, query: CrossIslandQuery | str, cast_method: str = "binary",
+                chunk_size: int | None = None) -> Relation:
+        return self.execute_plan(self.plan(query, cast_method=cast_method, chunk_size=chunk_size))
 
-    def execute_plan(self, plan: QueryPlan, cast_method: str = "binary") -> Relation:
+    def execute_plan(self, plan: QueryPlan) -> Relation:
+        """Run a plan; cast policy comes from the fields baked into each step."""
         result: Relation | None = None
         for i, step in enumerate(plan.steps):
             started = time.perf_counter()
             if isinstance(step, CastStep):
                 cast_options = self._cast_options(step)
                 self._bigdawg.migrator.cast(
-                    step.object_name, step.target_engine, method=cast_method, **cast_options
+                    step.object_name,
+                    step.target_engine,
+                    method=step.method,
+                    chunk_size=step.chunk_size,
+                    **cast_options,
                 )
             elif isinstance(step, BindingStep):
                 relation = self._bigdawg.island(step.scope.island).execute(
@@ -166,18 +176,17 @@ class CrossIslandPlanner:
         engine = self._bigdawg.catalog.engine(step.target_engine)
         if engine.kind == "array":
             # Casting rows into the array engine: use the leading integer columns
-            # as dimensions when possible (the source relation decides).
-            source = self._bigdawg.catalog.locate(step.object_name)
-            source_engine = self._bigdawg.catalog.engine(source.engine_name)
-            relation = source_engine.export_relation(step.object_name)
+            # as dimensions when possible.  The cached schema lookup means
+            # planning never exports the source relation just to see columns.
+            schema = self._bigdawg.catalog.schema_of(step.object_name)
             from repro.common.types import DataType
 
             dims = []
-            for column in relation.schema.columns:
+            for column in schema.columns:
                 if column.dtype is DataType.INTEGER:
                     dims.append(column.name)
                 else:
                     break
-            if dims and len(dims) < len(relation.schema):
+            if dims and len(dims) < len(schema):
                 return {"dimensions": dims[:2]}
         return {}

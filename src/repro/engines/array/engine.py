@@ -9,7 +9,7 @@ leading columns are the dimension coordinates.
 from __future__ import annotations
 
 import re
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.engines.array import operators as ops
 from repro.engines.array.aql import AqlCall, parse_aql
 from repro.engines.array.schema import ArraySchema, Attribute, Dimension
 from repro.engines.array.storage import StoredArray
-from repro.engines.base import Engine, EngineCapability
+from repro.engines.base import DEFAULT_CHUNK_ROWS, Engine, EngineCapability, relation_chunks
 
 
 class ArrayEngine(Engine):
@@ -65,24 +65,58 @@ class ArrayEngine(Engine):
         must be integers); remaining columns become attributes.  Pass
         ``dimensions=[...]`` to treat several leading columns as dimensions.
         """
+        self.import_chunks(name, relation.schema, [relation], **options)
+
+    def export_schema(self, name: str) -> Schema:
+        """The relational schema of a flattened export, from metadata alone."""
+        array = self.array(name)
+        columns = [Column(d.name, DataType.INTEGER) for d in array.schema.dimensions]
+        columns += [Column(a.name, a.dtype) for a in array.schema.attributes]
+        return Schema(columns)
+
+    def export_chunks(self, name: str, chunk_size: int = DEFAULT_CHUNK_ROWS) -> Iterator[Relation]:
+        """Stream populated cells as bounded chunks of flattened rows."""
+        array = self.array(name)
+        rows = (
+            list(coordinates) + [values[a.name] for a in array.schema.attributes]
+            for coordinates, values in array.iter_cells()
+        )
+        return relation_chunks(self.export_schema(name), rows, chunk_size)
+
+    def import_chunks(self, name: str, schema: Schema, chunks: Iterable[Relation],
+                      **options: Any) -> None:
+        """Accumulate cells chunk by chunk, then build the array once the
+        dimension bounds are known (arrays need their extent up front)."""
         if name.lower() in self._arrays and not options.get("replace", True):
             raise DuplicateObjectError(f"array {name!r} already exists")
-        dim_columns: list[str] = options.get("dimensions") or [relation.schema.names[0]]
+        dim_columns: list[str] = options.get("dimensions") or [schema.names[0]]
         chunk_length = int(options.get("chunk_length", 10_000))
-        attr_columns = [c for c in relation.schema.columns if c.name not in dim_columns]
+        attr_columns = [c for c in schema.columns if c.name not in dim_columns]
         if not attr_columns:
             raise ExecutionError("importing an array requires at least one attribute column")
-        dims = []
-        for dim_name in dim_columns:
-            values = [row[dim_name] for row in relation] or [0]
-            low, high = int(min(values)), int(max(values))
-            dims.append(Dimension(dim_name, low, high, min(chunk_length, high - low + 1)))
+        cells: list[tuple[tuple[int, ...], dict[str, Any]]] = []
+        bounds: list[tuple[int, int]] | None = None
+        for chunk in chunks:
+            for row in chunk:
+                coordinates = tuple(int(row[d]) for d in dim_columns)
+                if bounds is None:
+                    bounds = [(c, c) for c in coordinates]
+                else:
+                    bounds = [
+                        (min(lo, c), max(hi, c))
+                        for (lo, hi), c in zip(bounds, coordinates)
+                    ]
+                cells.append((coordinates, {c.name: row[c.name] for c in attr_columns}))
+        if bounds is None:
+            bounds = [(0, 0)] * len(dim_columns)
+        dims = [
+            Dimension(dim_name, low, high, min(chunk_length, high - low + 1))
+            for dim_name, (low, high) in zip(dim_columns, bounds)
+        ]
         attributes = [Attribute(c.name, c.dtype) for c in attr_columns]
-        schema = ArraySchema(name, dims, attributes)
-        stored = StoredArray(schema)
-        for row in relation:
-            coordinates = tuple(int(row[d]) for d in dim_columns)
-            stored.write_cell(coordinates, {c.name: row[c.name] for c in attr_columns})
+        stored = StoredArray(ArraySchema(name, dims, attributes))
+        for coordinates, values in cells:
+            stored.write_cell(coordinates, values)
         self._arrays[name.lower()] = stored
 
     def drop_object(self, name: str) -> None:

@@ -3,17 +3,60 @@
 An engine owns data objects (tables, arrays, streams, key-value tables) and
 executes queries in its native language.  The only thing BigDAWG requires of
 an engine is the small surface in :class:`Engine`: enumerate objects, export
-an object as a relation, import a relation as a new object, and report which
-capabilities it has so the planner can route subqueries.
+an object as a relation (all at once or as bounded chunks), import a relation
+as a new object (likewise chunked), and report which capabilities it has so
+the planner can route subqueries.
+
+The chunked half of the surface — :meth:`Engine.export_schema`,
+:meth:`Engine.export_chunks` and :meth:`Engine.import_chunks` — is what the
+streaming CAST pipeline uses so that a cross-engine move never materializes
+the whole object on the wire.  The base class provides full-relation
+fallbacks, so an engine only has to implement ``export_relation`` /
+``import_relation`` to participate; engines with native chunk support
+override the chunked methods to avoid the full copy.
 """
 
 from __future__ import annotations
 
 import enum
+import itertools
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import Any, Iterable, Iterator
 
-from repro.common.schema import Relation
+from repro.common.schema import Relation, Row, Schema
+
+#: Default number of rows per chunk on the streaming CAST path.
+DEFAULT_CHUNK_ROWS = 8192
+
+
+def relation_chunks(schema: Schema, rows: Iterable[Any], chunk_size: int,
+                    validate: bool = True) -> Iterator[Relation]:
+    """Group a row stream into relations of at most ``chunk_size`` rows.
+
+    The single home of the chunk-boundary logic every exporter shares.
+    ``rows`` yields value sequences (coerced through the schema when
+    ``validate`` is True) or ready-made :class:`Row` objects (pass
+    ``validate=False`` when the rows are already schema-typed, e.g. straight
+    from an engine's own storage).  Raises eagerly on a non-positive
+    ``chunk_size``; yields nothing for an empty stream.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+
+    def generate() -> Iterator[Relation]:
+        chunk = Relation(schema)
+        for row in rows:
+            if validate:
+                chunk.append(row)
+            else:
+                chunk.rows.append(row if isinstance(row, Row) else Row(schema, row))
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = Relation(schema)
+        if len(chunk):
+            yield chunk
+
+    return generate()
 
 
 class EngineCapability(enum.Flag):
@@ -65,6 +108,67 @@ class Engine(ABC):
     @abstractmethod
     def drop_object(self, name: str) -> None:
         """Remove an object."""
+
+    # ------------------------------------------------------- chunked CAST path
+    def export_schema(self, name: str) -> Schema:
+        """The relational schema an export of ``name`` would have.
+
+        The fallback exports the whole object just to read its schema; engines
+        override this with a metadata-only lookup so planning a CAST is cheap.
+        """
+        return self.export_relation(name).schema
+
+    def export_chunks(self, name: str, chunk_size: int = DEFAULT_CHUNK_ROWS) -> Iterator[Relation]:
+        """Export an object as a stream of relations of at most ``chunk_size`` rows.
+
+        The fallback materializes the full relation and slices it; engines with
+        an incremental scan override this to bound memory.  Yields nothing for
+        an empty object.
+        """
+        relation = self.export_relation(name)
+        return relation_chunks(relation.schema, relation.rows, chunk_size, validate=False)
+
+    def export_stream(self, name: str, chunk_size: int = DEFAULT_CHUNK_ROWS
+                      ) -> tuple[Schema, Iterator[Relation]]:
+        """Schema plus chunk stream in one call — the CAST egress entry point.
+
+        Dispatches to ``export_schema``/``export_chunks`` whenever a subclass
+        overrides them, so native chunk or metadata paths are always
+        honoured.  An engine overriding only ``export_chunks`` gets its
+        schema from the first chunk rather than the full-export schema
+        fallback, preserving the override's memory bound.  Only for
+        pure-fallback engines does it materialize the relation *once* and
+        derive both from it (calling the two fallbacks separately would
+        export twice).
+        """
+        cls = type(self)
+        if cls.export_schema is not Engine.export_schema:
+            return self.export_schema(name), self.export_chunks(name, chunk_size)
+        if cls.export_chunks is not Engine.export_chunks:
+            chunks = self.export_chunks(name, chunk_size)
+            first = next(chunks, None)
+            if first is not None:
+                return first.schema, itertools.chain([first], chunks)
+            # Empty stream: the object has no rows, so the schema fallback's
+            # full export is cheap here.
+            return self.export_relation(name).schema, iter(())
+        relation = self.export_relation(name)
+        return relation.schema, relation_chunks(
+            relation.schema, relation.rows, chunk_size, validate=False
+        )
+
+    def import_chunks(self, name: str, schema: Schema, chunks: Iterable[Relation],
+                      **options: Any) -> None:
+        """Create (or replace) an object from a stream of relation chunks.
+
+        The fallback concatenates the chunks and delegates to
+        ``import_relation``; engines that can append incrementally override
+        this so only one decoded chunk is held at a time.
+        """
+        combined = Relation(schema)
+        for chunk in chunks:
+            combined.rows.extend(chunk.rows)
+        self.import_relation(name, combined, **options)
 
     def describe(self) -> dict[str, Any]:
         """Human-readable summary used by EXPLAIN output and the demo."""

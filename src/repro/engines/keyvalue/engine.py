@@ -6,12 +6,12 @@ values, scanned through server-side iterator stacks and split into tablets.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
-from repro.common.errors import DuplicateObjectError, ObjectNotFoundError
+from repro.common.errors import DuplicateObjectError, ObjectNotFoundError, TypeMismatchError
 from repro.common.schema import Column, Relation, Schema
-from repro.common.types import DataType, infer_type
-from repro.engines.base import Engine, EngineCapability
+from repro.common.types import DataType, common_type, infer_type
+from repro.engines.base import DEFAULT_CHUNK_ROWS, Engine, EngineCapability, relation_chunks
 from repro.engines.keyvalue.iterators import ScanIterator, apply_stack
 from repro.engines.keyvalue.store import Entry, ScanRange, SortedKeyValueStore
 from repro.engines.keyvalue.tablet import TabletManager
@@ -26,13 +26,53 @@ class KeyValueTable:
         self.store = SortedKeyValueStore()
         self.tablets = TabletManager(name, split_threshold=split_threshold)
         self.text_index: InvertedTextIndex | None = InvertedTextIndex() if text_indexed else None
+        #: Widest type observed across stored values, maintained on put so
+        #: exports can type the value column without rescanning the store.
+        self.value_type: DataType | None = None
+        self._typed_mutations = 0
 
     def put(self, row: str, family: str = "", qualifier: str = "", value: Any = None) -> Entry:
         entry = self.store.put(row, family, qualifier, value)
+        # Account for exactly this mutation; incrementing (rather than syncing
+        # to store.mutations) keeps earlier out-of-band changes detectable.
+        self._typed_mutations += 1
+        if value is not None:
+            self.value_type = self._widen(self.value_type, value)
         if self.text_index is not None and isinstance(value, str):
             self.text_index.add_document(row, f"{family}:{qualifier}", value)
         self.tablets.maybe_split(self.store)
         return entry
+
+    def export_value_type(self) -> DataType | None:
+        """The widest type across all stored values, None for an empty table.
+
+        The store counts its mutations, so a mismatch with the mutations this
+        table has accounted for means entries were written or removed behind
+        the table's back; only then is a rescan needed — otherwise this is an
+        O(1) lookup.  The rescan starts from scratch rather than the cached
+        type, so the type can narrow again after out-of-band deletions.
+        """
+        if self.store.mutations != self._typed_mutations:
+            value_type: DataType | None = None
+            for entry in self.store.scan():
+                if entry.value is None:
+                    continue
+                value_type = self._widen(value_type, entry.value)
+                if value_type is DataType.TEXT:
+                    break  # TEXT absorbs everything; no point scanning further
+            self.value_type = value_type
+            self._typed_mutations = self.store.mutations
+        return self.value_type
+
+    @staticmethod
+    def _widen(current: DataType | None, value: Any) -> DataType:
+        try:
+            inferred = infer_type(value)
+            return inferred if current is None else common_type(current, inferred)
+        except TypeMismatchError:
+            # Unclassifiable or incompatible values (bytes, containers,
+            # timestamp+number mixes) still store fine; export as TEXT.
+            return DataType.TEXT
 
     def scan(self, scan_range: ScanRange | None = None,
              iterators: list[ScanIterator] | None = None) -> list[Entry]:
@@ -65,12 +105,23 @@ class KeyValueEngine(Engine):
     def export_relation(self, name: str) -> Relation:
         """Flatten a key-value table to (row, family, qualifier, value) rows."""
         table = self.table(name)
-        value_type = DataType.TEXT
+        relation = Relation(self.export_schema(name))
         for entry in table.store.scan():
-            if entry.value is not None:
-                value_type = infer_type(entry.value)
-                break
-        schema = Schema(
+            relation.append([entry.key.row, entry.key.family, entry.key.qualifier, entry.value])
+        return relation
+
+    def export_schema(self, name: str) -> Schema:
+        """The flattened export schema, widening the value column to a type
+        every stored cell can coerce to (e.g. INTEGER + FLOAT -> FLOAT).
+
+        The table maintains the widened type on write, so this is normally a
+        metadata lookup; it falls back to a merge scan only when entries were
+        written behind the table's back (directly into the store).
+        """
+        value_type = self.table(name).export_value_type()
+        if value_type is None:
+            value_type = DataType.TEXT
+        return Schema(
             [
                 Column("row", DataType.TEXT),
                 Column("family", DataType.TEXT),
@@ -78,10 +129,32 @@ class KeyValueEngine(Engine):
                 Column("value", value_type),
             ]
         )
-        relation = Relation(schema)
-        for entry in table.store.scan():
-            relation.append([entry.key.row, entry.key.family, entry.key.qualifier, entry.value])
-        return relation
+
+    def export_chunks(self, name: str, chunk_size: int = DEFAULT_CHUNK_ROWS) -> Iterator[Relation]:
+        """Stream the sorted scan as bounded chunks of flattened entries."""
+        table = self.table(name)
+        rows = (
+            [entry.key.row, entry.key.family, entry.key.qualifier, entry.value]
+            for entry in table.store.scan()
+        )
+        return relation_chunks(self.export_schema(name), rows, chunk_size)
+
+    def import_chunks(self, name: str, schema: Schema, chunks: Iterable[Relation],
+                      **options: Any) -> None:
+        """Write cells chunk by chunk; the sorted store appends incrementally."""
+        if name.lower() in self._tables and not options.get("replace", True):
+            raise DuplicateObjectError(f"key-value table {name!r} already exists")
+        table = KeyValueTable(name, text_indexed=bool(options.get("text_indexed", False)))
+        names = schema.names
+        row_column = options.get("row_column", names[0])
+        for chunk in chunks:
+            for row in chunk:
+                row_key = str(row[row_column])
+                for column in names:
+                    if column == row_column:
+                        continue
+                    table.put(row_key, "attr", column, row[column])
+        self._tables[name.lower()] = table
 
     def import_relation(self, name: str, relation: Relation, **options: Any) -> None:
         """Create a table from a relation.
@@ -89,18 +162,7 @@ class KeyValueEngine(Engine):
         The first column becomes the row key; remaining columns become
         (family="attr", qualifier=column name) cells.
         """
-        if name.lower() in self._tables and not options.get("replace", True):
-            raise DuplicateObjectError(f"key-value table {name!r} already exists")
-        table = KeyValueTable(name, text_indexed=bool(options.get("text_indexed", False)))
-        names = relation.schema.names
-        row_column = options.get("row_column", names[0])
-        for row in relation:
-            row_key = str(row[row_column])
-            for column in names:
-                if column == row_column:
-                    continue
-                table.put(row_key, "attr", column, row[column])
-        self._tables[name.lower()] = table
+        self.import_chunks(name, relation.schema, [relation], **options)
 
     def drop_object(self, name: str) -> None:
         if name.lower() not in self._tables:

@@ -65,6 +65,9 @@ class SortedKeyValueStore:
         self._sort_keys: list[tuple] = []
         self._entries: list[Entry] = []
         self._timestamp_counter = itertools.count(1)
+        #: Monotone count of completed mutations (puts and deletions), so
+        #: callers can cheaply detect that the store changed under them.
+        self.mutations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -80,6 +83,7 @@ class SortedKeyValueStore:
         index = bisect.bisect_left(self._sort_keys, sort_key)
         self._sort_keys.insert(index, sort_key)
         self._entries.insert(index, entry)
+        self.mutations += 1
         return entry
 
     def put_many(self, entries: Iterable[tuple[str, str, str, Any]]) -> int:
@@ -109,6 +113,7 @@ class SortedKeyValueStore:
                 kept_entries.append(entry)
         self._sort_keys = kept_keys
         self._entries = kept_entries
+        self.mutations += removed
         return removed
 
     def scan(self, scan_range: ScanRange | None = None) -> Iterator[Entry]:

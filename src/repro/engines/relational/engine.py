@@ -10,7 +10,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.common.errors import (
     DuplicateObjectError,
@@ -19,7 +19,7 @@ from repro.common.errors import (
 )
 from repro.common.expressions import evaluate_predicate
 from repro.common.schema import Column, Relation, Row, Schema, TableDefinition
-from repro.engines.base import Engine, EngineCapability
+from repro.engines.base import DEFAULT_CHUNK_ROWS, Engine, EngineCapability, relation_chunks
 from repro.engines.relational.executor import Executor
 from repro.engines.relational.planner import Planner, TableStatisticsProvider
 from repro.engines.relational.sql.ast import (
@@ -68,23 +68,36 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         return relation
 
     def import_relation(self, name: str, relation: Relation, **options: Any) -> None:
-        primary_key = options.get("primary_key", ())
-        replace = options.get("replace", True)
-        key = name.lower()
-        if key in self._tables:
-            if not replace:
-                raise DuplicateObjectError(f"table {name!r} already exists")
-            del self._tables[key]
-        table = HeapTable(name, relation.schema, primary_key)
-        for row in relation:
-            table.insert(row.values)
-        self._tables[key] = table
+        self.import_chunks(name, relation.schema, [relation], **options)
 
     def drop_object(self, name: str) -> None:
         key = name.lower()
         if key not in self._tables:
             raise ObjectNotFoundError(f"table {name!r} does not exist")
         del self._tables[key]
+
+    def export_schema(self, name: str) -> Schema:
+        return self.table(name).schema
+
+    def export_chunks(self, name: str, chunk_size: int = DEFAULT_CHUNK_ROWS) -> Iterator[Relation]:
+        """Stream the table scan as bounded chunks without a full-relation copy."""
+        table = self.table(name)
+        rows = (Row(table.schema, values) for _row_id, values in table.scan())
+        return relation_chunks(table.schema, rows, chunk_size, validate=False)
+
+    def import_chunks(self, name: str, schema: Schema, chunks: Iterable[Relation],
+                      **options: Any) -> None:
+        """Build the destination table one chunk at a time, then publish it."""
+        primary_key = options.get("primary_key", ())
+        replace = options.get("replace", True)
+        key = name.lower()
+        if key in self._tables and not replace:
+            raise DuplicateObjectError(f"table {name!r} already exists")
+        table = HeapTable(name, schema, primary_key)
+        for chunk in chunks:
+            for row in chunk:
+                table.insert(row.values)
+        self._tables[key] = table
 
     # -------------------------------------------------------------- statistics
     def table(self, name: str) -> HeapTable:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import time as time_module
 from datetime import datetime, timezone
 
 import pytest
@@ -71,6 +73,153 @@ class TestCsvSpecifics:
         payload = b"id\nnot_a_number\n"
         with pytest.raises(CastError):
             CsvCodec().decode(payload, Schema([("id", "integer")]))
+
+
+class TestCsvRegressions:
+    def test_single_empty_text_column_row_is_not_dropped(self):
+        # Regression: decode used to skip any [""] record, silently losing
+        # rows whose single TEXT column holds the empty string.
+        schema = Schema([("note", "text")])
+        relation = Relation(schema, [["first"], [""], ["last"]])
+        decoded = CsvCodec().decode(CsvCodec().encode(relation), schema)
+        assert [row["note"] for row in decoded] == ["first", "", "last"]
+
+    def test_blank_line_still_tolerated_for_wider_schemas(self):
+        schema = Schema([("id", "integer"), ("name", "text")])
+        payload = b"id,name\n1,alice\n\n2,bob\n"
+        decoded = CsvCodec().decode(payload, schema)
+        assert [row["id"] for row in decoded] == [1, 2]
+
+    def test_blank_line_tolerated_for_single_non_text_column(self):
+        # A blank line can only be a value for a single-TEXT-column schema;
+        # for a single INTEGER column it is still skipped as a blank line.
+        schema = Schema([("id", "integer")])
+        decoded = CsvCodec().decode(b"id\n1\n\n2\n", schema)
+        assert [row["id"] for row in decoded] == [1, 2]
+
+    def test_unrecognized_boolean_token_raises(self):
+        # Regression: unknown tokens used to be coerced to False instead of
+        # raising ("yes"/"no" are recognized, matching repro.common.types.coerce).
+        schema = Schema([("flag", "boolean")])
+        with pytest.raises(CastError):
+            CsvCodec().decode(b"flag\nmaybe\n", schema)
+
+    def test_recognized_boolean_tokens(self):
+        schema = Schema([("flag", "boolean")])
+        decoded = CsvCodec().decode(b"flag\nTrue\nf\n1\n0\nyes\nno\n", schema)
+        assert [row["flag"] for row in decoded] == [True, False, True, False, True, False]
+
+
+class TestTimestampNormalization:
+    @pytest.mark.parametrize("codec", [CsvCodec(), BinaryCodec()], ids=["csv", "binary"])
+    def test_naive_timestamp_roundtrip_is_timezone_independent(self, codec):
+        # Regression: BinaryCodec used to call .timestamp() on naive datetimes
+        # (interpreted in *local* time) while decode always attached UTC, so a
+        # naive value decoded to a different wall-clock instant whenever the
+        # host timezone was not UTC.
+        schema = Schema([("seen", "timestamp")])
+        relation = Relation(schema, [[datetime(2020, 6, 1, 12, 30)]])
+        saved = os.environ.get("TZ")
+        os.environ["TZ"] = "America/New_York"
+        time_module.tzset()
+        try:
+            decoded = codec.decode(codec.encode(relation), schema)
+        finally:
+            if saved is None:
+                os.environ.pop("TZ", None)
+            else:
+                os.environ["TZ"] = saved
+            time_module.tzset()
+        assert decoded.rows[0]["seen"] == datetime(2020, 6, 1, 12, 30, tzinfo=timezone.utc)
+
+    def test_aware_timestamp_unchanged(self):
+        schema = Schema([("seen", "timestamp")])
+        instant = datetime(2015, 8, 31, 9, 0, tzinfo=timezone.utc)
+        for codec in (CsvCodec(), BinaryCodec()):
+            decoded = codec.decode(codec.encode(Relation(schema, [[instant]])), schema)
+            assert decoded.rows[0]["seen"] == instant
+
+
+class TestChunkedFrames:
+    @pytest.mark.parametrize("codec", [CsvCodec(), BinaryCodec()], ids=["csv", "binary"])
+    def test_chunked_roundtrip_matches_single_shot(self, codec):
+        relation = sample_relation()
+        chunks = []
+        for start in range(0, len(relation), 2):
+            chunk = Relation(SCHEMA)
+            chunk.rows.extend(relation.rows[start : start + 2])
+            chunks.append(chunk)
+        frames = list(codec.encode_chunks(chunks))
+        assert len(frames) == 2
+        decoded_chunks = list(codec.decode_chunks(frames, SCHEMA))
+        reassembled = [tuple(r.values) for c in decoded_chunks for r in c]
+        single_shot = codec.decode(codec.encode(relation), SCHEMA)
+        assert reassembled == [tuple(r.values) for r in single_shot]
+
+    @pytest.mark.parametrize("codec", [CsvCodec(), BinaryCodec()], ids=["csv", "binary"])
+    def test_each_frame_decodes_independently(self, codec):
+        relation = sample_relation()
+        chunk = Relation(SCHEMA)
+        chunk.rows.extend(relation.rows[1:2])
+        (frame,) = codec.encode_chunks([chunk])
+        decoded = codec.decode(frame, SCHEMA)
+        assert len(decoded) == 1 and decoded.rows[0]["name"] == "bob, the builder"
+
+    def test_empty_chunk_stream(self):
+        assert list(BinaryCodec().encode_chunks([])) == []
+        assert list(BinaryCodec().decode_chunks([], SCHEMA)) == []
+
+
+class TestColumnarLayout:
+    def test_all_numeric_schema_uses_columnar_layout(self):
+        schema = Schema([("i", "integer"), ("v", "float"), ("ok", "boolean"), ("at", "timestamp")])
+        relation = Relation(schema, [
+            [1, 1.5, True, datetime(2020, 1, 1, tzinfo=timezone.utc)],
+            [None, None, None, None],
+            [3, -2.5, False, datetime(2021, 6, 1, 12, 0, tzinfo=timezone.utc)],
+        ])
+        payload = BinaryCodec().encode(relation)
+        assert payload[0] == BinaryCodec.LAYOUT_COLUMNAR
+        decoded = BinaryCodec().decode(payload, schema)
+        assert [tuple(r.values) for r in decoded] == [tuple(r.values) for r in relation]
+
+    def test_text_column_falls_back_to_row_major(self):
+        payload = BinaryCodec().encode(sample_relation())
+        assert payload[0] == BinaryCodec.LAYOUT_ROW_MAJOR
+
+    def test_forced_row_major_roundtrips(self):
+        schema = Schema([("i", "integer"), ("v", "float")])
+        relation = Relation(schema, [[i, i * 0.5] for i in range(10)])
+        codec = BinaryCodec(columnar=False)
+        payload = codec.encode(relation)
+        assert payload[0] == BinaryCodec.LAYOUT_ROW_MAJOR
+        decoded = codec.decode(payload, schema)
+        assert [tuple(r.values) for r in decoded] == [tuple(r.values) for r in relation]
+
+    def test_columnar_and_row_major_decode_identically(self):
+        schema = Schema([("i", "integer"), ("v", "float")])
+        relation = Relation(schema, [[i, i * 0.5] for i in range(100)] + [[None, None]])
+        columnar = BinaryCodec().decode(BinaryCodec().encode(relation), schema)
+        row_major = BinaryCodec(columnar=False).decode(
+            BinaryCodec(columnar=False).encode(relation), schema
+        )
+        assert [tuple(r.values) for r in columnar] == [tuple(r.values) for r in row_major]
+
+    def test_columnar_frame_decoded_into_wider_schema_coerces(self):
+        # When frame tags differ from the target schema, decode still coerces
+        # (the unvalidated fast path only applies on an exact type match).
+        int_schema = Schema([("v", "integer")])
+        float_schema = Schema([("v", "float")])
+        payload = BinaryCodec().encode(Relation(int_schema, [[1], [2]]))
+        decoded = BinaryCodec().decode(payload, float_schema)
+        assert [row["v"] for row in decoded] == [1.0, 2.0]
+        assert all(isinstance(row["v"], float) for row in decoded)
+
+    def test_columnar_empty_relation(self):
+        schema = Schema([("i", "integer")])
+        payload = BinaryCodec().encode(Relation(schema))
+        assert payload[0] == BinaryCodec.LAYOUT_COLUMNAR
+        assert len(BinaryCodec().decode(payload, schema)) == 0
 
 
 class TestBinarySpecifics:
