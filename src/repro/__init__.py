@@ -3,6 +3,8 @@
 The package provides:
 
 * :class:`repro.core.BigDawg` — the polystore facade (islands, SCOPE/CAST, monitor);
+* ``repro.runtime`` — the concurrent serving layer (worker-pool scheduler,
+  per-engine admission control, versioned result cache, runtime metrics);
 * ``repro.engines.*`` — the federated storage engines (relational, array,
   key-value, streaming, TileDB, Tupleware);
 * ``repro.mimic`` — a synthetic MIMIC II dataset generator and polystore loader;
@@ -13,7 +15,8 @@ The package provides:
 
 from repro.core.bigdawg import BigDawg
 from repro.core.catalog import BigDawgCatalog
+from repro.runtime.scheduler import PolystoreRuntime
 
 __version__ = "1.0.0"
 
-__all__ = ["BigDawg", "BigDawgCatalog", "__version__"]
+__all__ = ["BigDawg", "BigDawgCatalog", "PolystoreRuntime", "__version__"]

@@ -21,9 +21,10 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Any
+import threading
+from typing import TYPE_CHECKING, Any
 
-from repro.common.errors import ObjectNotFoundError, PlanningError
+from repro.common.errors import CatalogError, ObjectNotFoundError, PlanningError
 from repro.common.schema import Relation
 from repro.core.cast import CastMigrator, CastRecord
 from repro.core.catalog import BigDawgCatalog
@@ -39,6 +40,9 @@ from repro.core.query.language import parse_query
 from repro.core.query.planner import CrossIslandPlanner, QueryPlan
 from repro.engines.base import Engine
 from repro.engines.relational.engine import RelationalEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.scheduler import PolystoreRuntime
 
 
 #: Default island memberships per engine kind, matching the paper's Figure 1.
@@ -70,6 +74,29 @@ class BigDawg:
         self._degenerate: dict[str, DegenerateIsland] = {}
         self._planner = CrossIslandPlanner(self)
         self._temp_engine: RelationalEngine | None = None
+        self._temp_engine_lock = threading.Lock()
+        self._runtime: "PolystoreRuntime | None" = None
+        self._runtime_lock = threading.Lock()
+
+    @property
+    def planner(self) -> CrossIslandPlanner:
+        """The cross-island planner (the runtime drives it step by step)."""
+        return self._planner
+
+    def runtime(self, **config: Any) -> "PolystoreRuntime":
+        """The concurrent serving layer for this polystore, created lazily.
+
+        ``config`` (``workers=``, ``slots_per_engine=``, ...) applies only on
+        the call that creates the runtime; construct
+        :class:`~repro.runtime.scheduler.PolystoreRuntime` directly for
+        several differently-tuned runtimes over one polystore.
+        """
+        with self._runtime_lock:
+            if self._runtime is None:
+                from repro.runtime.scheduler import PolystoreRuntime
+
+                self._runtime = PolystoreRuntime(self, **config)
+            return self._runtime
 
     # ------------------------------------------------------------------ wiring
     def add_engine(self, engine: Engine, islands: list[str] | None = None) -> None:
@@ -148,6 +175,11 @@ class BigDawg:
 
     # ----------------------------------------------------------------- helpers
     @staticmethod
+    def is_scoped(query: str) -> bool:
+        """Whether the query is in SCOPE/CAST form (vs bare island text)."""
+        return BigDawg._looks_scoped(query.strip())
+
+    @staticmethod
     def _looks_scoped(query: str) -> bool:
         from repro.core.query.language import SCOPE_NAMES
 
@@ -178,19 +210,52 @@ class BigDawg:
         return candidates[0]
 
     def materialize_temporary(self, name: str, relation: Relation) -> None:
-        """Store a WITH-binding result as a table visible to later scopes."""
-        target = self._find_relational_engine()
+        """Store a WITH-binding result as a table visible to later scopes.
+
+        The object is registered as ``temporary`` so :meth:`drop_temporary`
+        (called by plan executions when they finish, and by runtime sessions
+        when they close) can retire it from both the engine and the catalog.
+        Temporaries always land in the dedicated ephemeral engine: their
+        constant churn then never advances a production engine's write
+        version, so the result cache stays warm across WITH queries.
+        """
+        target = self.temp_engine()
         target.import_relation(name, relation)
         self.catalog.register_object(name, target.name, "table", replace=True, temporary=True)
 
-    def _find_relational_engine(self) -> RelationalEngine:
-        for engine in self.catalog.engines():
-            if isinstance(engine, RelationalEngine):
-                return engine
-        if self._temp_engine is None:
-            self._temp_engine = RelationalEngine("_bigdawg_temp")
-            self.catalog.register_engine(self._temp_engine, ["relational"])
-        return self._temp_engine
+    def drop_temporary(self, name: str) -> bool:
+        """Drop a temporary object from its engine and the catalog.
+
+        Returns False when the object no longer exists; raises
+        :class:`~repro.common.errors.CatalogError` when asked to drop an
+        object that was not registered as temporary.
+        """
+        try:
+            location = self.catalog.locate(name)
+        except ObjectNotFoundError:
+            return False
+        if not location.properties.get("temporary"):
+            raise CatalogError(f"object {name!r} is not temporary; refusing to drop it")
+        try:
+            self.catalog.engine(location.engine_name).drop_object(location.name)
+        except ObjectNotFoundError:
+            pass
+        self.catalog.unregister_object(name)
+        return True
+
+    def temp_engine(self) -> RelationalEngine:
+        """The ephemeral relational engine holding WITH/session temporaries.
+
+        Created lazily and joined to the relational-model islands so temps
+        stay reachable from every scope that could previously see them.
+        """
+        with self._temp_engine_lock:
+            if self._temp_engine is None:
+                engine = RelationalEngine("_bigdawg_temp")
+                engine.ephemeral = True
+                self.catalog.register_engine(engine, ["relational", "myria", "d4m"])
+                self._temp_engine = engine
+            return self._temp_engine
 
     # ------------------------------------------------------------------ status
     def describe(self) -> dict:

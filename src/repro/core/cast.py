@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -70,10 +71,24 @@ class CastRecord:
 
 @dataclass
 class CastMigrator:
-    """Moves objects between engines registered in a catalog."""
+    """Moves objects between engines registered in a catalog.
+
+    Casts of the *same* object are serialized through a per-object lock so
+    concurrent plans in the runtime cannot interleave the export/import/
+    catalog-update sequence; casts of different objects proceed in parallel.
+    """
 
     catalog: BigDawgCatalog
     history: list[CastRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._object_locks: dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+
+    def object_lock(self, object_name: str) -> threading.Lock:
+        """The lock serializing casts of one object (exposed for the runtime)."""
+        with self._locks_guard:
+            return self._object_locks.setdefault(object_name.lower(), threading.Lock())
 
     def cast(
         self,
@@ -112,6 +127,23 @@ class CastMigrator:
             Passed to the destination engine's ``import_chunks`` (e.g.
             ``dimensions=[...]`` when casting into the array engine).
         """
+        with self.object_lock(object_name):
+            return self._cast_locked(
+                object_name, target_engine, method, target_name, drop_source,
+                use_tempfile, chunk_size, **import_options,
+            )
+
+    def _cast_locked(
+        self,
+        object_name: str,
+        target_engine: str,
+        method: str,
+        target_name: str | None,
+        drop_source: bool,
+        use_tempfile: bool,
+        chunk_size: int | None,
+        **import_options: Any,
+    ) -> CastRecord:
         codec = self._codec(method)
         location = self.catalog.locate(object_name)
         source = self.catalog.engine(location.engine_name)

@@ -8,6 +8,7 @@ each object and through which islands that engine is reachable.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -40,77 +41,129 @@ class BigDawgCatalog:
         self._island_members: dict[str, set[str]] = {}
         self._objects: dict[str, ObjectLocation] = {}
         self._schemas: dict[str, Schema] = {}
+        # Concurrent runtime support: every read and write goes through one
+        # re-entrant lock, and every metadata mutation advances ``version`` so
+        # the result cache can fingerprint catalog state cheaply.  Temporary
+        # objects churn constantly (every WITH binding registers and retires
+        # one), so their *fresh* registrations and retirements advance the
+        # separate ``temp_version`` — temp names are unique per execution, no
+        # cached query can reference them, and folding that churn into
+        # ``version`` would invalidate the whole result cache on every WITH
+        # query.  Replacing an object that already exists (temporary or not)
+        # is a visible content change and always bumps ``version``.
+        self._lock = threading.RLock()
+        self._version = 0
+        self._temp_version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter advanced by every durable catalog mutation."""
+        with self._lock:
+            return self._version
+
+    @property
+    def temp_version(self) -> int:
+        """Monotonic counter advanced by temporary-object churn."""
+        with self._lock:
+            return self._temp_version
+
+    def _bump(self) -> None:
+        self._version += 1  # callers hold self._lock
 
     # ----------------------------------------------------------------- engines
     def register_engine(self, engine: Engine, islands: Iterable[str] = ()) -> None:
         """Register an engine and the islands through which it is reachable."""
-        key = engine.name.lower()
-        if key in self._engines:
-            raise DuplicateObjectError(f"engine {engine.name!r} is already registered")
-        self._engines[key] = engine
-        for island in islands:
-            self._island_members.setdefault(island.lower(), set()).add(key)
+        with self._lock:
+            key = engine.name.lower()
+            if key in self._engines:
+                raise DuplicateObjectError(f"engine {engine.name!r} is already registered")
+            self._engines[key] = engine
+            for island in islands:
+                self._island_members.setdefault(island.lower(), set()).add(key)
+            self._bump()
 
     def engine(self, name: str) -> Engine:
-        key = name.lower()
-        if key not in self._engines:
-            raise ObjectNotFoundError(f"engine {name!r} is not registered")
-        return self._engines[key]
+        with self._lock:
+            key = name.lower()
+            if key not in self._engines:
+                raise ObjectNotFoundError(f"engine {name!r} is not registered")
+            return self._engines[key]
 
     def engines(self) -> list[Engine]:
-        return list(self._engines.values())
+        with self._lock:
+            return list(self._engines.values())
 
     def has_engine(self, name: str) -> bool:
-        return name.lower() in self._engines
+        with self._lock:
+            return name.lower() in self._engines
 
     # ----------------------------------------------------------------- islands
     def add_island_member(self, island: str, engine_name: str) -> None:
         """Declare that an engine is reachable through an island."""
-        if engine_name.lower() not in self._engines:
-            raise ObjectNotFoundError(f"engine {engine_name!r} is not registered")
-        self._island_members.setdefault(island.lower(), set()).add(engine_name.lower())
+        with self._lock:
+            if engine_name.lower() not in self._engines:
+                raise ObjectNotFoundError(f"engine {engine_name!r} is not registered")
+            self._island_members.setdefault(island.lower(), set()).add(engine_name.lower())
+            self._bump()
 
     def island_engines(self, island: str) -> list[Engine]:
         """Engines reachable through an island."""
-        members = self._island_members.get(island.lower(), set())
-        return [self._engines[name] for name in sorted(members)]
+        with self._lock:
+            members = self._island_members.get(island.lower(), set())
+            return [self._engines[name] for name in sorted(members)]
 
     def islands(self) -> list[str]:
-        return sorted(self._island_members)
+        with self._lock:
+            return sorted(self._island_members)
 
     def islands_of_engine(self, engine_name: str) -> list[str]:
-        key = engine_name.lower()
-        return sorted(
-            island for island, members in self._island_members.items() if key in members
-        )
+        with self._lock:
+            key = engine_name.lower()
+            return sorted(
+                island for island, members in self._island_members.items() if key in members
+            )
 
     # ----------------------------------------------------------------- objects
     def register_object(self, name: str, engine_name: str, object_type: str,
                         replace: bool = False, **properties) -> ObjectLocation:
         """Record that an object lives in an engine."""
-        key = name.lower()
-        if key in self._objects and not replace:
-            raise DuplicateObjectError(f"object {name!r} is already registered")
-        if engine_name.lower() not in self._engines:
-            raise ObjectNotFoundError(f"engine {engine_name!r} is not registered")
-        location = ObjectLocation(name, engine_name, object_type, dict(properties))
-        self._objects[key] = location
-        self._schemas.pop(key, None)
-        return location
+        with self._lock:
+            key = name.lower()
+            if key in self._objects and not replace:
+                raise DuplicateObjectError(f"object {name!r} is already registered")
+            if engine_name.lower() not in self._engines:
+                raise ObjectNotFoundError(f"engine {engine_name!r} is not registered")
+            existed = key in self._objects
+            location = ObjectLocation(name, engine_name, object_type, dict(properties))
+            self._objects[key] = location
+            self._schemas.pop(key, None)
+            if properties.get("temporary") and not existed:
+                self._temp_version += 1
+            else:
+                self._bump()
+            return location
 
     def unregister_object(self, name: str) -> None:
-        self._objects.pop(name.lower(), None)
-        self._schemas.pop(name.lower(), None)
+        with self._lock:
+            removed = self._objects.pop(name.lower(), None)
+            self._schemas.pop(name.lower(), None)
+            if removed is None:
+                return
+            if removed.properties.get("temporary"):
+                self._temp_version += 1
+            else:
+                self._bump()
 
     def locate(self, name: str) -> ObjectLocation:
         """Find where an object lives, checking registrations first, then engines."""
-        key = name.lower()
-        if key in self._objects:
-            return self._objects[key]
-        # Fall back to asking the engines directly (objects created out-of-band).
-        for engine in self._engines.values():
-            if engine.has_object(name):
-                return ObjectLocation(name, engine.name, engine.kind)
+        with self._lock:
+            key = name.lower()
+            if key in self._objects:
+                return self._objects[key]
+            # Fall back to asking the engines directly (objects created out-of-band).
+            for engine in self._engines.values():
+                if engine.has_object(name):
+                    return ObjectLocation(name, engine.name, engine.kind)
         raise ObjectNotFoundError(f"object {name!r} is not stored in any registered engine")
 
     def has_object(self, name: str) -> bool:
@@ -121,26 +174,30 @@ class BigDawgCatalog:
             return False
 
     def objects(self) -> list[ObjectLocation]:
-        return list(self._objects.values())
+        with self._lock:
+            return list(self._objects.values())
 
     def objects_in_engine(self, engine_name: str) -> list[str]:
-        key = engine_name.lower()
-        registered = [loc.name for loc in self._objects.values() if loc.engine_name == key]
-        engine = self.engine(engine_name)
-        unregistered = [n for n in engine.list_objects() if n.lower() not in self._objects]
-        return sorted(set(registered) | set(unregistered))
+        with self._lock:
+            key = engine_name.lower()
+            registered = [loc.name for loc in self._objects.values() if loc.engine_name == key]
+            engine = self.engine(engine_name)
+            unregistered = [n for n in engine.list_objects() if n.lower() not in self._objects]
+            return sorted(set(registered) | set(unregistered))
 
     def move_object(self, name: str, target_engine: str, object_type: str | None = None) -> ObjectLocation:
         """Update an object's recorded location (the migrator calls this after a CAST)."""
-        current = self.locate(name)
-        if target_engine.lower() not in self._engines:
-            raise CatalogError(f"target engine {target_engine!r} is not registered")
-        location = ObjectLocation(
-            current.name, target_engine, object_type or current.object_type, current.properties
-        )
-        self._objects[name.lower()] = location
-        self._schemas.pop(name.lower(), None)
-        return location
+        with self._lock:
+            current = self.locate(name)
+            if target_engine.lower() not in self._engines:
+                raise CatalogError(f"target engine {target_engine!r} is not registered")
+            location = ObjectLocation(
+                current.name, target_engine, object_type or current.object_type, current.properties
+            )
+            self._objects[name.lower()] = location
+            self._schemas.pop(name.lower(), None)
+            self._bump()
+            return location
 
     # ----------------------------------------------------------------- schemas
     def schema_of(self, name: str) -> Schema:
@@ -154,14 +211,15 @@ class BigDawgCatalog:
         with the entry dropped whenever the object is re-registered, moved
         or unregistered (out-of-band mutation needs ``invalidate_schema``).
         """
-        location = self.locate(name)
-        engine = self.engine(location.engine_name)
-        if type(engine).export_schema is not Engine.export_schema:
-            return engine.export_schema(name)
-        key = name.lower()
-        if key not in self._schemas:
-            self._schemas[key] = engine.export_schema(name)
-        return self._schemas[key]
+        with self._lock:
+            location = self.locate(name)
+            engine = self.engine(location.engine_name)
+            if type(engine).export_schema is not Engine.export_schema:
+                return engine.export_schema(name)
+            key = name.lower()
+            if key not in self._schemas:
+                self._schemas[key] = engine.export_schema(name)
+            return self._schemas[key]
 
     def invalidate_schema(self, name: str | None = None) -> None:
         """Drop cached schemas (all of them when ``name`` is None).
@@ -169,15 +227,17 @@ class BigDawgCatalog:
         Call this after mutating an object's shape directly on an engine,
         outside the catalog's register/move/unregister paths.
         """
-        if name is None:
-            self._schemas.clear()
-        else:
-            self._schemas.pop(name.lower(), None)
+        with self._lock:
+            if name is None:
+                self._schemas.clear()
+            else:
+                self._schemas.pop(name.lower(), None)
 
     def describe(self) -> dict:
         """Summary used by the demo's status screen."""
-        return {
-            "engines": {name: engine.kind for name, engine in self._engines.items()},
-            "islands": {island: sorted(members) for island, members in self._island_members.items()},
-            "objects": {loc.name: loc.engine_name for loc in self._objects.values()},
-        }
+        with self._lock:
+            return {
+                "engines": {name: engine.kind for name, engine in self._engines.items()},
+                "islands": {island: sorted(members) for island, members in self._island_members.items()},
+                "objects": {loc.name: loc.engine_name for loc in self._objects.values()},
+            }

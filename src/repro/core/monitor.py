@@ -18,8 +18,9 @@ Two pieces implement that here:
 
 from __future__ import annotations
 
+import threading
 import time
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from statistics import mean
 from typing import Callable
@@ -56,13 +57,22 @@ class MigrationRecommendation:
 class ExecutionMonitor:
     """Accumulates latency observations per (query class, object, engine)."""
 
-    def __init__(self) -> None:
-        self._observations: list[Observation] = []
+    def __init__(self, window: int = 10_000) -> None:
+        # Bounded: the runtime feeds one observation per completed query, so
+        # an unbounded list would grow forever in a long-lived server.  Old
+        # observations age out, which is also what a workload-following
+        # advisor wants to learn from.
+        self._observations: deque[Observation] = deque(maxlen=window)
+        # The runtime records observations from many worker threads at once;
+        # one lock keeps appends and snapshot reads consistent.
+        self._lock = threading.Lock()
 
     def record(self, query_class: str, object_name: str, engine_name: str, seconds: float) -> None:
-        self._observations.append(
-            Observation(query_class, object_name.lower(), engine_name.lower(), seconds)
+        observation = Observation(
+            query_class, object_name.lower(), engine_name.lower(), seconds
         )
+        with self._lock:
+            self._observations.append(observation)
 
     def time_and_record(self, query_class: str, object_name: str, engine_name: str,
                         runner: Callable[[], object]) -> object:
@@ -87,12 +97,13 @@ class ExecutionMonitor:
     # -------------------------------------------------------------- statistics
     @property
     def observations(self) -> list[Observation]:
-        return list(self._observations)
+        with self._lock:
+            return list(self._observations)
 
     def mean_latency(self, query_class: str, object_name: str, engine_name: str) -> float | None:
         samples = [
             o.seconds
-            for o in self._observations
+            for o in self.observations
             if o.query_class == query_class
             and o.object_name == object_name.lower()
             and o.engine_name == engine_name.lower()
@@ -102,7 +113,7 @@ class ExecutionMonitor:
     def dominant_query_class(self, object_name: str) -> str | None:
         """The most frequent query class observed against an object."""
         counts: dict[str, int] = defaultdict(int)
-        for o in self._observations:
+        for o in self.observations:
             if o.object_name == object_name.lower():
                 counts[o.query_class] += 1
         if not counts:
@@ -112,7 +123,7 @@ class ExecutionMonitor:
     def best_engine(self, query_class: str, object_name: str) -> tuple[str, float] | None:
         """The engine with the lowest mean latency for a query class on an object."""
         by_engine: dict[str, list[float]] = defaultdict(list)
-        for o in self._observations:
+        for o in self.observations:
             if o.query_class == query_class and o.object_name == object_name.lower():
                 by_engine[o.engine_name].append(o.seconds)
         if not by_engine:

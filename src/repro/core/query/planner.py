@@ -19,11 +19,14 @@ describes.
 
 from __future__ import annotations
 
+import itertools
+import re
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.common.errors import PlanningError
+from repro.common.errors import CastError, PlanningError
 from repro.common.schema import Relation
 from repro.core.query.language import CrossIslandQuery, ScopedQuery, parse_query
 
@@ -72,13 +75,28 @@ class IslandQueryStep:
 
 @dataclass
 class QueryPlan:
-    """The ordered steps plus per-step timings filled in during execution."""
+    """The ordered steps plus per-step timings filled in during execution.
+
+    ``dependencies[i]`` holds the indices of the steps that must complete
+    before step ``i`` may run.  Serial execution simply runs steps in order
+    (the order is always a valid topological sort); the concurrent runtime
+    uses the dependency sets to overlap independent steps — e.g. the
+    materializations of unrelated WITH bindings.
+    """
 
     steps: list = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    dependencies: list[set[int]] = field(default_factory=list)
 
     def explain(self) -> str:
         return "\n".join(f"{i + 1}. {step.describe()}" for i, step in enumerate(self.steps))
+
+    def step_dependencies(self) -> list[set[int]]:
+        """Per-step prerequisite sets, falling back to strictly serial order
+        when the plan was built without dependency info."""
+        if len(self.dependencies) == len(self.steps):
+            return [set(deps) for deps in self.dependencies]
+        return [set(range(i)) for i in range(len(self.steps))]
 
 
 class CrossIslandPlanner:
@@ -95,12 +113,48 @@ class CrossIslandPlanner:
         if query.final is None:
             raise PlanningError("a BigDAWG query needs a final scoped query")
         plan = QueryPlan()
+        cast_index_by_object: dict[str, int] = {}
+        binding_indices: list[int] = []
+
+        def add_step(step, deps: set[int]) -> int:
+            plan.steps.append(step)
+            plan.dependencies.append(deps)
+            return len(plan.steps) - 1
+
+        def add_cast_steps(scope: ScopedQuery) -> set[int]:
+            indices: set[int] = set()
+            for cast_step in self._cast_steps(scope, cast_method, chunk_size):
+                key = cast_step.object_name.lower()
+                # Two casts of the same object must not race; chain them.
+                deps = {cast_index_by_object[key]} if key in cast_index_by_object else set()
+                index = add_step(cast_step, deps)
+                cast_index_by_object[key] = index
+                indices.add(index)
+            return indices
+
         for name, scope in query.bindings:
-            plan.steps.extend(self._cast_steps(scope, cast_method, chunk_size))
-            plan.steps.append(BindingStep(name, scope))
-        plan.steps.extend(self._cast_steps(query.final, cast_method, chunk_size))
-        plan.steps.append(IslandQueryStep(query.final))
+            cast_indices = add_cast_steps(scope)
+            # A binding may reference any earlier binding by name, so it
+            # conservatively waits for them; bindings of the *same* rank
+            # (their casts aside) can run concurrently only when the runtime
+            # proves independence — here earlier bindings are prerequisites
+            # only if they exist.
+            deps = cast_indices | self._binding_references(scope, plan, binding_indices)
+            binding_indices.append(add_step(BindingStep(name, scope), deps))
+        final_casts = add_cast_steps(query.final)
+        add_step(IslandQueryStep(query.final), final_casts | set(binding_indices))
         return plan
+
+    @staticmethod
+    def _binding_references(scope: ScopedQuery, plan: QueryPlan,
+                            binding_indices: list[int]) -> set[int]:
+        """Indices of earlier BindingSteps whose names this scope's body mentions."""
+        referenced: set[int] = set()
+        for index in binding_indices:
+            bound_name = plan.steps[index].name
+            if re.search(rf"\b{re.escape(bound_name)}\b", scope.body, re.IGNORECASE):
+                referenced.add(index)
+        return referenced
 
     def _cast_steps(self, scope: ScopedQuery, cast_method: str = "binary",
                     chunk_size: int | None = None) -> list[CastStep]:
@@ -141,35 +195,31 @@ class CrossIslandPlanner:
                 chunk_size: int | None = None) -> Relation:
         return self.execute_plan(self.plan(query, cast_method=cast_method, chunk_size=chunk_size))
 
+    def start(self, plan: QueryPlan) -> "PlanExecution":
+        """Begin executing a plan; the caller drives steps and must ``cleanup``."""
+        return PlanExecution(self, plan)
+
     def execute_plan(self, plan: QueryPlan) -> Relation:
-        """Run a plan; cast policy comes from the fields baked into each step."""
-        result: Relation | None = None
-        for i, step in enumerate(plan.steps):
-            started = time.perf_counter()
-            if isinstance(step, CastStep):
-                cast_options = self._cast_options(step)
-                self._bigdawg.migrator.cast(
-                    step.object_name,
-                    step.target_engine,
-                    method=step.method,
-                    chunk_size=step.chunk_size,
-                    **cast_options,
-                )
-            elif isinstance(step, BindingStep):
-                relation = self._bigdawg.island(step.scope.island).execute(
-                    step.scope.body_without_casts
-                )
-                self._bigdawg.materialize_temporary(step.name, relation)
-            elif isinstance(step, IslandQueryStep):
-                result = self._bigdawg.island(step.scope.island).execute(
-                    step.scope.body_without_casts
-                )
-            else:  # pragma: no cover - defensive
-                raise PlanningError(f"unknown plan step {type(step).__name__}")
-            plan.timings[f"{i + 1}. {step.describe()}"] = time.perf_counter() - started
-        if result is None:
-            raise PlanningError("plan produced no final result")
-        return result
+        """Run a plan serially; cast policy comes from the fields baked into
+        each step.  WITH-binding temporaries are dropped when the plan
+        finishes (the concurrent runtime drives the same :class:`PlanExecution`
+        machinery step by step, possibly in parallel)."""
+        execution = self.start(plan)
+        try:
+            for index in range(len(plan.steps)):
+                execution.run_step(index)
+            return execution.finish()
+        finally:
+            execution.cleanup()
+
+    def cast_is_noop(self, step: CastStep) -> bool:
+        """Whether the cast's object is *already* reachable through the target
+        island — e.g. because a concurrent plan (or an advisor migration)
+        moved it after this plan was built."""
+        island = self._bigdawg.island(step.target_island)
+        members = {engine.name.lower() for engine in island.member_engines()}
+        location = self._bigdawg.catalog.locate(step.object_name)
+        return location.engine_name in members
 
     def _cast_options(self, step: CastStep) -> dict:
         """Extra import options needed by particular target engines."""
@@ -188,5 +238,115 @@ class CrossIslandPlanner:
                 else:
                     break
             if dims and len(dims) < len(schema):
-                return {"dimensions": dims[:2]}
+                # All leading integer columns become dimensions: a
+                # (signal, sample, window) keyed relation casts into a
+                # 3-dimensional array, not a truncated 2-dimensional one.
+                return {"dimensions": dims}
         return {}
+
+
+#: Process-wide counter giving every plan execution a unique namespace for its
+#: WITH-binding temporaries (``next`` on :func:`itertools.count` is atomic).
+_EXECUTION_IDS = itertools.count(1)
+
+
+class PlanExecution:
+    """One in-flight execution of a :class:`QueryPlan`.
+
+    Responsibilities beyond running steps:
+
+    * **Session-scoped temporaries.**  WITH bindings materialize under a
+      per-execution physical name (``name__p<id>``) and are dropped from both
+      the engine and the catalog in :meth:`cleanup`, so repeated queries do
+      not accumulate state and concurrent plans using the same binding name
+      never collide on the shared relational engine.
+    * **Run-time cast elision.**  Each :class:`CastStep` re-checks object
+      reachability just before running and is skipped when the cast became a
+      no-op after planning (another plan already moved the object).
+    * **Thread safety.**  ``run_step`` may be called from several threads for
+      *disjoint* steps whose dependencies are satisfied; shared bookkeeping is
+      guarded by a lock.
+    """
+
+    def __init__(self, planner: "CrossIslandPlanner", plan: QueryPlan) -> None:
+        self._planner = planner
+        self._bigdawg = planner._bigdawg
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._result: Relation | None = None
+        self._has_result = False
+        namespace = f"p{next(_EXECUTION_IDS)}"
+        self._renames = {
+            step.name.lower(): f"{step.name}__{namespace}"
+            for step in plan.steps
+            if isinstance(step, BindingStep)
+        }
+        self._materialized: list[str] = []
+        self.skipped_casts: list[int] = []
+
+    # ------------------------------------------------------------------ steps
+    def run_step(self, index: int) -> None:
+        step = self.plan.steps[index]
+        started = time.perf_counter()
+        if isinstance(step, CastStep):
+            self._run_cast(index, step)
+        elif isinstance(step, BindingStep):
+            relation = self._bigdawg.island(step.scope.island).execute(
+                self._rewrite(step.scope.body_without_casts)
+            )
+            physical = self._renames[step.name.lower()]
+            self._bigdawg.materialize_temporary(physical, relation)
+            with self._lock:
+                self._materialized.append(physical)
+        elif isinstance(step, IslandQueryStep):
+            result = self._bigdawg.island(step.scope.island).execute(
+                self._rewrite(step.scope.body_without_casts)
+            )
+            with self._lock:
+                self._result = result
+                self._has_result = True
+        else:  # pragma: no cover - defensive
+            raise PlanningError(f"unknown plan step {type(step).__name__}")
+        self.plan.timings[f"{index + 1}. {step.describe()}"] = time.perf_counter() - started
+
+    def _run_cast(self, index: int, step: CastStep) -> None:
+        if self._planner.cast_is_noop(step):
+            with self._lock:
+                self.skipped_casts.append(index)
+            return
+        try:
+            self._bigdawg.migrator.cast(
+                step.object_name,
+                step.target_engine,
+                method=step.method,
+                chunk_size=step.chunk_size,
+                **self._planner._cast_options(step),
+            )
+        except CastError:
+            # Lost a race: another execution moved the object between our
+            # no-op check and the cast.  If it is reachable now, that is
+            # exactly the state this step wanted.
+            if not self._planner.cast_is_noop(step):
+                raise
+            with self._lock:
+                self.skipped_casts.append(index)
+
+    def _rewrite(self, body: str) -> str:
+        """Swap logical WITH-binding names for this execution's physical names."""
+        for logical, physical in self._renames.items():
+            body = re.sub(rf"\b{re.escape(logical)}\b", physical, body, flags=re.IGNORECASE)
+        return body
+
+    # ----------------------------------------------------------------- result
+    def finish(self) -> Relation:
+        with self._lock:
+            if not self._has_result or self._result is None:
+                raise PlanningError("plan produced no final result")
+            return self._result
+
+    def cleanup(self) -> None:
+        """Drop every temporary this execution materialized (engine + catalog)."""
+        with self._lock:
+            materialized, self._materialized = self._materialized, []
+        for name in materialized:
+            self._bigdawg.drop_temporary(name)

@@ -131,6 +131,7 @@ class ArrayEngine(Engine):
             raise DuplicateObjectError(f"array {schema.name!r} already exists")
         stored = StoredArray(schema)
         self._arrays[key] = stored
+        self.bump_write_version()
         return stored
 
     def load_numpy(self, name: str, data: np.ndarray, attribute: str = "value",
@@ -149,6 +150,7 @@ class ArrayEngine(Engine):
         stored.buffer(attribute)[...] = data
         stored.present_mask[...] = True
         self._arrays[name.lower()] = stored
+        self.bump_write_version()
         return stored
 
     def register(self, name: str, stored: StoredArray, replace: bool = True) -> None:
@@ -156,6 +158,7 @@ class ArrayEngine(Engine):
         if name.lower() in self._arrays and not replace:
             raise DuplicateObjectError(f"array {name!r} already exists")
         self._arrays[name.lower()] = stored
+        self.bump_write_version()
 
     def array(self, name: str) -> StoredArray:
         key = name.lower()

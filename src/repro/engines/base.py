@@ -19,9 +19,11 @@ override the chunked methods to avoid the full copy.
 from __future__ import annotations
 
 import enum
+import functools
 import itertools
+import threading
 from abc import ABC, abstractmethod
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.schema import Relation, Row, Schema
 
@@ -73,16 +75,76 @@ class EngineCapability(enum.Flag):
     TRANSACTIONS = enum.auto()
 
 
+def _bumps_write_version(method: Callable) -> Callable:
+    """Wrap a mutating engine method so it advances the engine's write version.
+
+    The bump happens in a ``finally`` block: a failed mutation may still have
+    partially changed engine state, and over-invalidating the result cache is
+    always safe while under-invalidating never is.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self: "Engine", *args: Any, **kwargs: Any) -> Any:
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            self.bump_write_version()
+
+    wrapper._bumps_write_version = True  # type: ignore[attr-defined]
+    return wrapper
+
+
+#: Engine-interface methods that mutate stored objects.  Subclass overrides of
+#: these are wrapped automatically so every mutation — including ones made by
+#: engines added later — advances ``write_version`` without each engine having
+#: to remember to do it.  Engine-*native* mutation entry points (SQL DML, kv
+#: ``put``, array loads) sit outside this interface and call
+#: :meth:`Engine.bump_write_version` explicitly.
+_MUTATOR_NAMES = ("import_relation", "import_chunks", "drop_object")
+
+
 class Engine(ABC):
     """Abstract storage engine federated by BigDAWG."""
 
     #: Symbolic engine kind, e.g. "relational", "array"; used by the catalog.
     kind: str = "abstract"
 
+    #: Ephemeral engines hold only per-execution scratch state (e.g. the
+    #: polystore's temp-table engine); the result cache excludes them from its
+    #: state fingerprint because no cacheable query can observe their contents.
+    ephemeral: bool = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         #: Count of native queries executed; used by the monitor and tests.
         self.queries_executed = 0
+        #: Monotonically increasing counter advanced by every mutating call;
+        #: the runtime's result cache fingerprints engine state with it.
+        self._write_version = 0
+        self._write_version_lock = threading.Lock()
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        for name in _MUTATOR_NAMES:
+            method = cls.__dict__.get(name)
+            if method is not None and not getattr(method, "_bumps_write_version", False):
+                setattr(cls, name, _bumps_write_version(method))
+
+    # --------------------------------------------------------- write versioning
+    @property
+    def write_version(self) -> int:
+        """The engine's current mutation counter (see :meth:`bump_write_version`)."""
+        return self._write_version
+
+    def bump_write_version(self) -> int:
+        """Advance the mutation counter; returns the new version.
+
+        Import/drop overrides are bumped automatically; engines must call this
+        from any *native* mutation path (DDL/DML, ``put``, loads) as well.
+        """
+        with self._write_version_lock:
+            self._write_version += 1
+            return self._write_version
 
     @property
     @abstractmethod

@@ -177,6 +177,7 @@ class KeyValueEngine(Engine):
             raise DuplicateObjectError(f"key-value table {name!r} already exists")
         table = KeyValueTable(name, text_indexed, split_threshold)
         self._tables[key] = table
+        self.bump_write_version()
         return table
 
     def table(self, name: str) -> KeyValueTable:
@@ -188,7 +189,9 @@ class KeyValueEngine(Engine):
     # ------------------------------------------------------------------ access
     def put(self, table_name: str, row: str, family: str = "", qualifier: str = "",
             value: Any = None) -> Entry:
-        return self.table(table_name).put(row, family, qualifier, value)
+        entry = self.table(table_name).put(row, family, qualifier, value)
+        self.bump_write_version()
+        return entry
 
     def put_many(self, table_name: str, entries: Iterable[tuple[str, str, str, Any]]) -> int:
         table = self.table(table_name)
@@ -196,6 +199,7 @@ class KeyValueEngine(Engine):
         for row, family, qualifier, value in entries:
             table.put(row, family, qualifier, value)
             count += 1
+        self.bump_write_version()
         return count
 
     def scan(self, table_name: str, scan_range: ScanRange | None = None,

@@ -130,6 +130,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
                 return TableDefinition(name, schema, tuple(primary_key), self.name)
             raise DuplicateObjectError(f"table {name!r} already exists")
         self._tables[key] = HeapTable(name, schema, primary_key)
+        self.bump_write_version()
         return TableDefinition(name, schema, tuple(primary_key), self.name)
 
     def insert_rows(self, table_name: str, rows: Sequence[Sequence[Any]]) -> int:
@@ -142,12 +143,14 @@ class RelationalEngine(Engine, TableStatisticsProvider):
             if txn is not None:
                 txn.record_insert(table_name, row_id)
             count += 1
+        self.bump_write_version()
         return count
 
     def create_index(
         self, index_name: str, table_name: str, columns: Sequence[str], unique: bool = False
     ) -> None:
         self.table(table_name).create_index(index_name, columns, unique)
+        self.bump_write_version()
 
     # ------------------------------------------------------------------ query
     def execute(self, sql: str) -> Relation:
@@ -164,6 +167,9 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         if isinstance(statement, SelectStatement):
             plan = self._planner.plan_select(statement)
             return self._executor.execute(plan)
+        # Everything below is DDL or DML: advance the write version so cached
+        # results depending on this engine's state are invalidated.
+        self.bump_write_version()
         if isinstance(statement, CreateTableStatement):
             return self._execute_create_table(statement)
         if isinstance(statement, DropTableStatement):

@@ -69,6 +69,10 @@ class Transaction:
                 table.insert(record.before)
             elif record.kind == "update":
                 table.update(record.row_id, record.before)
+        if self._undo:
+            # Undoing visibly mutated table state; results cached while the
+            # transaction's changes were live must be invalidated.
+            self.engine.bump_write_version()
         self._undo.clear()
         self.active = False
         self.engine._finish_transaction(self)

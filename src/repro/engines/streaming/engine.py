@@ -132,7 +132,10 @@ class StreamingEngine(Engine):
 
     def pump(self, max_tuples: int = 1000) -> int:
         """Pump every attached feed once (triggering procedures per batch)."""
-        return self.ingestion.pump_all(max_tuples)
+        pumped = self.ingestion.pump_all(max_tuples)
+        if pumped:
+            self.bump_write_version()
+        return pumped
 
     def append(self, stream_name: str, timestamp: float, values: tuple | list) -> list[ProcedureContext]:
         """Append one tuple directly and run the procedures it triggers.
@@ -142,6 +145,7 @@ class StreamingEngine(Engine):
         """
         stream = self.stream(stream_name)
         item = stream.append(timestamp, values)
+        self.bump_write_version()
         return self._trigger(stream_name, [item], timestamp)
 
     def _on_ingest(self, stream_name: str, count: int, timestamp: float) -> None:

@@ -1,0 +1,36 @@
+"""The concurrent polystore runtime: the serving layer in front of BigDAWG.
+
+The paper pitches BigDAWG as middleware serving many simultaneous clients
+across heterogeneous engines.  This package supplies that serving layer for
+the reproduction:
+
+* :mod:`repro.runtime.scheduler` — :class:`PolystoreRuntime`, a worker-pool
+  executor with ``submit``/``execute_many`` that runs cross-island plans
+  concurrently and overlaps independent plan steps, plus per-client
+  :class:`RuntimeSession` handles with session-scoped temporaries.
+* :mod:`repro.runtime.admission` — per-engine admission control: bounded
+  concurrent slots with a FIFO wait queue and timeout, so a slow array scan
+  cannot starve relational traffic.
+* :mod:`repro.runtime.cache` — a versioned result cache keyed by normalized
+  query text and the catalog/engine write-versions, invalidated automatically
+  by CASTs, imports, drops and temp materializations.
+* :mod:`repro.runtime.metrics` — throughput, latency percentiles, queue depth
+  and cache hit rate, feeding the :class:`~repro.core.monitor.ExecutionMonitor`
+  so the :class:`~repro.core.monitor.MigrationAdvisor` learns from production
+  traffic instead of only offline probes.
+"""
+
+from repro.runtime.admission import AdmissionController, AdmissionTimeout, EngineGate
+from repro.runtime.cache import ResultCache
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.scheduler import PolystoreRuntime, RuntimeSession
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTimeout",
+    "EngineGate",
+    "PolystoreRuntime",
+    "ResultCache",
+    "RuntimeMetrics",
+    "RuntimeSession",
+]

@@ -1,0 +1,156 @@
+"""Per-engine admission control for the concurrent runtime.
+
+Every storage engine gets a *gate*: a bounded number of concurrent execution
+slots plus a FIFO wait queue.  A plan step must be admitted by the gates of
+every engine it touches before it runs, so a burst of slow array scans can
+saturate only the array engine's slots while relational traffic keeps
+flowing through its own.  Waiters are served strictly in arrival order and
+give up with :class:`AdmissionTimeout` once the configured timeout passes —
+bounded queueing rather than unbounded convoy, the property the
+hybrid-hash-join robustness literature calls load-bounded admission.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+from repro.common.errors import BigDawgError
+
+
+class AdmissionTimeout(BigDawgError):
+    """Raised when a query waited longer than the admission timeout for a slot."""
+
+
+class EngineGate:
+    """Bounded concurrent slots for one engine, with a FIFO wait queue."""
+
+    def __init__(self, engine_name: str, slots: int) -> None:
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        self.engine_name = engine_name
+        self.slots = slots
+        self._condition = threading.Condition()
+        self._queue: deque[object] = deque()
+        self._in_use = 0
+        # Counters for the metrics surface.
+        self.admitted = 0
+        self.timed_out = 0
+        self.peak_waiting = 0
+
+    # ----------------------------------------------------------------- slots
+    def acquire(self, timeout: float | None = None) -> None:
+        """Wait (FIFO) for a slot; raise :class:`AdmissionTimeout` on timeout."""
+        ticket = object()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            self._queue.append(ticket)
+            self.peak_waiting = max(self.peak_waiting, len(self._queue))
+            while not (self._queue[0] is ticket and self._in_use < self.slots):
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self._queue.remove(ticket)
+                    self.timed_out += 1
+                    # Our departure may unblock the ticket behind us.
+                    self._condition.notify_all()
+                    raise AdmissionTimeout(
+                        f"engine {self.engine_name!r}: no free slot within {timeout:.3f}s "
+                        f"({self._in_use}/{self.slots} in use, {len(self._queue)} waiting)"
+                    )
+                self._condition.wait(remaining)
+            self._queue.popleft()
+            self._in_use += 1
+            self.admitted += 1
+            # The new queue head may also be admittable (multiple slots).
+            self._condition.notify_all()
+
+    def release(self) -> None:
+        with self._condition:
+            if self._in_use <= 0:
+                raise RuntimeError(f"engine gate {self.engine_name!r} released more than acquired")
+            self._in_use -= 1
+            self._condition.notify_all()
+
+    # ----------------------------------------------------------------- status
+    @property
+    def in_use(self) -> int:
+        with self._condition:
+            return self._in_use
+
+    @property
+    def waiting(self) -> int:
+        with self._condition:
+            return len(self._queue)
+
+    def describe(self) -> dict:
+        with self._condition:
+            return {
+                "engine": self.engine_name,
+                "slots": self.slots,
+                "in_use": self._in_use,
+                "waiting": len(self._queue),
+                "admitted": self.admitted,
+                "timed_out": self.timed_out,
+                "peak_waiting": self.peak_waiting,
+            }
+
+
+class AdmissionController:
+    """One :class:`EngineGate` per engine, created on first use.
+
+    ``slots`` overrides the per-engine slot count (``{"scidb": 1}``); every
+    other engine gets ``slots_per_engine``.  ``admit`` acquires the gates of
+    all engines a step touches in sorted name order — a global acquisition
+    order, so two steps touching overlapping engine sets cannot deadlock.
+    """
+
+    def __init__(self, slots_per_engine: int = 2, timeout: float | None = 30.0,
+                 slots: dict[str, int] | None = None) -> None:
+        if slots_per_engine <= 0:
+            raise ValueError(f"slots_per_engine must be positive, got {slots_per_engine}")
+        self.slots_per_engine = slots_per_engine
+        self.timeout = timeout
+        self._overrides = {name.lower(): count for name, count in (slots or {}).items()}
+        self._gates: dict[str, EngineGate] = {}
+        self._lock = threading.Lock()
+
+    def gate(self, engine_name: str) -> EngineGate:
+        key = engine_name.lower()
+        with self._lock:
+            if key not in self._gates:
+                self._gates[key] = EngineGate(
+                    key, self._overrides.get(key, self.slots_per_engine)
+                )
+            return self._gates[key]
+
+    @contextmanager
+    def admit(self, engine_names: Iterable[str],
+              timeout: float | None = None) -> Iterator[None]:
+        """Hold one slot on every named engine for the duration of the block."""
+        effective = self.timeout if timeout is None else timeout
+        ordered = sorted({name.lower() for name in engine_names})
+        acquired: list[EngineGate] = []
+        try:
+            for name in ordered:
+                gate = self.gate(name)
+                gate.acquire(effective)
+                acquired.append(gate)
+            yield
+        finally:
+            for gate in reversed(acquired):
+                gate.release()
+
+    # ----------------------------------------------------------------- status
+    def queue_depth(self) -> int:
+        """Total queries currently waiting across all gates."""
+        with self._lock:
+            gates = list(self._gates.values())
+        return sum(gate.waiting for gate in gates)
+
+    def describe(self) -> dict:
+        with self._lock:
+            gates = list(self._gates.values())
+        return {gate.engine_name: gate.describe() for gate in gates}

@@ -1,0 +1,172 @@
+"""A versioned result cache for the concurrent runtime.
+
+Entries are keyed by whitespace-normalized query text and stamped with a
+*fingerprint* of the polystore's state: the catalog's metadata version plus
+every engine's ``write_version``.  A lookup whose stored fingerprint no
+longer matches the live fingerprint is a miss (and evicts the stale entry),
+which makes invalidation automatic: CASTs bump the target (and, for moves,
+source) engine and the catalog; imports, drops and temp materializations bump
+their engine; advisor migrations go through CAST.  Nothing has to remember
+to call the cache — mutating the polystore *is* the invalidation.
+
+Stores use the same protocol in reverse: the runtime fingerprints *before*
+executing and hands that fingerprint to :meth:`ResultCache.put`, which
+refuses the entry when the live fingerprint moved during execution — either
+because the query itself mutated state (engine-native DML, WITH
+materializations) or because a concurrent writer did.  Only results provably
+derived from the current polystore state are ever served.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.schema import Relation
+from repro.core.catalog import BigDawgCatalog
+
+#: fingerprint = (catalog version, ((engine, write_version), ...))
+Fingerprint = tuple[int, tuple[tuple[str, int], ...]]
+
+
+def normalize_query(query: str) -> str:
+    """Collapse runs of whitespace so trivially reformatted queries share a key.
+
+    Quoted string literals are preserved verbatim — island languages treat
+    them case- and whitespace-sensitively (``SEARCH notes FOR "chest  pain"``
+    is a different query from the single-spaced one), so only the whitespace
+    *between* tokens is collapsed, and case is never folded.
+    """
+    result: list[str] = []
+    quote: str | None = None
+    pending_space = False
+    for ch in query:
+        if quote is not None:
+            result.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch.isspace():
+            pending_space = True
+        else:
+            if pending_space and result:
+                result.append(" ")
+            pending_space = False
+            if ch in ("'", '"'):
+                quote = ch
+            result.append(ch)
+    return "".join(result)
+
+
+@dataclass
+class _Entry:
+    relation: Relation
+    fingerprint: Fingerprint
+
+
+class ResultCache:
+    """LRU cache of query results, verified against a state fingerprint."""
+
+    def __init__(self, catalog: BigDawgCatalog, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._catalog = catalog
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------ fingerprint
+    def fingerprint(self) -> Fingerprint:
+        """The polystore's current state version, cheap to compute.
+
+        Ephemeral engines (the temp-table engine) are excluded: their
+        contents are per-execution scratch that no cacheable query text can
+        name, and including them would invalidate the whole cache on every
+        WITH query.  Replacing a *pre-existing* temporary name still bumps
+        the catalog's durable version, so reuse of a temp name invalidates.
+        """
+        engines = tuple(
+            (engine.name.lower(), engine.write_version)
+            for engine in self._catalog.engines()
+            if not engine.ephemeral
+        )
+        return (self._catalog.version, engines)
+
+    # ------------------------------------------------------------------ cache
+    def get(self, query: str) -> Relation | None:
+        key = normalize_query(query)
+        live = self.fingerprint()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.fingerprint != live:
+                # Some engine or the catalog mutated since this was stored.
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return _snapshot(entry.relation)
+
+    def put(self, query: str, relation: Relation, fingerprint: Fingerprint) -> bool:
+        """Store a result computed while the polystore was at ``fingerprint``.
+
+        Returns False (and stores nothing) when the live fingerprint has
+        moved — the result may not reflect current state.
+        """
+        if fingerprint != self.fingerprint():
+            return False
+        key = normalize_query(query)
+        with self._lock:
+            self._entries[key] = _Entry(_snapshot(relation), fingerprint)
+            self._entries.move_to_end(key)
+            self.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return True
+
+    def invalidate(self) -> None:
+        """Drop every entry (state fingerprints make this rarely necessary)."""
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+
+    # ----------------------------------------------------------------- status
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> dict:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+def _snapshot(relation: Relation) -> Relation:
+    """A shallow copy: fresh row list, shared (treated-as-immutable) rows."""
+    copy = Relation(relation.schema)
+    copy.rows.extend(relation.rows)
+    return copy

@@ -1,0 +1,116 @@
+"""Runtime counters: throughput, latency percentiles, queue depth, cache hits.
+
+:class:`RuntimeMetrics` is the one place the serving layer's health is
+visible.  The scheduler records every submission and completion here; the
+snapshot combines them with the admission controller's queue depth and the
+cache's hit rate into a single dict a dashboard (or a benchmark assertion)
+can read.  The same completions are forwarded to the
+:class:`~repro.core.monitor.ExecutionMonitor`, so the
+:class:`~repro.core.monitor.MigrationAdvisor` learns engine preferences from
+live production traffic rather than only from offline probes.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+
+
+class RuntimeMetrics:
+    """Thread-safe counters plus a bounded latency window for percentiles."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.casts_skipped = 0
+        self._first_submit: float | None = None
+        self._last_complete: float | None = None
+
+    # --------------------------------------------------------------- recording
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+            if self._first_submit is None:
+                self._first_submit = time.perf_counter()
+
+    def record_completed(self, seconds: float, cached: bool = False) -> None:
+        with self._lock:
+            self.completed += 1
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self._latencies.append(seconds)
+            self._last_complete = time.perf_counter()
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_casts_skipped(self, count: int) -> None:
+        if count:
+            with self._lock:
+                self.casts_skipped += count
+
+    # -------------------------------------------------------------- statistics
+    def latency_percentile(self, percentile: float) -> float | None:
+        """Latency at ``percentile`` (0..100) over the recent window, or None."""
+        with self._lock:
+            samples = sorted(self._latencies)
+        if not samples:
+            return None
+        rank = (percentile / 100.0) * (len(samples) - 1)
+        lower = math.floor(rank)
+        upper = math.ceil(rank)
+        if lower == upper:
+            return samples[lower]
+        fraction = rank - lower
+        return samples[lower] * (1 - fraction) + samples[upper] * fraction
+
+    def throughput(self) -> float:
+        """Completed queries per second of wall time, 0.0 before any complete."""
+        with self._lock:
+            if self._first_submit is None or self._last_complete is None:
+                return 0.0
+            elapsed = self._last_complete - self._first_submit
+            completed = self.completed
+        if elapsed <= 0:
+            return float(completed)
+        return completed / elapsed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            return self.cache_hits / total if total else 0.0
+
+    def snapshot(self, queue_depth: int | None = None) -> dict:
+        """Everything a dashboard needs, as one dict."""
+        p50 = self.latency_percentile(50)
+        p95 = self.latency_percentile(95)
+        p99 = self.latency_percentile(99)
+        with self._lock:
+            out = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "in_flight": self.submitted - self.completed - self.failed,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "casts_skipped": self.casts_skipped,
+            }
+        out["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        out["throughput_qps"] = round(self.throughput(), 2)
+        out["latency_p50_s"] = p50
+        out["latency_p95_s"] = p95
+        out["latency_p99_s"] = p99
+        if queue_depth is not None:
+            out["queue_depth"] = queue_depth
+        return out

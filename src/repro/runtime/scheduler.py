@@ -1,0 +1,326 @@
+"""The polystore runtime: a worker pool serving many clients concurrently.
+
+:class:`PolystoreRuntime` is the layer between clients and
+:class:`~repro.core.bigdawg.BigDawg`.  Each submitted query flows through:
+
+1. **Result cache** — a fingerprint-verified lookup; hits return immediately
+   and never touch an engine.
+2. **Planning** — scoped queries become a :class:`~repro.core.query.planner.QueryPlan`
+   whose dependency sets say which steps may overlap.
+3. **Scheduling** — plan steps run in dependency waves; steps in the same
+   wave (independent CASTs, unrelated WITH-binding materializations) run on
+   parallel threads.
+4. **Admission** — before running, every step is admitted by the gates of the
+   engines it touches, so no engine sees more concurrency than its slot
+   budget and a slow scan on one engine cannot starve the others.
+5. **Accounting** — latency lands in :class:`~repro.runtime.metrics.RuntimeMetrics`
+   and in the :class:`~repro.core.monitor.ExecutionMonitor`, where the
+   migration advisor mines it.
+
+``engine_latency`` emulates the network hop to an out-of-process engine
+(every engine here is in-process, which a real BigDAWG deployment is not):
+each admitted dispatch sleeps that long while holding its slots.  Benchmarks
+use it to study scheduling under realistic service times; it defaults to 0.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Sequence
+
+from repro.common.errors import BigDawgError, ObjectNotFoundError, PlanningError
+from repro.common.schema import Relation
+from repro.core.bigdawg import BigDawg
+from repro.core.query.planner import BindingStep, CastStep, PlanExecution, QueryPlan
+from repro.runtime.admission import AdmissionController
+from repro.runtime.cache import ResultCache
+from repro.runtime.metrics import RuntimeMetrics
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Process-wide session ids: several runtimes may serve one polystore, and
+#: session-scoped temp names (``name__s<id>``) must never collide across them.
+_SESSION_IDS = itertools.count(1)
+
+
+class PolystoreRuntime:
+    """Concurrent serving layer over one :class:`BigDawg` polystore."""
+
+    def __init__(
+        self,
+        bigdawg: BigDawg,
+        workers: int = 4,
+        slots_per_engine: int = 2,
+        admission_timeout: float | None = 30.0,
+        engine_slots: dict[str, int] | None = None,
+        cache_capacity: int = 256,
+        engine_latency: float = 0.0,
+        parallel_steps: bool = True,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.bigdawg = bigdawg
+        self.workers = workers
+        self.admission = AdmissionController(
+            slots_per_engine=slots_per_engine, timeout=admission_timeout, slots=engine_slots
+        )
+        self.cache = ResultCache(bigdawg.catalog, capacity=cache_capacity)
+        self.metrics = RuntimeMetrics()
+        self.engine_latency = engine_latency
+        self.parallel_steps = parallel_steps
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="bigdawg-runtime"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------- client API
+    def submit(self, query: str, cast_method: str = "binary",
+               chunk_size: int | None = None, use_cache: bool = True) -> "Future[Relation]":
+        """Enqueue one query; returns a future resolving to its Relation."""
+        if self._closed:
+            raise RuntimeError("runtime has been shut down")
+        self.metrics.record_submitted()
+        return self._pool.submit(self._run, query, cast_method, chunk_size, use_cache)
+
+    def execute(self, query: str, cast_method: str = "binary",
+                chunk_size: int | None = None, use_cache: bool = True) -> Relation:
+        """Submit and wait: the blocking single-client call."""
+        return self.submit(query, cast_method, chunk_size, use_cache).result()
+
+    def execute_many(self, queries: Sequence[str], cast_method: str = "binary",
+                     chunk_size: int | None = None, use_cache: bool = True) -> list[Relation]:
+        """Run a batch concurrently; results come back in submission order."""
+        futures = [self.submit(q, cast_method, chunk_size, use_cache) for q in queries]
+        return [future.result() for future in futures]
+
+    def session(self) -> "RuntimeSession":
+        return RuntimeSession(self, next(_SESSION_IDS))
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PolystoreRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def describe(self) -> dict:
+        return {
+            "workers": self.workers,
+            "metrics": self.metrics.snapshot(queue_depth=self.admission.queue_depth()),
+            "admission": self.admission.describe(),
+            "cache": self.cache.describe(),
+        }
+
+    # -------------------------------------------------------------- execution
+    def _run(self, query: str, cast_method: str, chunk_size: int | None,
+             use_cache: bool) -> Relation:
+        started = time.perf_counter()
+        try:
+            if use_cache:
+                hit = self.cache.get(query)
+                if hit is not None:
+                    elapsed = time.perf_counter() - started
+                    self.metrics.record_completed(elapsed, cached=True)
+                    return hit
+            fingerprint = self.cache.fingerprint()
+            result, plan = self._execute_uncached(query, cast_method, chunk_size)
+            if use_cache:
+                # put() refuses the entry if any engine (including ones this
+                # very query mutated) or the catalog moved past `fingerprint`.
+                self.cache.put(query, result, fingerprint)
+            elapsed = time.perf_counter() - started
+            self.metrics.record_completed(elapsed, cached=False)
+            self._observe(query, plan, elapsed)
+            return result
+        except Exception:
+            self.metrics.record_failed()
+            raise
+
+    def _execute_uncached(self, query: str, cast_method: str,
+                          chunk_size: int | None) -> tuple[Relation, QueryPlan | None]:
+        stripped = query.strip()
+        if self.bigdawg.is_scoped(stripped):
+            plan = self.bigdawg.plan(stripped, cast_method=cast_method, chunk_size=chunk_size)
+            execution = self.bigdawg.planner.start(plan)
+            try:
+                self._run_plan(plan, execution)
+                self.metrics.record_casts_skipped(len(execution.skipped_casts))
+                return execution.finish(), plan
+            finally:
+                execution.cleanup()
+        island = self.bigdawg._choose_island(stripped)
+        engines = self._referenced_engines(stripped)
+        if not engines:
+            members = island.member_engines()
+            if members:
+                engines = {members[0].name.lower()}
+        with self.admission.admit(engines):
+            self._dispatch_delay()
+            return island.execute(stripped), None
+
+    def _run_plan(self, plan: QueryPlan, execution: PlanExecution) -> None:
+        """Run steps in dependency waves; a wave's steps run on parallel threads."""
+        dependencies = plan.step_dependencies()
+        completed: set[int] = set()
+        remaining = set(range(len(plan.steps)))
+        while remaining:
+            ready = sorted(i for i in remaining if dependencies[i] <= completed)
+            if not ready:
+                raise PlanningError("plan dependencies contain a cycle")
+            if len(ready) == 1 or not self.parallel_steps:
+                for index in ready:
+                    self._run_admitted_step(execution, plan, index)
+            else:
+                errors: list[BaseException] = []
+
+                def run(index: int) -> None:
+                    try:
+                        self._run_admitted_step(execution, plan, index)
+                    except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=run, args=(index,), daemon=True)
+                    for index in ready
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                if errors:
+                    raise errors[0]
+            completed.update(ready)
+            remaining.difference_update(ready)
+
+    def _run_admitted_step(self, execution: PlanExecution, plan: QueryPlan,
+                           index: int) -> None:
+        engines = self._step_engines(plan.steps[index])
+        with self.admission.admit(engines):
+            self._dispatch_delay()
+            execution.run_step(index)
+
+    def _dispatch_delay(self) -> None:
+        if self.engine_latency > 0:
+            time.sleep(self.engine_latency)
+
+    # ------------------------------------------------------- engine discovery
+    def _step_engines(self, step: object) -> set[str]:
+        """The engines a plan step will touch, for admission control."""
+        if isinstance(step, CastStep):
+            engines = {step.target_engine.lower()}
+            try:
+                engines.add(self.bigdawg.catalog.locate(step.object_name).engine_name)
+            except ObjectNotFoundError:
+                pass
+            return engines
+        scope = getattr(step, "scope", None)
+        if scope is None:  # pragma: no cover - defensive
+            return set()
+        engines = self._referenced_engines(scope.body_without_casts)
+        if isinstance(step, BindingStep):
+            # The materialization writes into the temp engine: admit there
+            # too, so binding writes stay inside that engine's slot budget.
+            engines.add(self.bigdawg.temp_engine().name.lower())
+        return engines
+
+    def _referenced_engines(self, text: str) -> set[str]:
+        """Engines storing any catalog object the query text mentions."""
+        catalog = self.bigdawg.catalog
+        engines: set[str] = set()
+        for token in set(_IDENTIFIER_RE.findall(text)):
+            try:
+                engines.add(catalog.locate(token).engine_name)
+            except ObjectNotFoundError:
+                continue
+        return engines
+
+    # -------------------------------------------------------------- monitoring
+    def _observe(self, query: str, plan: QueryPlan | None, elapsed: float) -> None:
+        """Feed the execution monitor so the advisor learns from live traffic."""
+        try:
+            if plan is not None and plan.steps:
+                final = plan.steps[-1]
+                scope = getattr(final, "scope", None)
+                island = scope.island if scope is not None else "auto"
+                body = scope.body_without_casts if scope is not None else query
+            else:
+                island, body = "auto", query
+            catalog = self.bigdawg.catalog
+            for token in _IDENTIFIER_RE.findall(body):
+                try:
+                    location = catalog.locate(token)
+                except ObjectNotFoundError:
+                    continue
+                self.bigdawg.monitor.record(
+                    f"runtime_{island}", location.name, location.engine_name, elapsed
+                )
+                return
+        except BigDawgError:  # pragma: no cover - observation must never fail a query
+            pass
+
+
+class RuntimeSession:
+    """A per-client handle: counts its traffic and scopes its temporaries.
+
+    Any temporary materialized through :meth:`materialize` lives until the
+    session closes (use it as a context manager), at which point it is
+    dropped from both its engine and the catalog — per-query WITH bindings
+    are already scoped to their plan execution and need no session help.
+    """
+
+    def __init__(self, runtime: PolystoreRuntime, session_id: int) -> None:
+        self.runtime = runtime
+        self.id = session_id
+        self.queries_submitted = 0
+        self._temporaries: list[str] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ query
+    def submit(self, query: str, **options: object) -> "Future[Relation]":
+        self._check_open()
+        with self._lock:
+            self.queries_submitted += 1
+        return self.runtime.submit(query, **options)  # type: ignore[arg-type]
+
+    def execute(self, query: str, **options: object) -> Relation:
+        return self.submit(query, **options).result()
+
+    # ------------------------------------------------------------- temporaries
+    def materialize(self, name: str, relation: Relation) -> str:
+        """Store a relation as a session-scoped temporary table."""
+        self._check_open()
+        physical = f"{name}__s{self.id}"
+        self.runtime.bigdawg.materialize_temporary(physical, relation)
+        with self._lock:
+            self._temporaries.append(physical)
+        return physical
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            temporaries, self._temporaries = self._temporaries, []
+        for name in temporaries:
+            self.runtime.bigdawg.drop_temporary(name)
+
+    def __enter__(self) -> "RuntimeSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"session {self.id} is closed")
+
+
+__all__ = ["PolystoreRuntime", "RuntimeSession"]

@@ -1,0 +1,522 @@
+"""Tests for the concurrent polystore runtime: scheduler, admission control,
+versioned result cache, runtime metrics, sessions, and the concurrency-safety
+fixes that ride along (temp-table scoping, run-time cast elision, full-rank
+array cast dimensions)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.common.schema import Relation, Schema
+from repro.core.bigdawg import BigDawg
+from repro.core.query.planner import BindingStep, CastStep, IslandQueryStep
+from repro.engines.array import ArrayEngine
+from repro.engines.keyvalue import KeyValueEngine
+from repro.engines.relational import RelationalEngine
+from repro.runtime import (
+    AdmissionController,
+    AdmissionTimeout,
+    PolystoreRuntime,
+    ResultCache,
+    RuntimeMetrics,
+)
+
+
+@pytest.fixture()
+def bigdawg() -> BigDawg:
+    bd = BigDawg()
+    postgres = RelationalEngine("postgres")
+    scidb = ArrayEngine("scidb")
+    accumulo = KeyValueEngine("accumulo")
+    bd.add_engine(postgres, islands=["relational", "myria", "d4m"])
+    bd.add_engine(scidb, islands=["array"])
+    bd.add_engine(accumulo, islands=["text", "d4m"])
+    postgres.execute("CREATE TABLE patients (id INTEGER PRIMARY KEY, age INTEGER)")
+    postgres.execute("INSERT INTO patients VALUES (1, 64), (2, 70), (3, 41), (4, 77)")
+    scidb.load_numpy("waves", np.arange(12, dtype=float).reshape(3, 4))
+    # A second array reserved for CAST traffic, so cast queries do not
+    # re-point the catalog entry the array-island reads rely on.
+    scidb.load_numpy("wave_copy", np.arange(6, dtype=float).reshape(2, 3))
+    accumulo.create_table("notes", text_indexed=True)
+    accumulo.put("notes", "p1", "doctor", "n1", "very sick patient")
+    accumulo.put("notes", "p2", "doctor", "n1", "recovering well")
+    return bd
+
+
+@pytest.fixture()
+def runtime(bigdawg) -> PolystoreRuntime:
+    rt = PolystoreRuntime(bigdawg, workers=4)
+    yield rt
+    rt.shutdown()
+
+
+# ---------------------------------------------------------------- versioning
+class TestWriteVersions:
+    def test_import_and_drop_bump_write_version(self):
+        engine = RelationalEngine("pg")
+        schema = Schema([("id", "integer"), ("v", "float")])
+        before = engine.write_version
+        engine.import_relation("t", Relation(schema, [[1, 0.5]]))
+        assert engine.write_version > before
+        mid = engine.write_version
+        engine.drop_object("t")
+        assert engine.write_version > mid
+
+    def test_native_dml_bumps_write_version(self):
+        engine = RelationalEngine("pg")
+        engine.execute("CREATE TABLE t (id INTEGER)")
+        v1 = engine.write_version
+        engine.execute("INSERT INTO t VALUES (1)")
+        assert engine.write_version > v1
+        v2 = engine.write_version
+        engine.execute("SELECT count(*) FROM t")
+        assert engine.write_version == v2  # reads do not bump
+
+    def test_array_and_keyvalue_native_mutations_bump(self):
+        scidb = ArrayEngine("scidb")
+        v0 = scidb.write_version
+        scidb.load_numpy("a", np.zeros((2, 2)))
+        assert scidb.write_version > v0
+        accumulo = KeyValueEngine("acc")
+        accumulo.create_table("t")
+        v1 = accumulo.write_version
+        accumulo.put("t", "r1", "f", "q", 1)
+        assert accumulo.write_version > v1
+
+    def test_catalog_version_bumps_on_metadata_mutations(self, bigdawg):
+        v0 = bigdawg.catalog.version
+        bigdawg.catalog.register_object("waves", "scidb", "array", replace=True)
+        v1 = bigdawg.catalog.version
+        assert v1 > v0
+        bigdawg.catalog.unregister_object("nonexistent")  # no-op: no bump
+        assert bigdawg.catalog.version == v1
+
+
+# ------------------------------------------------------------------ admission
+class TestAdmission:
+    def test_slots_bound_concurrency(self):
+        controller = AdmissionController(slots_per_engine=2, timeout=5.0)
+        active, peak = [0], [0]
+        lock = threading.Lock()
+
+        def worker():
+            with controller.admit(["postgres"]):
+                with lock:
+                    active[0] += 1
+                    peak[0] = max(peak[0], active[0])
+                time.sleep(0.02)
+                with lock:
+                    active[0] -= 1
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert peak[0] <= 2
+        assert controller.gate("postgres").admitted == 8
+
+    def test_timeout_raises_admission_timeout(self):
+        controller = AdmissionController(slots_per_engine=1, timeout=0.05)
+        release = threading.Event()
+
+        def holder():
+            with controller.admit(["scidb"]):
+                release.wait(2.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        time.sleep(0.02)  # let the holder take the only slot
+        with pytest.raises(AdmissionTimeout):
+            with controller.admit(["scidb"]):
+                pass
+        assert controller.gate("scidb").timed_out == 1
+        release.set()
+        thread.join()
+
+    def test_fifo_order(self):
+        controller = AdmissionController(slots_per_engine=1, timeout=5.0)
+        order: list[int] = []
+        started = threading.Event()
+
+        def holder():
+            with controller.admit(["e"]):
+                started.set()
+                time.sleep(0.05)
+
+        def waiter(rank: int):
+            with controller.admit(["e"]):
+                order.append(rank)
+
+        hold = threading.Thread(target=holder)
+        hold.start()
+        started.wait()
+        waiters = []
+        for rank in range(4):
+            t = threading.Thread(target=waiter, args=(rank,))
+            t.start()
+            waiters.append(t)
+            time.sleep(0.01)  # stagger arrivals so FIFO order is observable
+        hold.join()
+        for t in waiters:
+            t.join()
+        assert order == [0, 1, 2, 3]
+
+    def test_multi_engine_admission_sorted(self):
+        controller = AdmissionController(slots_per_engine=1, timeout=1.0)
+        # Overlapping engine sets acquired concurrently must not deadlock.
+        def worker(engines):
+            for _ in range(5):
+                with controller.admit(engines):
+                    time.sleep(0.001)
+
+        threads = [
+            threading.Thread(target=worker, args=(["a", "b"],)),
+            threading.Thread(target=worker, args=(["b", "a"],)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert controller.gate("a").admitted == 10
+
+
+# ---------------------------------------------------------------------- cache
+class TestResultCache:
+    def test_hit_after_store_and_whitespace_normalization(self, bigdawg):
+        cache = ResultCache(bigdawg.catalog)
+        result = bigdawg.execute("RELATIONAL(SELECT count(*) AS n FROM patients)")
+        fp = cache.fingerprint()
+        assert cache.put("RELATIONAL(SELECT count(*) AS n FROM patients)", result, fp)
+        hit = cache.get("RELATIONAL(SELECT   count(*) AS n\n FROM patients)")
+        assert hit is not None and hit.rows[0]["n"] == 4
+        assert cache.hits == 1
+
+    def test_invalidated_by_cast(self, bigdawg):
+        cache = ResultCache(bigdawg.catalog)
+        result = bigdawg.execute("ARRAY(aggregate(waves, avg(value)))")
+        cache.put("q", result, cache.fingerprint())
+        bigdawg.cast("wave_copy", "postgres")
+        assert cache.get("q") is None
+        assert cache.invalidations == 1
+
+    def test_invalidated_by_native_dml(self, bigdawg):
+        cache = ResultCache(bigdawg.catalog)
+        result = bigdawg.execute("RELATIONAL(SELECT count(*) AS n FROM patients)")
+        cache.put("q", result, cache.fingerprint())
+        bigdawg.engine("postgres").execute("INSERT INTO patients VALUES (5, 30)")
+        assert cache.get("q") is None
+
+    def test_put_refused_when_state_moved(self, bigdawg):
+        cache = ResultCache(bigdawg.catalog)
+        fp = cache.fingerprint()
+        result = bigdawg.execute("RELATIONAL(SELECT count(*) AS n FROM patients)")
+        bigdawg.engine("postgres").execute("INSERT INTO patients VALUES (6, 50)")
+        assert cache.put("q", result, fp) is False
+        assert len(cache) == 0
+
+    def test_normalization_preserves_literal_whitespace(self, bigdawg):
+        from repro.runtime.cache import normalize_query
+
+        assert normalize_query("SELECT  a \n FROM t") == "SELECT a FROM t"
+        # Whitespace inside string literals is significant: these are
+        # different queries and must not share a cache key.
+        single = normalize_query('TEXT(SEARCH notes FOR "chest pain")')
+        double = normalize_query('TEXT(SEARCH notes FOR "chest  pain")')
+        assert single != double
+
+    def test_invalidated_by_transaction_rollback(self, bigdawg):
+        cache = ResultCache(bigdawg.catalog)
+        engine = bigdawg.engine("postgres")
+        txn = engine.begin()
+        engine.insert_rows("patients", [[50, 45]])
+        result = bigdawg.execute("RELATIONAL(SELECT count(*) AS n FROM patients)")
+        cache.put("q", result, cache.fingerprint())
+        txn.rollback()
+        # The rolled-back insert was visible when the entry was stored.
+        assert cache.get("q") is None
+
+    def test_with_query_churn_does_not_invalidate_cache(self, bigdawg):
+        cache = ResultCache(bigdawg.catalog)
+        with_query = (
+            "WITH seniors = RELATIONAL(SELECT id FROM patients WHERE age > 65) "
+            "RELATIONAL(SELECT count(*) AS n FROM seniors)"
+        )
+        bigdawg.execute(with_query)  # warm-up: lazily creates the temp engine
+        result = bigdawg.execute("RELATIONAL(SELECT count(*) AS n FROM patients)")
+        cache.put("q", result, cache.fingerprint())
+        # Temp materialization and retirement are ephemeral churn: the
+        # unrelated cached entry must survive a WITH query.
+        bigdawg.execute(with_query)
+        assert cache.get("q") is not None
+        assert bigdawg.catalog.temp_version > 0
+
+    def test_replacing_existing_temp_name_invalidates(self, bigdawg):
+        cache = ResultCache(bigdawg.catalog)
+        schema = Schema([("id", "integer")])
+        bigdawg.materialize_temporary("scratchpad", Relation(schema, [[1]]))
+        result = bigdawg.execute("RELATIONAL(SELECT count(*) AS n FROM scratchpad)")
+        cache.put("q", result, cache.fingerprint())
+        # Re-materializing the *same* name changes visible content.
+        bigdawg.materialize_temporary("scratchpad", Relation(schema, [[1], [2]]))
+        assert cache.get("q") is None
+        bigdawg.drop_temporary("scratchpad")
+
+    def test_lru_eviction(self, bigdawg):
+        cache = ResultCache(bigdawg.catalog, capacity=2)
+        relation = bigdawg.execute("RELATIONAL(SELECT count(*) AS n FROM patients)")
+        fp = cache.fingerprint()
+        for key in ("a", "b", "c"):
+            cache.put(key, relation, fp)
+        assert len(cache) == 2
+        assert cache.get("a") is None  # evicted as least recently used
+        assert cache.get("c") is not None
+
+
+# -------------------------------------------------------------------- planner
+class TestPlannerConcurrencySupport:
+    def test_plan_dependencies_allow_parallel_bindings(self, bigdawg):
+        plan = bigdawg.plan(
+            "WITH old = RELATIONAL(SELECT id FROM patients WHERE age > 70) "
+            "WITH young = RELATIONAL(SELECT id FROM patients WHERE age < 50) "
+            "RELATIONAL(SELECT count(*) AS n FROM old)"
+        )
+        kinds = [type(step) for step in plan.steps]
+        assert kinds == [BindingStep, BindingStep, IslandQueryStep]
+        deps = plan.step_dependencies()
+        # The two bindings are mutually independent; the final query waits.
+        assert deps[0] == set() and deps[1] == set()
+        assert deps[2] == {0, 1}
+
+    def test_dependent_binding_waits_for_referenced_binding(self, bigdawg):
+        plan = bigdawg.plan(
+            "WITH old = RELATIONAL(SELECT id, age FROM patients WHERE age > 60) "
+            "WITH oldest = RELATIONAL(SELECT id FROM old WHERE age > 75) "
+            "RELATIONAL(SELECT count(*) AS n FROM oldest)"
+        )
+        deps = plan.step_dependencies()
+        assert 0 in deps[1]  # `oldest` reads `old`
+
+    def test_with_binding_temporaries_dropped_after_plan(self, bigdawg):
+        query = (
+            "WITH seniors = RELATIONAL(SELECT id, age FROM patients WHERE age >= 64) "
+            "RELATIONAL(SELECT count(*) AS n FROM seniors WHERE age >= 70)"
+        )
+        for _ in range(3):  # repeated runs must not accumulate state
+            result = bigdawg.execute(query)
+            assert result.rows[0]["n"] == 2
+        leftovers = [o.name for o in bigdawg.catalog.objects() if o.properties.get("temporary")]
+        assert leftovers == []
+        assert all(
+            not name.startswith("seniors")
+            for name in bigdawg.engine("postgres").list_objects()
+        )
+
+    def test_runtime_cast_elision_on_stale_plan(self, bigdawg):
+        query = "RELATIONAL(SELECT count(*) AS n FROM CAST(wave_copy, relational) WHERE value > 1)"
+        plan = bigdawg.plan(query)
+        assert any(isinstance(step, CastStep) for step in plan.steps)
+        # The object moves between planning and execution (e.g. a concurrent
+        # plan or an advisor migration): the stale CastStep must become a no-op.
+        bigdawg.cast("wave_copy", "postgres")
+        casts_before = len(bigdawg.migrator.history)
+        result = bigdawg.planner.execute_plan(plan)
+        assert result.rows[0]["n"] == 4
+        assert len(bigdawg.migrator.history) == casts_before  # no re-migration
+
+    def test_three_dimension_cast_keeps_all_dimensions(self, bigdawg):
+        postgres = bigdawg.engine("postgres")
+        postgres.execute(
+            "CREATE TABLE cube (x INTEGER, y INTEGER, z INTEGER, value FLOAT)"
+        )
+        postgres.execute(
+            "INSERT INTO cube VALUES (0,0,0,1.0), (1,0,1,2.0), (0,1,0,3.0), (1,1,1,4.0)"
+        )
+        bigdawg.catalog.register_object("cube", "postgres", "table", replace=True)
+        result = bigdawg.execute("ARRAY(aggregate(CAST(cube, array), avg(value)))")
+        assert float(result.rows[0].values[0]) == pytest.approx(2.5)
+        stored = bigdawg.engine("scidb").array("cube")
+        # Regression: dims used to be truncated to the first two columns.
+        assert [d.name for d in stored.schema.dimensions] == ["x", "y", "z"]
+
+
+# -------------------------------------------------------------------- runtime
+class TestPolystoreRuntime:
+    MIXED = [
+        "RELATIONAL(SELECT count(*) AS n FROM patients WHERE age > 60)",
+        "ARRAY(aggregate(waves, avg(value)))",
+        'TEXT(SEARCH notes FOR "very sick")',
+        "RELATIONAL(SELECT avg(age) AS a FROM patients)",
+    ]
+
+    def test_results_match_serial_execution(self, bigdawg, runtime):
+        serial = [bigdawg.execute(q).to_dicts() for q in self.MIXED]
+        concurrent = [r.to_dicts() for r in runtime.execute_many(self.MIXED * 3)]
+        assert concurrent == (serial * 3)
+
+    def test_repeated_query_hits_cache(self, bigdawg, runtime):
+        query = self.MIXED[0]
+        runtime.execute(query)
+        runtime.execute(query)
+        assert runtime.cache.hits >= 1
+        assert runtime.metrics.cache_hits >= 1
+        # Native DML invalidates: the third run recomputes.
+        bigdawg.engine("postgres").execute("INSERT INTO patients VALUES (9, 90)")
+        result = runtime.execute(query)
+        assert result.rows[0]["n"] == 4  # now four patients over 60
+
+    def test_mutating_query_is_not_cached(self, bigdawg, runtime):
+        runtime.execute("RELATIONAL(INSERT INTO patients VALUES (10, 55))")
+        assert len(runtime.cache) == 0
+
+    def test_with_query_temporaries_scoped_per_execution(self, bigdawg, runtime):
+        query = (
+            "WITH seniors = RELATIONAL(SELECT id, age FROM patients WHERE age >= 64) "
+            "RELATIONAL(SELECT count(*) AS n FROM seniors WHERE age >= 70)"
+        )
+        results = runtime.execute_many([query] * 6)
+        assert all(r.rows[0]["n"] == 2 for r in results)
+        leftovers = [o.name for o in bigdawg.catalog.objects() if o.properties.get("temporary")]
+        assert leftovers == []
+
+    def test_runtime_feeds_execution_monitor(self, bigdawg, runtime):
+        runtime.execute(self.MIXED[0], use_cache=False)
+        runtime.execute(self.MIXED[1], use_cache=False)
+        classes = {o.query_class for o in bigdawg.monitor.observations}
+        assert "runtime_relational" in classes
+        assert "runtime_array" in classes
+
+    def test_metrics_snapshot(self, runtime):
+        runtime.execute_many(self.MIXED)
+        snap = runtime.metrics.snapshot(queue_depth=runtime.admission.queue_depth())
+        assert snap["completed"] == 4
+        assert snap["failed"] == 0
+        assert snap["latency_p50_s"] is not None
+        assert snap["latency_p95_s"] >= snap["latency_p50_s"]
+        assert snap["queue_depth"] == 0
+        assert runtime.metrics.throughput() > 0
+
+    def test_failed_query_counted_and_raised(self, runtime):
+        with pytest.raises(Exception):
+            runtime.execute("RELATIONAL(SELECT * FROM no_such_table)")
+        assert runtime.metrics.failed == 1
+
+    def test_session_scoped_temporaries(self, bigdawg, runtime):
+        schema = Schema([("id", "integer")])
+        with runtime.session() as session:
+            physical = session.materialize("scratch", Relation(schema, [[1], [2]]))
+            result = session.execute(
+                f"RELATIONAL(SELECT count(*) AS n FROM {physical})"
+            )
+            assert result.rows[0]["n"] == 2
+            assert session.queries_submitted == 1
+        assert not bigdawg.catalog.has_object(physical)
+        with pytest.raises(RuntimeError):
+            session.execute("RELATIONAL(SELECT 1)")
+
+    def test_drop_temporary_refuses_persistent_objects(self, bigdawg):
+        with pytest.raises(CatalogError):
+            bigdawg.drop_temporary("patients")
+        assert bigdawg.catalog.has_object("patients")
+
+    def test_runtime_accessor_is_lazy_singleton(self, bigdawg):
+        rt = bigdawg.runtime(workers=2)
+        assert bigdawg.runtime() is rt
+        rt.shutdown()
+
+    def test_sessions_unique_across_runtimes(self, bigdawg):
+        with PolystoreRuntime(bigdawg, workers=1) as rt1, \
+                PolystoreRuntime(bigdawg, workers=1) as rt2:
+            with rt1.session() as s1, rt2.session() as s2:
+                # Distinct ids even across runtimes, so session temp names
+                # (name__s<id>) can never collide on the shared temp engine.
+                assert s1.id != s2.id
+                schema = Schema([("id", "integer")])
+                p1 = s1.materialize("tmp", Relation(schema, [[1]]))
+                p2 = s2.materialize("tmp", Relation(schema, [[1], [2]]))
+                assert p1 != p2
+                assert s1.execute(
+                    f"RELATIONAL(SELECT count(*) AS n FROM {p1})"
+                ).rows[0]["n"] == 1
+                assert s2.execute(
+                    f"RELATIONAL(SELECT count(*) AS n FROM {p2})"
+                ).rows[0]["n"] == 2
+
+
+# --------------------------------------------------------------------- stress
+class TestConcurrencyStress:
+    def test_mixed_reads_casts_and_with_queries(self, bigdawg):
+        """N threads of mixed traffic: results must match serial execution,
+        catalog updates must not be lost, and the cache must be invalidated
+        by every mutation."""
+        reads = [
+            "RELATIONAL(SELECT count(*) AS n FROM patients WHERE age > 60)",
+            "ARRAY(aggregate(waves, avg(value)))",
+            'TEXT(SEARCH notes FOR "very sick")',
+            (
+                "WITH seniors = RELATIONAL(SELECT id, age FROM patients WHERE age >= 64) "
+                "RELATIONAL(SELECT count(*) AS n FROM seniors WHERE age >= 70)"
+            ),
+        ]
+        expected = [bigdawg.execute(q).to_dicts() for q in reads]
+        cast_query = (
+            "RELATIONAL(SELECT count(*) AS n FROM CAST(wave_copy, relational) WHERE value >= 0)"
+        )
+        expected_cast = {"n": 6}
+        with PolystoreRuntime(bigdawg, workers=8) as runtime:
+            futures = []
+            for round_index in range(6):
+                for query in reads:
+                    futures.append((query, runtime.submit(query)))
+                futures.append((cast_query, runtime.submit(cast_query)))
+            outcomes = [(query, future.result()) for query, future in futures]
+        for query, result in outcomes:
+            if query == cast_query:
+                assert result.to_dicts() == [expected_cast]
+            else:
+                assert result.to_dicts() == expected[reads.index(query)]
+        # No lost catalog updates: every object is still locatable.
+        for name in ("patients", "waves", "notes", "wave_copy"):
+            assert bigdawg.catalog.has_object(name)
+        # No temp leaks from the concurrent WITH executions.
+        assert [o.name for o in bigdawg.catalog.objects() if o.properties.get("temporary")] == []
+        # The object was cast exactly once; later plans skipped or elided it.
+        casts = [r for r in bigdawg.migrator.history if r.object_name == "wave_copy"]
+        assert len(casts) == 1
+
+    def test_cache_invalidation_under_writer_thread(self, bigdawg):
+        """A writer mutating the relational engine concurrently with readers:
+        every served result must reflect a state at least as fresh as the
+        last write that preceded its fingerprint check."""
+        query = "RELATIONAL(SELECT count(*) AS n FROM patients)"
+        stop = threading.Event()
+        inserted = [0]
+
+        def writer():
+            next_id = 100
+            while not stop.is_set():
+                bigdawg.engine("postgres").execute(
+                    f"INSERT INTO patients VALUES ({next_id}, 20)"
+                )
+                inserted[0] += 1
+                next_id += 1
+                time.sleep(0.002)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            with PolystoreRuntime(bigdawg, workers=4) as runtime:
+                counts = [r.rows[0]["n"] for r in runtime.execute_many([query] * 40)]
+        finally:
+            stop.set()
+            thread.join()
+        # Counts are monotone in time but arrive unordered; the set of values
+        # must stay within what the writer produced.
+        assert all(4 <= count <= 4 + inserted[0] for count in counts)
+        final = bigdawg.execute(query).rows[0]["n"]
+        assert final == 4 + inserted[0]  # no lost inserts
