@@ -275,24 +275,32 @@ class Relation:
         return len(self._rows)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return self._schema == other._schema and self._rows == other._rows
+        return self._schema == other._schema and self.rows == other.rows
 
     def __repr__(self) -> str:
-        return f"Relation({self._schema!r}, {len(self._rows)} rows)"
+        return f"Relation({self._schema!r}, {len(self)} rows)"
+
+    def column_values(self, index: int) -> list[Any]:
+        """Return one column (by ordinal position) as a list of values.
+
+        Columnar-backed relations override this to hand out their stored
+        column without materializing rows, which is what lets the binary
+        codec encode an exported chunk with zero per-row conversion.
+        """
+        return [row.values[index] for row in self.rows]
 
     def column(self, name: str) -> list[Any]:
         """Return all values of one column as a list."""
-        idx = self._schema.index_of(name)
-        return [row.values[idx] for row in self._rows]
+        return self.column_values(self._schema.index_of(name))
 
     def to_dicts(self) -> list[dict[str, Any]]:
         """Return the relation as a list of ``{column: value}`` dictionaries."""
-        return [row.to_dict() for row in self._rows]
+        return [row.to_dict() for row in self.rows]
 
     def sorted_by(self, *names: str, descending: bool = False) -> "Relation":
         """Return a copy sorted by the given columns (NULLs last)."""
@@ -305,7 +313,7 @@ class Relation:
                 parts.append((value is None, value))
             return tuple(parts)
 
-        ordered = sorted(self._rows, key=key, reverse=descending)
+        ordered = sorted(self.rows, key=key, reverse=descending)
         return Relation(self._schema, [r.values for r in ordered])
 
     @classmethod
@@ -318,7 +326,121 @@ class Relation:
 
     def head(self, n: int) -> "Relation":
         """Return the first ``n`` rows as a new relation."""
-        return Relation(self._schema, [r.values for r in self._rows[:n]])
+        return Relation(self._schema, [r.values for r in self.rows[:n]])
+
+
+class ColumnBatch:
+    """A bounded batch of tuples stored column-wise.
+
+    This is the unit of exchange inside the vectorized relational executor:
+    operators stream ``ColumnBatch`` objects instead of per-tuple
+    :class:`Row` objects, so a predicate or projection touches contiguous
+    column lists (or numpy views of them) rather than one Python object per
+    row.
+    """
+
+    __slots__ = ("schema", "columns", "_length")
+
+    def __init__(self, schema: Schema, columns: Sequence[list[Any]], length: int | None = None) -> None:
+        self.schema = schema
+        self.columns = list(columns)
+        if length is None:
+            length = len(self.columns[0]) if self.columns else 0
+        self._length = length
+
+    @classmethod
+    def from_value_rows(cls, schema: Schema, value_rows: Sequence[Sequence[Any]]) -> "ColumnBatch":
+        """Transpose a list of value tuples into a columnar batch."""
+        count = len(value_rows)
+        if count == 0:
+            return cls(schema, [[] for _ in schema], 0)
+        return cls(schema, [list(col) for col in zip(*value_rows)], count)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def value_rows(self) -> Iterator[tuple[Any, ...]]:
+        """Yield the batch's tuples row-wise (the batch/tuple boundary)."""
+        if not self.columns:
+            return (() for _ in range(self._length))
+        return zip(*self.columns)
+
+    def with_schema(self, schema: Schema) -> "ColumnBatch":
+        """The same columns under a different (equally wide) schema."""
+        return ColumnBatch(schema, self.columns, self._length)
+
+    def compress(self, mask: Sequence[bool]) -> "ColumnBatch":
+        """Keep only the rows where ``mask`` is true."""
+        kept = [
+            [value for value, keep in zip(column, mask) if keep]
+            for column in self.columns
+        ]
+        length = len(kept[0]) if kept else sum(1 for keep in mask if keep)
+        return ColumnBatch(self.schema, kept, length)
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Gather rows by position (used by the hash join's build side)."""
+        return ColumnBatch(
+            self.schema,
+            [[column[i] for i in indices] for column in self.columns],
+            len(indices),
+        )
+
+    def to_relation(self) -> "ColumnarRelation":
+        return ColumnarRelation(self.schema, self.columns, self._length)
+
+
+class ColumnarRelation(Relation):
+    """A :class:`Relation` backed by columns; rows materialize lazily.
+
+    Exported chunks from a columnar scan arrive as this type: a consumer
+    that only needs columns (the binary codec's columnar layout) reads them
+    via :meth:`column_values` without a single :class:`Row` ever being
+    constructed, while row-oriented consumers transparently materialize on
+    first access.
+    """
+
+    def __init__(self, schema: Schema, columns: Sequence[list[Any]], length: int | None = None) -> None:
+        super().__init__(schema)
+        self._columns: list[list[Any]] = list(columns)
+        if length is None:
+            length = len(self._columns[0]) if self._columns else 0
+        self._length = length
+        self._materialized = False
+
+    @classmethod
+    def from_value_rows(cls, schema: Schema, value_rows: Sequence[Sequence[Any]]) -> "ColumnarRelation":
+        count = len(value_rows)
+        if count == 0:
+            return cls(schema, [[] for _ in schema], 0)
+        return cls(schema, [list(col) for col in zip(*value_rows)], count)
+
+    @property
+    def rows(self) -> list[Row]:
+        if not self._materialized:
+            schema = self._schema
+            if self._columns:
+                self._rows.extend(Row(schema, values) for values in zip(*self._columns))
+            self._materialized = True
+        return self._rows
+
+    def __len__(self) -> int:
+        if self._materialized:
+            return len(self._rows)
+        return self._length
+
+    def column_values(self, index: int) -> list[Any]:
+        if self._materialized:
+            return super().column_values(index)
+        return self._columns[index]
+
+    def append(self, row: Row | Sequence[Any]) -> None:
+        self.rows  # materialize so columns never go stale
+        super().append(row)
+
+    def extend(self, rows: Iterable[Row | Sequence[Any]]) -> None:
+        self.rows
+        super().extend(rows)
 
 
 @dataclass

@@ -321,9 +321,12 @@ class BinaryCodec(ChunkedCodecMixin):
 
     # ------------------------------------------------------------ columnar path
     def _encode_columnar(self, out: io.BytesIO, relation: Relation) -> None:
-        rows = relation.rows
         for index, col in enumerate(relation.schema):
-            column = [row.values[index] for row in rows]
+            # column_values hands back the stored column directly when the
+            # relation is columnar-backed (e.g. a chunk streamed out of the
+            # relational engine's batch scan), so an all-numeric CAST never
+            # converts through per-row objects.
+            column = relation.column_values(index)
             out.write(bytes(1 if value is None else 0 for value in column))
             if col.dtype is DataType.TIMESTAMP:
                 packed = [_timestamp_to_epoch(v) for v in column if v is not None]

@@ -23,9 +23,9 @@ import functools
 import itertools
 import threading
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.common.schema import Relation, Row, Schema
+from repro.common.schema import ColumnarRelation, Relation, Row, Schema
 
 #: Default number of rows per chunk on the streaming CAST path.
 DEFAULT_CHUNK_ROWS = 8192
@@ -57,6 +57,32 @@ def relation_chunks(schema: Schema, rows: Iterable[Any], chunk_size: int,
                 chunk = Relation(schema)
         if len(chunk):
             yield chunk
+
+    return generate()
+
+
+def columnar_relation_chunks(schema: Schema, value_rows: Iterable[Sequence[Any]],
+                             chunk_size: int) -> Iterator[Relation]:
+    """Group a stream of value tuples into columnar-backed relation chunks.
+
+    The columnar sibling of :func:`relation_chunks`: each emitted chunk is a
+    :class:`~repro.common.schema.ColumnarRelation`, so a consumer that reads
+    columns (the binary codec's columnar layout) never triggers per-row
+    ``Row`` construction, while row-oriented consumers materialize lazily.
+    ``value_rows`` must already be schema-typed (engine-native storage).
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+
+    def generate() -> Iterator[Relation]:
+        pending: list[Sequence[Any]] = []
+        for values in value_rows:
+            pending.append(values)
+            if len(pending) >= chunk_size:
+                yield ColumnarRelation.from_value_rows(schema, pending)
+                pending = []
+        if pending:
+            yield ColumnarRelation.from_value_rows(schema, pending)
 
     return generate()
 

@@ -42,6 +42,9 @@ class InvertedTextIndex:
     def __init__(self) -> None:
         self._postings: dict[str, dict[tuple[str, str], int]] = defaultdict(dict)
         self._documents: dict[tuple[str, str], str] = {}
+        #: Normalized (tokenized, space-joined) text per document, computed
+        #: once at index time so phrase search never re-tokenizes documents.
+        self._normalized: dict[tuple[str, str], str] = {}
 
     def __len__(self) -> int:
         """Number of indexed documents."""
@@ -55,7 +58,9 @@ class InvertedTextIndex:
         """Index one document (e.g. one clinical note)."""
         doc_key = (row, qualifier)
         self._documents[doc_key] = text
-        for term, count in Counter(tokenize(text)).items():
+        tokens = tokenize(text)
+        self._normalized[doc_key] = " ".join(tokens)
+        for term, count in Counter(tokens).items():
             self._postings[term][doc_key] = count
 
     def remove_row(self, row: str) -> int:
@@ -63,6 +68,7 @@ class InvertedTextIndex:
         doomed = [key for key in self._documents if key[0] == row]
         for key in doomed:
             del self._documents[key]
+            self._normalized.pop(key, None)
         for postings in self._postings.values():
             for key in doomed:
                 postings.pop(key, None)
@@ -79,20 +85,37 @@ class InvertedTextIndex:
 
     def search_all(self, terms: list[str]) -> list[Posting]:
         """Documents containing every term (AND). Count is the minimum term count."""
-        keys: set[tuple[str, str]] | None = None
-        for term in terms:
-            normalized = tokenize(term)
-            if not normalized:
-                continue
-            postings = set(self._postings.get(normalized[0], {}))
-            keys = postings if keys is None else keys & postings
-        if not keys:
-            return []
-        results = []
-        for key in sorted(keys):
-            count = min(self._postings[tokenize(t)[0]][key] for t in terms if tokenize(t))
-            results.append(Posting(key[0], key[1], count))
-        return results
+        return [
+            Posting(key[0], key[1], count)
+            for key, count in sorted(self._search_all_counts(terms).items())
+        ]
+
+    def _search_all_counts(self, terms: list[str]) -> dict[tuple[str, str], int]:
+        """AND-intersection as {document: min term count}, unordered.
+
+        Drives the intersection from the rarest term's posting list and
+        probes the others by dict lookup — no set materialization, no
+        re-tokenization per candidate.
+        """
+        # Normalize the query terms once, not once per candidate document.
+        normalized = [tokens[0] for tokens in (tokenize(t) for t in terms) if tokens]
+        if not normalized:
+            return {}
+        posting_maps = [self._postings.get(term, {}) for term in normalized]
+        smallest = min(posting_maps, key=len)
+        out: dict[tuple[str, str], int] = {}
+        for key, count in smallest.items():
+            lowest = count
+            for postings in posting_maps:
+                other = postings.get(key)
+                if other is None:
+                    lowest = None
+                    break
+                if other < lowest:
+                    lowest = other
+            if lowest is not None:
+                out[key] = lowest
+        return out
 
     def search_any(self, terms: list[str]) -> list[Posting]:
         """Documents containing at least one term (OR). Count is the total."""
@@ -106,17 +129,23 @@ class InvertedTextIndex:
         return [Posting(row, qualifier, count) for (row, qualifier), count in sorted(totals.items())]
 
     def search_phrase(self, phrase: str) -> list[Posting]:
-        """Documents containing the exact phrase (post-filtered on the raw text)."""
-        candidates = self.search_all(tokenize(phrase))
-        needle = " ".join(tokenize(phrase))
-        results = []
-        for posting in candidates:
-            text = self._documents[(posting.row, posting.qualifier)]
-            haystack = " ".join(tokenize(text))
-            occurrences = haystack.count(needle)
+        """Documents containing the exact phrase (post-filtered on normalized text)."""
+        return [
+            Posting(key[0], key[1], count)
+            for key, count in sorted(self._phrase_counts(phrase).items())
+        ]
+
+    def _phrase_counts(self, phrase: str) -> dict[tuple[str, str], int]:
+        """Phrase occurrence counts per document, unordered."""
+        tokens = tokenize(phrase)
+        needle = " ".join(tokens)
+        normalized = self._normalized
+        out: dict[tuple[str, str], int] = {}
+        for key in self._search_all_counts(tokens):
+            occurrences = normalized[key].count(needle)
             if occurrences:
-                results.append(Posting(posting.row, posting.qualifier, occurrences))
-        return results
+                out[key] = occurrences
+        return out
 
     def rows_with_min_documents(self, phrase: str, minimum: int) -> list[str]:
         """Rows (patients) with at least ``minimum`` documents containing the phrase.
@@ -124,8 +153,8 @@ class InvertedTextIndex:
         This is the exact shape of the demo's text-analysis query.
         """
         per_row: dict[str, int] = defaultdict(int)
-        for posting in self.search_phrase(phrase):
-            per_row[posting.row] += 1
+        for row, _qualifier in self._phrase_counts(phrase):
+            per_row[row] += 1
         return sorted(row for row, count in per_row.items() if count >= minimum)
 
     def document(self, row: str, qualifier: str) -> str | None:

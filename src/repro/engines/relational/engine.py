@@ -17,11 +17,17 @@ from repro.common.errors import (
     ExecutionError,
     ObjectNotFoundError,
 )
-from repro.common.expressions import evaluate_predicate
+from repro.common.expressions import compile_predicate
 from repro.common.schema import Column, Relation, Row, Schema, TableDefinition
-from repro.engines.base import DEFAULT_CHUNK_ROWS, Engine, EngineCapability, relation_chunks
+from repro.engines.base import (
+    DEFAULT_CHUNK_ROWS,
+    Engine,
+    EngineCapability,
+    columnar_relation_chunks,
+)
 from repro.engines.relational.executor import Executor
 from repro.engines.relational.planner import Planner, TableStatisticsProvider
+from repro.engines.relational.vectorized import BatchExecutor
 from repro.engines.relational.sql.ast import (
     CreateIndexStatement,
     CreateTableStatement,
@@ -37,17 +43,50 @@ from repro.engines.relational.storage import HeapTable
 from repro.engines.relational.transactions import Transaction, TransactionManager
 
 
+#: Valid values for :attr:`RelationalEngine.execution_mode`.
+EXECUTION_MODES = ("vectorized", "row")
+
+
 class RelationalEngine(Engine, TableStatisticsProvider):
-    """An in-process SQL engine over row-oriented heap tables."""
+    """An in-process SQL engine over row-oriented heap tables.
+
+    SELECT statements run on one of two executors, selected by
+    ``execution_mode``:
+
+    * ``"vectorized"`` (default) — the columnar batch pipeline with one-time
+      expression compilation (:mod:`repro.engines.relational.vectorized`);
+    * ``"row"`` — the classic row-at-a-time volcano executor.
+
+    Both return identical results; the knob exists so benchmarks (and the
+    runtime's metrics) can compare the two paths.
+    """
 
     kind = "relational"
 
-    def __init__(self, name: str = "postgres") -> None:
+    def __init__(self, name: str = "postgres", execution_mode: str = "vectorized") -> None:
         super().__init__(name)
         self._tables: dict[str, HeapTable] = {}
         self._planner = Planner(self)
         self._executor = Executor(self)
+        self._batch_executor = BatchExecutor(self, row_executor=self._executor)
         self._transactions = TransactionManager(self)
+        self._execution_mode = "vectorized"
+        self.execution_mode = execution_mode
+        #: SELECTs served per executor path, for the runtime's metrics.
+        self.executions_by_mode: dict[str, int] = {mode: 0 for mode in EXECUTION_MODES}
+
+    @property
+    def execution_mode(self) -> str:
+        """Which executor serves SELECTs: ``"vectorized"`` or ``"row"``."""
+        return self._execution_mode
+
+    @execution_mode.setter
+    def execution_mode(self, mode: str) -> None:
+        if mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution_mode must be one of {EXECUTION_MODES}, got {mode!r}"
+            )
+        self._execution_mode = mode
 
     # ------------------------------------------------------------- Engine API
     @property
@@ -80,10 +119,15 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         return self.table(name).schema
 
     def export_chunks(self, name: str, chunk_size: int = DEFAULT_CHUNK_ROWS) -> Iterator[Relation]:
-        """Stream the table scan as bounded chunks without a full-relation copy."""
+        """Stream the table scan as bounded *columnar* chunks.
+
+        Each chunk is a :class:`~repro.common.schema.ColumnarRelation` built
+        straight from the heap table's value tuples — no per-row ``Row``
+        objects — so a CAST whose codec reads columns (the binary columnar
+        layout) moves data from storage to the wire zero-conversion.
+        """
         table = self.table(name)
-        rows = (Row(table.schema, values) for _row_id, values in table.scan())
-        return relation_chunks(table.schema, rows, chunk_size, validate=False)
+        return columnar_relation_chunks(table.schema, table.scan_values(), chunk_size)
 
     def import_chunks(self, name: str, schema: Schema, chunks: Iterable[Relation],
                       **options: Any) -> None:
@@ -166,6 +210,10 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         self.queries_executed += 1
         if isinstance(statement, SelectStatement):
             plan = self._planner.plan_select(statement)
+            mode = self._execution_mode
+            self.executions_by_mode[mode] += 1
+            if mode == "vectorized":
+                return self._batch_executor.execute(plan)
             return self._executor.execute(plan)
         # Everything below is DDL or DML: advance the write version so cached
         # results depending on this engine's state are invalidated.
@@ -186,12 +234,24 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         raise ExecutionError(f"unsupported statement type: {type(statement).__name__}")
 
     def explain(self, sql: str) -> str:
-        """Return the optimized plan for a SELECT statement as indented text."""
+        """Return the optimized plan for a SELECT statement as indented text.
+
+        The first line reports the engine's execution mode; in vectorized
+        mode every operator is tagged ``[vectorized]`` or ``[row]`` so it is
+        visible which parts of the plan run on the batch pipeline and which
+        fall back to the row executor.
+        """
         statement = parse_sql(sql)
         if not isinstance(statement, SelectStatement):
             raise ExecutionError("EXPLAIN is only supported for SELECT statements")
         plan = self._planner.plan_select(statement)
-        return plan.explain()
+        header = f"ExecutionMode({self._execution_mode})"
+        if self._execution_mode == "vectorized":
+            annotate = lambda node: (  # noqa: E731
+                "[vectorized]" if BatchExecutor.vectorizes(node) else "[row]"
+            )
+            return header + "\n" + plan.explain(annotate=annotate)
+        return header + "\n" + plan.explain()
 
     # ----------------------------------------------------------------- private
     def _execute_create_table(self, statement: CreateTableStatement) -> Relation:
@@ -232,15 +292,18 @@ class RelationalEngine(Engine, TableStatisticsProvider):
     def _execute_update(self, statement: UpdateStatement) -> Relation:
         table = self.table(statement.table)
         txn = self._transactions.active_transaction
-        matching = table.apply_filter(
-            lambda row: evaluate_predicate(statement.where, row)
+        matching = table.apply_filter_values(
+            compile_predicate(statement.where, table.schema)
         )
+        assignments = [
+            (table.schema.index_of(column), expression.compile(table.schema))
+            for column, expression in statement.assignments.items()
+        ]
         for row_id in matching:
             old = table.get(row_id)
-            row = Row(table.schema, old)
             new_values = list(old)
-            for column, expression in statement.assignments.items():
-                new_values[table.schema.index_of(column)] = expression.evaluate(row)
+            for index, expression in assignments:
+                new_values[index] = expression(old)
             if txn is not None:
                 txn.record_update(statement.table, row_id, old)
             table.update(row_id, new_values)
@@ -249,8 +312,8 @@ class RelationalEngine(Engine, TableStatisticsProvider):
     def _execute_delete(self, statement: DeleteStatement) -> Relation:
         table = self.table(statement.table)
         txn = self._transactions.active_transaction
-        matching = table.apply_filter(
-            lambda row: evaluate_predicate(statement.where, row)
+        matching = table.apply_filter_values(
+            compile_predicate(statement.where, table.schema)
         )
         for row_id in matching:
             if txn is not None:

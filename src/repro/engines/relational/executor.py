@@ -72,9 +72,14 @@ class Executor:
         table = self._engine.table(node.table)
         schema = self._qualified_schema(table.schema, node.alias or node.table)
         relation = Relation(schema)
-        for values in (row for _rid, row in table.scan()):
+        if node.predicate is None:
+            # No predicate: bulk-wrap the stored tuples, skipping the
+            # per-row generator and predicate machinery entirely.
+            relation.rows.extend(Row(schema, values) for values in table.scan_values())
+            return relation
+        for values in table.scan_values():
             row = Row(schema, values)
-            if node.predicate is None or evaluate_predicate(node.predicate, row):
+            if evaluate_predicate(node.predicate, row):
                 relation.rows.append(row)
         return relation
 

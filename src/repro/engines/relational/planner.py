@@ -17,7 +17,7 @@ The resulting physical plan is executed by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.common.errors import PlanningError
 from repro.common.expressions import (
@@ -38,12 +38,23 @@ class LogicalPlan:
     def children(self) -> list["LogicalPlan"]:
         return []
 
-    def explain(self, depth: int = 0) -> str:
-        """Return an indented text rendering of the plan (EXPLAIN)."""
+    def explain(
+        self, depth: int = 0, annotate: "Callable[[LogicalPlan], str] | None" = None
+    ) -> str:
+        """Return an indented text rendering of the plan (EXPLAIN).
+
+        ``annotate`` optionally maps each node to a trailing marker — the
+        engine uses it to tag operators with their execution path
+        (``[vectorized]`` vs ``[row]``).
+        """
         line = "  " * depth + self.describe()
+        if annotate is not None:
+            suffix = annotate(self)
+            if suffix:
+                line = f"{line} {suffix}"
         parts = [line]
         for child in self.children():
-            parts.append(child.explain(depth + 1))
+            parts.append(child.explain(depth + 1, annotate))
         return "\n".join(parts)
 
     def describe(self) -> str:

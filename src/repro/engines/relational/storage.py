@@ -86,6 +86,28 @@ class HeapTable:
         """Yield (row_id, values) for every live row in insertion order."""
         yield from self._rows.items()
 
+    def scan_values(self) -> Iterator[tuple[Any, ...]]:
+        """Yield raw value tuples for every live row in insertion order."""
+        yield from self._rows.values()
+
+    def scan_batches(self, batch_size: int) -> Iterator[list[tuple[Any, ...]]]:
+        """Yield the table's value tuples in bounded, insertion-ordered batches.
+
+        This is the vectorized executor's (and the columnar export path's)
+        entry point: it bounds memory per batch and never constructs a
+        :class:`Row` object.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        batch: list[tuple[Any, ...]] = []
+        for values in self._rows.values():
+            batch.append(values)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     def rows(self) -> Iterator[Row]:
         """Yield :class:`Row` objects for every live row."""
         for values in self._rows.values():
@@ -180,3 +202,12 @@ class HeapTable:
             if predicate(Row(self.schema, values)):
                 matching.append(row_id)
         return matching
+
+    def apply_filter_values(self, predicate: Callable[[Sequence[Any]], bool]) -> list[int]:
+        """Like :meth:`apply_filter` but over raw value tuples.
+
+        Pairs with :func:`repro.common.expressions.compile_predicate`: the
+        caller compiles the WHERE clause once and no per-row :class:`Row`
+        objects are built while matching.
+        """
+        return [row_id for row_id, values in self._rows.items() if predicate(values)]

@@ -185,7 +185,26 @@ class TileDBEngine(Engine):
             raise DuplicateObjectError(f"tiledb array {schema.name!r} already exists")
         array = TileDBArray(schema)
         self._arrays[key] = array
+        # Native mutation path: invalidate any cached results over this engine.
+        self.bump_write_version()
         return array
+
+    def write(self, name: str, coordinates: tuple[int, ...], value: float) -> None:
+        """Engine-level cell write; bumps the write version for cache safety.
+
+        Writing through :meth:`array`'s returned handle bypasses the engine
+        and therefore the runtime's result-cache invalidation; callers that
+        mutate a stored array should go through this method (or
+        :meth:`write_block`) instead.
+        """
+        self.array(name).write(coordinates, value)
+        self.bump_write_version()
+
+    def write_block(self, name: str, start: tuple[int, ...], block: np.ndarray) -> int:
+        """Engine-level block write; bumps the write version for cache safety."""
+        count = self.array(name).write_block(start, block)
+        self.bump_write_version()
+        return count
 
     def array(self, name: str) -> TileDBArray:
         key = name.lower()

@@ -60,6 +60,8 @@ class TuplewareEngine(Engine):
         if key in self._datasets and not replace:
             raise DuplicateObjectError(f"dataset {name!r} already exists")
         self._datasets[key] = np.asarray(data, dtype=float)
+        # Native mutation path: invalidate any cached results over this engine.
+        self.bump_write_version()
 
     def dataset(self, name: str) -> np.ndarray:
         key = name.lower()

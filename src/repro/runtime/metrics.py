@@ -91,8 +91,18 @@ class RuntimeMetrics:
             total = self.cache_hits + self.cache_misses
             return self.cache_hits / total if total else 0.0
 
-    def snapshot(self, queue_depth: int | None = None) -> dict:
-        """Everything a dashboard needs, as one dict."""
+    def snapshot(
+        self,
+        queue_depth: int | None = None,
+        execution_modes: dict[str, int] | None = None,
+    ) -> dict:
+        """Everything a dashboard needs, as one dict.
+
+        ``execution_modes`` is the scheduler-supplied tally of relational
+        SELECTs per executor path (vectorized vs row), so a benchmark
+        comparing the two modes can read both throughput and path mix from
+        one snapshot.
+        """
         p50 = self.latency_percentile(50)
         p95 = self.latency_percentile(95)
         p99 = self.latency_percentile(99)
@@ -113,4 +123,6 @@ class RuntimeMetrics:
         out["latency_p99_s"] = p99
         if queue_depth is not None:
             out["queue_depth"] = queue_depth
+        if execution_modes is not None:
+            out["relational_execution_modes"] = dict(execution_modes)
         return out

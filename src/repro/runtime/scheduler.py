@@ -113,10 +113,35 @@ class PolystoreRuntime:
     def describe(self) -> dict:
         return {
             "workers": self.workers,
-            "metrics": self.metrics.snapshot(queue_depth=self.admission.queue_depth()),
+            "metrics": self.metrics.snapshot(
+                queue_depth=self.admission.queue_depth(),
+                execution_modes=self.relational_execution_modes(),
+            ),
             "admission": self.admission.describe(),
             "cache": self.cache.describe(),
         }
+
+    # ------------------------------------------------- relational executor knob
+    def relational_execution_modes(self) -> dict[str, int]:
+        """SELECTs served per relational executor path, summed over engines."""
+        counts: dict[str, int] = {}
+        for engine in self.bigdawg.catalog.engines():
+            modes = getattr(engine, "executions_by_mode", None)
+            if modes:
+                for mode, count in modes.items():
+                    counts[mode] = counts.get(mode, 0) + count
+        return counts
+
+    def set_relational_execution_mode(self, mode: str) -> None:
+        """Flip every relational engine in the polystore to one executor path.
+
+        This is the serving-layer end of the ``execution_mode`` knob: a
+        benchmark (or an operator) can switch the whole deployment between
+        vectorized and row execution without touching individual engines.
+        """
+        for engine in self.bigdawg.catalog.engines():
+            if hasattr(engine, "execution_mode"):
+                engine.execution_mode = mode
 
     # -------------------------------------------------------------- execution
     def _run(self, query: str, cast_method: str, chunk_size: int | None,

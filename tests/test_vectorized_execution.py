@@ -1,0 +1,339 @@
+"""Tests for the vectorized relational executor: batches, kernels, mode parity.
+
+The contract under test: the ``vectorized`` and ``row`` execution modes are
+observably identical — same schemas, same values, same ordering — with the
+vectorized path never constructing per-row ``Row`` objects on its scan and
+export hot paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import schema as schema_mod
+from repro.common.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    _like_regex,
+    compile_predicate,
+)
+from repro.common.schema import Column, ColumnBatch, ColumnarRelation, Schema
+from repro.common.serialization import BinaryCodec
+from repro.common.types import DataType
+from repro.engines.relational import RelationalEngine
+from repro.engines.relational.vectorized import compile_filter_kernel
+
+
+# ------------------------------------------------------------------ fixtures
+def make_engine(mode: str) -> RelationalEngine:
+    """A deterministic two-table engine, identical for every call."""
+    e = RelationalEngine("pg", execution_mode=mode)
+    e.execute(
+        "CREATE TABLE events (id INTEGER PRIMARY KEY, grp TEXT, value FLOAT, "
+        "flag INTEGER, note TEXT)"
+    )
+    rows = []
+    for i in range(500):
+        grp = ["alpha", "beta", "gamma", None][i % 4]
+        value = None if i % 11 == 0 else (i * 7 % 100) / 3.0
+        flag = None if i % 13 == 0 else i % 5
+        note = None if i % 17 == 0 else f"note_{i % 23}"
+        rows.append((i, grp, value, flag, note))
+    e.insert_rows("events", rows)
+    e.execute("CREATE TABLE dims (grp TEXT, weight FLOAT)")
+    e.insert_rows(
+        "dims", [("alpha", 1.5), ("beta", 2.5), ("delta", 9.0), (None, 0.5)]
+    )
+    return e
+
+
+#: A grid of queries spanning NULL-heavy columns, LIKE, outer joins, global
+#: aggregates, DISTINCT, CASE, IN, scalar functions, HAVING and subqueries.
+QUERY_GRID = [
+    "SELECT * FROM events",
+    "SELECT id, value FROM events WHERE value > 20 AND flag = 3",
+    "SELECT id FROM events WHERE value IS NULL ORDER BY id",
+    "SELECT id FROM events WHERE grp IS NOT NULL AND flag IN (1, 2) ORDER BY id DESC LIMIT 7 OFFSET 3",
+    "SELECT id, note FROM events WHERE note LIKE 'note_1%' ORDER BY id",
+    "SELECT count(*) AS n, sum(value) AS s, avg(value) AS a, min(value) AS lo, max(value) AS hi FROM events",
+    "SELECT count(*) AS n FROM events WHERE value > 200",
+    "SELECT grp, count(*) AS n, avg(value) AS a FROM events GROUP BY grp ORDER BY n DESC",
+    "SELECT grp, count(*) AS n FROM events GROUP BY grp HAVING count(*) > 100",
+    "SELECT DISTINCT grp FROM events ORDER BY grp",
+    "SELECT DISTINCT flag, grp FROM events WHERE id < 50",
+    "SELECT e.id, d.weight FROM events e JOIN dims d ON e.grp = d.grp WHERE e.value > 10 ORDER BY e.id LIMIT 20",
+    "SELECT e.id, d.weight FROM events e LEFT JOIN dims d ON e.grp = d.grp ORDER BY e.id LIMIT 40",
+    "SELECT d.grp, count(*) AS n FROM dims d JOIN events e ON d.grp = e.grp GROUP BY d.grp ORDER BY d.grp",
+    "SELECT CASE WHEN value >= 20 THEN 'high' ELSE 'low' END AS band, id FROM events WHERE id < 30",
+    "SELECT upper(grp) AS g, round(value) AS r FROM events WHERE id BETWEEN 10 AND 40 ORDER BY id",
+    "SELECT count(*) AS n FROM (SELECT id FROM events WHERE flag = 2) t",
+    "SELECT stddev(value) AS sd, count(DISTINCT grp) AS g FROM events",
+    "SELECT id, value FROM events WHERE id = 137",
+    "SELECT id FROM events WHERE id >= 480 ORDER BY id",
+    "SELECT id, -value AS neg, NOT (flag = 1) AS nf FROM events WHERE id < 20",
+    "SELECT 1 + 2 AS three",
+]
+
+
+class TestModeParity:
+    """Property: both executors return identical relations for every query."""
+
+    @pytest.fixture(scope="class")
+    def engines(self):
+        return make_engine("vectorized"), make_engine("row")
+
+    @pytest.mark.parametrize("query", QUERY_GRID)
+    def test_vectorized_equals_row(self, engines, query):
+        vectorized, row = engines
+        result_v = vectorized.execute(query)
+        result_r = row.execute(query)
+        assert result_v.schema == result_r.schema
+        assert [r.values for r in result_v.rows] == [r.values for r in result_r.rows]
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT count(*) AS n, sum(value) AS s, avg(value) AS a FROM events WHERE value > 20 AND flag = 3",
+            "SELECT grp, count(*) AS n FROM events GROUP BY grp ORDER BY grp",
+        ],
+    )
+    def test_results_byte_identical_through_codec(self, engines, query):
+        vectorized, row = engines
+        codec = BinaryCodec()
+        assert codec.encode(vectorized.execute(query)) == codec.encode(row.execute(query))
+
+    def test_update_delete_agree_across_modes(self):
+        results = {}
+        for mode in ("vectorized", "row"):
+            e = make_engine(mode)
+            e.execute("UPDATE events SET value = value + 1 WHERE flag = 2 AND value > 10")
+            e.execute("DELETE FROM events WHERE note LIKE 'note_2%'")
+            results[mode] = [r.values for r in e.execute("SELECT * FROM events ORDER BY id").rows]
+        assert results["vectorized"] == results["row"]
+
+
+class TestExecutionModeKnob:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RelationalEngine("pg", execution_mode="warp")
+        e = RelationalEngine("pg")
+        with pytest.raises(ValueError):
+            e.execution_mode = "warp"
+
+    def test_mode_counters(self):
+        e = make_engine("vectorized")
+        e.execute("SELECT count(*) FROM events")
+        e.execution_mode = "row"
+        e.execute("SELECT count(*) FROM events")
+        e.execute("SELECT count(*) FROM events")
+        assert e.executions_by_mode["vectorized"] == 1
+        assert e.executions_by_mode["row"] == 2
+
+    def test_explain_reports_mode_and_operator_paths(self):
+        e = make_engine("vectorized")
+        plan = e.explain(
+            "SELECT e.id, d.weight FROM events e LEFT JOIN dims d ON e.grp = d.grp WHERE e.value > 1"
+        )
+        assert plan.startswith("ExecutionMode(vectorized)")
+        # The left join falls back to the row executor; scans stay vectorized.
+        join_line = next(line for line in plan.splitlines() if "Join" in line)
+        assert "[row]" in join_line
+        scan_line = next(line for line in plan.splitlines() if "SeqScan" in line)
+        assert "[vectorized]" in scan_line
+        e.execution_mode = "row"
+        assert e.explain("SELECT id FROM events").startswith("ExecutionMode(row)")
+        assert "[vectorized]" not in e.explain("SELECT id FROM events")
+
+
+class TestColumnBatch:
+    def test_transpose_roundtrip(self):
+        schema = Schema([("a", "integer"), ("b", "text")])
+        batch = ColumnBatch.from_value_rows(schema, [(1, "x"), (2, "y"), (3, None)])
+        assert len(batch) == 3
+        assert batch.columns == [[1, 2, 3], ["x", "y", None]]
+        assert list(batch.value_rows()) == [(1, "x"), (2, "y"), (3, None)]
+
+    def test_compress_and_take(self):
+        schema = Schema([("a", "integer")])
+        batch = ColumnBatch.from_value_rows(schema, [(i,) for i in range(6)])
+        assert batch.compress([True, False, True, False, True, False]).columns == [[0, 2, 4]]
+        assert batch.take([5, 0]).columns == [[5, 0]]
+
+    def test_columnar_relation_lazy_rows(self):
+        schema = Schema([("a", "integer"), ("b", "float")])
+        relation = ColumnarRelation(schema, [[1, 2], [0.5, 1.5]])
+        assert len(relation) == 2
+        assert relation.column_values(0) == [1, 2]  # no Row materialization
+        assert relation._materialized is False
+        assert [r.values for r in relation.rows] == [(1, 0.5), (2, 1.5)]
+        assert relation._materialized is True
+
+    def test_columnar_relation_append_after_materialize(self):
+        schema = Schema([("a", "integer")])
+        relation = ColumnarRelation(schema, [[1]])
+        relation.append([2])
+        assert len(relation) == 2
+        assert relation.column_values(0) == [1, 2]
+
+
+class TestColumnarExport:
+    def test_export_chunks_builds_no_rows(self, monkeypatch):
+        engine = RelationalEngine("pg")
+        engine.execute("CREATE TABLE m (a INTEGER, b FLOAT)")
+        engine.insert_rows("m", [(i, i * 0.5) for i in range(5000)])
+        codec = BinaryCodec()
+        constructed = []
+        original = schema_mod.Row.__init__
+
+        def counting(self, *args, **kwargs):
+            constructed.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(schema_mod.Row, "__init__", counting)
+        payloads = [codec.encode(chunk) for chunk in engine.export_chunks("m", chunk_size=1024)]
+        monkeypatch.undo()
+        assert len(payloads) == 5
+        assert not constructed, "columnar CAST export must not build Row objects"
+        # And the payloads decode to the full table.
+        total = sum(len(codec.decode(p, engine.export_schema("m"))) for p in payloads)
+        assert total == 5000
+
+    def test_export_chunks_rows_still_available_lazily(self):
+        engine = RelationalEngine("pg")
+        engine.execute("CREATE TABLE m (a INTEGER, t TEXT)")
+        engine.insert_rows("m", [(1, "x"), (2, "y")])
+        chunks = list(engine.export_chunks("m"))
+        assert [r.values for chunk in chunks for r in chunk] == [(1, "x"), (2, "y")]
+
+
+class TestLikeCompilation:
+    def test_like_regex_compiled_once(self):
+        _like_regex.cache_clear()
+        engine = make_engine("row")  # the interpreted path used to recompile per row
+        result = engine.execute("SELECT count(*) AS n FROM events WHERE note LIKE 'note_1%'")
+        assert result.rows[0]["n"] > 0
+        info = _like_regex.cache_info()
+        assert info.misses == 1, "LIKE pattern must compile exactly once"
+        assert info.hits >= 400  # one hit per scanned non-null row after the first
+
+    def test_like_semantics_unchanged(self):
+        engine = make_engine("vectorized")
+        # % spans any run, _ exactly one character; both are case sensitive.
+        rows = engine.execute(
+            "SELECT DISTINCT note FROM events WHERE note LIKE 'note__' ORDER BY note"
+        )
+        notes = [r["note"] for r in rows]
+        assert notes and all(len(n) == 6 and n.startswith("note_") for n in notes)
+        none = engine.execute("SELECT count(*) AS n FROM events WHERE note LIKE 'NOTE%'")
+        assert none.rows[0]["n"] == 0
+        # Regex metacharacters in the pattern stay literal.
+        literal = engine.execute("SELECT count(*) AS n FROM events WHERE note LIKE 'note.1'")
+        assert literal.rows[0]["n"] == 0
+
+
+class TestFilterKernel:
+    def make_schema(self) -> Schema:
+        return Schema(
+            [
+                Column("a", DataType.INTEGER),
+                Column("b", DataType.FLOAT),
+                Column("t", DataType.TEXT),
+            ]
+        )
+
+    def test_numeric_kernel_matches_row_semantics_with_nulls(self):
+        schema = self.make_schema()
+        predicate = BinaryOp(
+            "and",
+            BinaryOp(">", ColumnRef("a"), Literal(1)),
+            BinaryOp("<", ColumnRef("b"), Literal(10.0)),
+        )
+        kernel = compile_filter_kernel(predicate, schema)
+        assert kernel is not None
+        rows = [
+            (0, 5.0, "x"),
+            (2, None, "x"),
+            (3, 4.0, "x"),
+            (None, 1.0, "x"),
+            (9, 99.0, "x"),
+        ]
+        batch = ColumnBatch.from_value_rows(schema, rows)
+        mask = kernel(batch)
+        reference = compile_predicate(predicate, schema)
+        assert list(mask) == [reference(row) for row in rows]
+
+    def test_text_predicates_have_no_kernel(self):
+        schema = self.make_schema()
+        predicate = BinaryOp("=", ColumnRef("t"), Literal("x"))
+        assert compile_filter_kernel(predicate, schema) is None
+
+    def test_division_left_to_row_path(self):
+        schema = self.make_schema()
+        predicate = BinaryOp(">", BinaryOp("/", ColumnRef("a"), ColumnRef("b")), Literal(1))
+        assert compile_filter_kernel(predicate, schema) is None
+
+
+class TestModeParityEdgeCases:
+    """Regressions for divergences the numeric kernels could introduce."""
+
+    @staticmethod
+    def run_both(create_sql, table, rows, query):
+        out = {}
+        for mode in ("vectorized", "row"):
+            e = RelationalEngine("t", execution_mode=mode)
+            e.execute(create_sql)
+            e.insert_rows(table, rows)
+            out[mode] = [r.values for r in e.execute(query).rows]
+        return out
+
+    def test_integer_arithmetic_does_not_wrap(self):
+        # int64 kernels would wrap 4e9**2 negative; Python ints must win.
+        out = self.run_both(
+            "CREATE TABLE t (v INTEGER)", "t",
+            [(4_000_000_000,), (2,)],
+            "SELECT v FROM t WHERE v * v > 0",
+        )
+        assert out["vectorized"] == out["row"] == [(4_000_000_000,), (2,)]
+
+    def test_falsy_integer_and_null_is_null(self):
+        # Row mode short-circuits AND only on the literal False: 0 AND NULL
+        # is NULL (excluded), and NOT NULL stays NULL.
+        out = self.run_both(
+            "CREATE TABLE u (flag INTEGER, y FLOAT)", "u",
+            [(0, None), (0, 1.0), (1, 9.0)],
+            "SELECT flag FROM u WHERE NOT (flag AND y > 5)",
+        )
+        assert out["vectorized"] == out["row"]
+
+    def test_sum_over_text_concatenates_like_row_mode(self):
+        out = self.run_both(
+            "CREATE TABLE s (name TEXT)", "s",
+            [("a",), ("b",)],
+            "SELECT sum(name) AS s FROM s",
+        )
+        assert out["vectorized"] == out["row"] == [("ab",)]
+
+
+class TestRuntimeModeThreading:
+    def test_scheduler_metrics_report_execution_modes(self):
+        from repro.core.bigdawg import BigDawg
+        from repro.runtime import PolystoreRuntime
+
+        bigdawg = BigDawg()
+        engine = RelationalEngine("postgres")
+        bigdawg.add_engine(engine, islands=["relational"])
+        engine.execute("CREATE TABLE t (id INTEGER, v FLOAT)")
+        engine.insert_rows("t", [(1, 2.0), (2, 4.0)])
+        runtime = PolystoreRuntime(bigdawg, workers=2)
+        try:
+            runtime.execute("RELATIONAL(SELECT count(*) AS n FROM t)", use_cache=False)
+            modes = runtime.describe()["metrics"]["relational_execution_modes"]
+            assert modes.get("vectorized", 0) >= 1
+            runtime.set_relational_execution_mode("row")
+            assert engine.execution_mode == "row"
+            runtime.execute("RELATIONAL(SELECT count(*) AS n FROM t)", use_cache=False)
+            modes = runtime.describe()["metrics"]["relational_execution_modes"]
+            assert modes.get("row", 0) >= 1
+        finally:
+            runtime.shutdown()
