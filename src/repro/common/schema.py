@@ -329,6 +329,19 @@ class Relation:
         return Relation(self._schema, [r.values for r in self.rows[:n]])
 
 
+def object_view(column: Sequence[Any]) -> "Any":
+    """A column as a 1-D object ndarray (reused as-is when it already is one):
+    the shared building block for C-speed gathers/compresses over columns
+    that must keep their original Python values."""
+    import numpy as np
+
+    if isinstance(column, np.ndarray):
+        return column
+    arr = np.empty(len(column), dtype=object)
+    arr[:] = column
+    return arr
+
+
 class ColumnBatch:
     """A bounded batch of tuples stored column-wise.
 
@@ -341,8 +354,12 @@ class ColumnBatch:
 
     __slots__ = ("schema", "columns", "_length")
 
-    def __init__(self, schema: Schema, columns: Sequence[list[Any]], length: int | None = None) -> None:
+    def __init__(
+        self, schema: Schema, columns: Sequence[Sequence[Any]], length: int | None = None
+    ) -> None:
         self.schema = schema
+        # Columns are read-only sequences (lists, tuples or 1-D object
+        # ndarrays); operators build new columns rather than mutating.
         self.columns = list(columns)
         if length is None:
             length = len(self.columns[0]) if self.columns else 0
@@ -350,11 +367,16 @@ class ColumnBatch:
 
     @classmethod
     def from_value_rows(cls, schema: Schema, value_rows: Sequence[Sequence[Any]]) -> "ColumnBatch":
-        """Transpose a list of value tuples into a columnar batch."""
+        """Transpose a list of value tuples into a columnar batch.
+
+        Columns are stored as the tuples ``zip`` produces — batch columns
+        are read-only by convention, so skipping the per-column list copy
+        keeps the transpose single-pass.
+        """
         count = len(value_rows)
         if count == 0:
             return cls(schema, [[] for _ in schema], 0)
-        return cls(schema, [list(col) for col in zip(*value_rows)], count)
+        return cls(schema, list(zip(*value_rows)), count)
 
     def __len__(self) -> int:
         return self._length
@@ -370,7 +392,18 @@ class ColumnBatch:
         return ColumnBatch(schema, self.columns, self._length)
 
     def compress(self, mask: Sequence[bool]) -> "ColumnBatch":
-        """Keep only the rows where ``mask`` is true."""
+        """Keep only the rows where ``mask`` is true.
+
+        A numpy boolean mask (the filter kernels' output) compresses each
+        column with a C-speed boolean gather over an object view; list
+        masks (the row-closure fallback) use the Python path.
+        """
+        import numpy as np
+
+        if isinstance(mask, np.ndarray):
+            kept = [object_view(column)[mask] for column in self.columns]
+            length = len(kept[0]) if kept else int(np.count_nonzero(mask))
+            return ColumnBatch(self.schema, kept, length)
         kept = [
             [value for value, keep in zip(column, mask) if keep]
             for column in self.columns
@@ -385,6 +418,42 @@ class ColumnBatch:
             [[column[i] for i in indices] for column in self.columns],
             len(indices),
         )
+
+    def gather(self, indices: Any) -> "ColumnBatch":
+        """Vectorized row gather: ``np.take`` over object views of each column.
+
+        ``indices`` is a numpy integer array (or any sequence accepted by
+        ``np.take``).  Unlike :meth:`take`, which loops in Python, this is a
+        C-speed gather — the probe side of the batched hash join calls it
+        once per batch instead of once per row.
+        """
+        import numpy as np
+
+        count = int(len(indices))
+        out = [
+            np.take(object_view(column), indices).tolist() for column in self.columns
+        ]
+        return ColumnBatch(self.schema, out, count)
+
+    @classmethod
+    def concat(cls, schema: Schema, batches: Sequence["ColumnBatch"]) -> "ColumnBatch":
+        """Vertically concatenate batches into one (used to pin a join's build
+        side or a group-by's input in memory as columns, never as rows)."""
+        if not batches:
+            return cls(schema, [[] for _ in schema], 0)
+        width = len(batches[0].columns)
+        columns: list[list[Any]] = [[] for _ in range(width)]
+        total = 0
+        for batch in batches:
+            total += len(batch)
+            for slot, column in zip(columns, batch.columns):
+                slot.extend(column)
+        return cls(schema, columns, total)
+
+    @classmethod
+    def nulls(cls, schema: Schema, length: int) -> "ColumnBatch":
+        """An all-NULL batch: the padding side of an outer join's unmatched rows."""
+        return cls(schema, [[None] * length for _ in schema], length)
 
     def to_relation(self) -> "ColumnarRelation":
         return ColumnarRelation(self.schema, self.columns, self._length)

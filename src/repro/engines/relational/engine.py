@@ -74,6 +74,14 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         self.execution_mode = execution_mode
         #: SELECTs served per executor path, for the runtime's metrics.
         self.executions_by_mode: dict[str, int] = {mode: 0 for mode in EXECUTION_MODES}
+        #: Row-executor fallbacks taken by the batch pipeline, keyed by the
+        #: reason string EXPLAIN shows (e.g. "non-equi join"); surfaced by
+        #: the runtime as ``relational_fallback_reasons``.
+        self.fallback_reasons: dict[str, int] = {}
+
+    def record_fallback(self, reason: str) -> None:
+        """Count one batch-pipeline fallback to the row executor."""
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
 
     @property
     def execution_mode(self) -> str:
@@ -237,9 +245,9 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         """Return the optimized plan for a SELECT statement as indented text.
 
         The first line reports the engine's execution mode; in vectorized
-        mode every operator is tagged ``[vectorized]`` or ``[row]`` so it is
-        visible which parts of the plan run on the batch pipeline and which
-        fall back to the row executor.
+        mode every operator is tagged ``[vectorized]`` or — when it falls
+        back to the row executor — ``[row: <reason>]``, so both the path
+        and *why* a fallback happens are visible per operator.
         """
         statement = parse_sql(sql)
         if not isinstance(statement, SelectStatement):
@@ -247,9 +255,11 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         plan = self._planner.plan_select(statement)
         header = f"ExecutionMode({self._execution_mode})"
         if self._execution_mode == "vectorized":
-            annotate = lambda node: (  # noqa: E731
-                "[vectorized]" if BatchExecutor.vectorizes(node) else "[row]"
-            )
+
+            def annotate(node):
+                reason = BatchExecutor.fallback_reason(node)
+                return "[vectorized]" if reason is None else f"[row: {reason}]"
+
             return header + "\n" + plan.explain(annotate=annotate)
         return header + "\n" + plan.explain()
 

@@ -138,22 +138,31 @@ class Executor:
         left = self.execute(node.left)
         right = self.execute(node.right)
         joined_schema = left.schema.concat(right.schema)
-        result = Relation(joined_schema)
         if node.strategy == "hash" and node.condition is not None:
             keys = self._equi_join_keys(node.condition, left.schema, right.schema)
             if keys:
                 return self._hash_join(node, left, right, joined_schema, keys)
-        # Nested loop (also used for cross and left joins).
+        # Nested loop (cross joins and non-equi conditions, all join types).
+        result = Relation(joined_schema)
+        track_right = node.join_type in ("right", "full")
+        right_matched = [False] * len(right.rows) if track_right else None
         for left_row in left:
             matched = False
-            for right_row in right:
+            for r_index, right_row in enumerate(right.rows):
                 candidate = Row(joined_schema, left_row.values + right_row.values)
                 if node.condition is None or evaluate_predicate(node.condition, candidate):
                     result.rows.append(candidate)
                     matched = True
-            if node.join_type == "left" and not matched:
+                    if right_matched is not None:
+                        right_matched[r_index] = True
+            if node.join_type in ("left", "full") and not matched:
                 padding = tuple([None] * len(right.schema))
                 result.rows.append(Row(joined_schema, left_row.values + padding))
+        if right_matched is not None:
+            padding = tuple([None] * len(left.schema))
+            for r_index, right_row in enumerate(right.rows):
+                if not right_matched[r_index]:
+                    result.rows.append(Row(joined_schema, padding + right_row.values))
         return result
 
     def _hash_join(
@@ -167,17 +176,48 @@ class Executor:
         result = Relation(joined_schema)
         left_cols = [pair[0] for pair in keys]
         right_cols = [pair[1] for pair in keys]
-        # Build on the left side (the planner already made it the smaller one).
-        build: dict[tuple, list[Row]] = {}
-        for row in left:
-            key = tuple(row[c] for c in left_cols)
-            build.setdefault(key, []).append(row)
-        for right_row in right:
-            key = tuple(right_row[c] for c in right_cols)
-            for left_row in build.get(key, []):
-                candidate = Row(joined_schema, left_row.values + right_row.values)
+        # Honor the planner's build-side hint; outer joins always build on
+        # the right so the probe (and therefore the output) stays left-major.
+        build_on_left = node.join_type == "inner" and node.build_side != "right"
+        if build_on_left:
+            build_rel, build_cols = left, left_cols
+            probe_rel, probe_cols = right, right_cols
+        else:
+            build_rel, build_cols = right, right_cols
+            probe_rel, probe_cols = left, left_cols
+        build: dict[tuple, list[tuple[int, Row]]] = {}
+        for index, row in enumerate(build_rel.rows):
+            key = tuple(row[c] for c in build_cols)
+            build.setdefault(key, []).append((index, row))
+        track_build = node.join_type in ("right", "full")
+        build_matched = [False] * len(build_rel.rows) if track_build else None
+        pad_probe = node.join_type in ("left", "full")
+        build_padding = tuple([None] * len(build_rel.schema))
+        for probe_row in probe_rel:
+            key = tuple(probe_row[c] for c in probe_cols)
+            matched = False
+            for index, build_row in build.get(key, ()):
+                if build_on_left:
+                    values = build_row.values + probe_row.values
+                else:
+                    values = probe_row.values + build_row.values
+                candidate = Row(joined_schema, values)
                 if node.condition is None or evaluate_predicate(node.condition, candidate):
                     result.rows.append(candidate)
+                    matched = True
+                    if build_matched is not None:
+                        build_matched[index] = True
+            if pad_probe and not matched:
+                result.rows.append(
+                    Row(joined_schema, probe_row.values + build_padding)
+                )
+        if build_matched is not None:
+            probe_padding = tuple([None] * len(probe_rel.schema))
+            for index, build_row in enumerate(build_rel.rows):
+                if not build_matched[index]:
+                    result.rows.append(
+                        Row(joined_schema, probe_padding + build_row.values)
+                    )
         return result
 
     @staticmethod
@@ -185,23 +225,41 @@ class Executor:
         condition: Expression, left_schema: Schema, right_schema: Schema
     ) -> list[tuple[str, str]]:
         """Extract (left column, right column) pairs from equality conjuncts."""
+        keys, _residual = Executor.split_join_condition(condition, left_schema, right_schema)
+        return keys
+
+    @staticmethod
+    def split_join_condition(
+        condition: Expression, left_schema: Schema, right_schema: Schema
+    ) -> tuple[list[tuple[str, str]], list[Expression]]:
+        """Split a join condition into equi-key pairs and residual conjuncts.
+
+        The key pairs are ``(left column, right column)`` equality conjuncts
+        usable for hashing/key-encoding; everything else (non-equi conjuncts,
+        same-side equalities) is returned as residual predicates the join
+        must still evaluate per candidate.  Shared by both executors so the
+        two paths agree on what "the join key" means.
+        """
         from repro.common.expressions import BinaryOp, split_conjuncts
 
         keys: list[tuple[str, str]] = []
+        residual: list[Expression] = []
         for conjunct in split_conjuncts(condition):
-            if not (
+            if (
                 isinstance(conjunct, BinaryOp)
                 and conjunct.op in ("=", "==")
                 and isinstance(conjunct.left, ColumnRef)
                 and isinstance(conjunct.right, ColumnRef)
             ):
-                continue
-            a, b = conjunct.left.name, conjunct.right.name
-            if left_schema.has_column(a) and right_schema.has_column(b):
-                keys.append((a, b))
-            elif left_schema.has_column(b) and right_schema.has_column(a):
-                keys.append((b, a))
-        return keys
+                a, b = conjunct.left.name, conjunct.right.name
+                if left_schema.has_column(a) and right_schema.has_column(b):
+                    keys.append((a, b))
+                    continue
+                if left_schema.has_column(b) and right_schema.has_column(a):
+                    keys.append((b, a))
+                    continue
+            residual.append(conjunct)
+        return keys, residual
 
     def _execute_project(self, node: ProjectNode) -> Relation:
         child = self.execute(node.child)

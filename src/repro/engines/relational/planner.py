@@ -130,15 +130,21 @@ class JoinNode(LogicalPlan):
     left: LogicalPlan
     right: LogicalPlan
     condition: Expression | None
-    join_type: str = "inner"
+    join_type: str = "inner"  # inner | left | right | full | cross
     strategy: str = "hash"  # hash | nested_loop
+    #: Which input the hash join builds its table from.  The planner sets
+    #: this from row-count estimates (smaller side builds); executors honor
+    #: it instead of re-guessing, and outer joins pin it to "right" so the
+    #: probe side stays the left (order-preserved) input.
+    build_side: str = "left"  # left | right
 
     def children(self) -> list[LogicalPlan]:
         return [self.left, self.right]
 
     def describe(self) -> str:
         cond = self.condition.to_sql() if self.condition else "TRUE"
-        return f"{self.strategy.title()}Join[{self.join_type}]({cond})"
+        detail = f"{self.join_type},build={self.build_side}" if self.strategy == "hash" else self.join_type
+        return f"{self.strategy.title()}Join[{detail}]({cond})"
 
 
 @dataclass
@@ -325,8 +331,15 @@ class Planner:
                 plan.predicate = conjunction(existing + local)
             return plan, remaining
         if isinstance(plan, JoinNode):
-            plan.left, conjuncts = self._push_down(plan.left, conjuncts)
-            plan.right, conjuncts = self._push_down(plan.right, conjuncts)
+            # WHERE runs after the join, so a conjunct may only move below
+            # an outer join on its *preserved* side: filtering the other
+            # side's scan would resurrect rows the post-join filter removes
+            # (a NULL-padded row can never satisfy a predicate on the padded
+            # columns).  Inner/cross joins push freely to both sides.
+            if plan.join_type in ("inner", "cross", "left"):
+                plan.left, conjuncts = self._push_down(plan.left, conjuncts)
+            if plan.join_type in ("inner", "cross", "right"):
+                plan.right, conjuncts = self._push_down(plan.right, conjuncts)
             return plan, conjuncts
         if isinstance(plan, SubqueryNode):
             return plan, conjuncts
@@ -412,20 +425,26 @@ class Planner:
         return None
 
     def _order_join(self, join: JoinNode) -> JoinNode:
-        """Put the smaller side on the build side of a hash join."""
-        if join.join_type != "inner" or join.condition is None:
-            join.strategy = "nested_loop" if join.condition is not None or join.join_type == "cross" else join.strategy
-            if join.join_type == "left":
-                join.strategy = "nested_loop"
-            return join
-        if not self._is_equi_join(join.condition):
+        """Pick the join strategy and the hash join's build side.
+
+        Equi-joins (inner and left/right/full outer) hash; the smaller
+        estimated input becomes the build side via the ``build_side`` hint —
+        the children are never swapped, so output column order always follows
+        the query.  Outer joins pin ``build_side="right"``: probing the left
+        input preserves the row executor's left-major emission order, which
+        the batch executor must reproduce exactly.
+        """
+        equi = join.condition is not None and self._is_equi_join(join.condition)
+        if not equi or join.join_type == "cross":
             join.strategy = "nested_loop"
             return join
-        left_rows = self._estimate_rows(join.left)
-        right_rows = self._estimate_rows(join.right)
-        if right_rows > left_rows:
-            join.left, join.right = join.right, join.left
         join.strategy = "hash"
+        if join.join_type == "inner":
+            left_rows = self._estimate_rows(join.left)
+            right_rows = self._estimate_rows(join.right)
+            join.build_side = "right" if right_rows < left_rows else "left"
+        else:
+            join.build_side = "right"
         return join
 
     @staticmethod

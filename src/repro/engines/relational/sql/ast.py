@@ -86,7 +86,7 @@ class JoinClause:
 
     table: TableRef
     condition: Expression | None
-    join_type: str = "inner"  # inner | left | cross
+    join_type: str = "inner"  # inner | left | right | full | cross
 
 
 @dataclass

@@ -22,7 +22,7 @@ KEYWORDS = {
     "select", "from", "where", "group", "by", "having", "order", "limit", "offset",
     "insert", "into", "values", "update", "set", "delete", "create", "drop", "table",
     "index", "unique", "on", "as", "and", "or", "not", "null", "is", "in", "like",
-    "join", "inner", "left", "cross", "outer", "distinct", "asc", "desc", "case",
+    "join", "inner", "left", "right", "full", "cross", "outer", "distinct", "asc", "desc", "case",
     "when", "then", "else", "end", "primary", "key", "if", "exists", "between",
     "true", "false", "count", "sum", "avg", "min", "max", "stddev",
     "integer", "int", "bigint", "float", "double", "real", "text", "varchar",

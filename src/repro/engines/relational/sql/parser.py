@@ -237,6 +237,14 @@ class _Parser:
                     self.accept(TokenType.KEYWORD, "outer")
                     self.expect(TokenType.KEYWORD, "join")
                     join_type = "left"
+                elif self.accept(TokenType.KEYWORD, "right"):
+                    self.accept(TokenType.KEYWORD, "outer")
+                    self.expect(TokenType.KEYWORD, "join")
+                    join_type = "right"
+                elif self.accept(TokenType.KEYWORD, "full"):
+                    self.accept(TokenType.KEYWORD, "outer")
+                    self.expect(TokenType.KEYWORD, "join")
+                    join_type = "full"
                 elif self.accept(TokenType.KEYWORD, "cross"):
                     self.expect(TokenType.KEYWORD, "join")
                     join_type = "cross"

@@ -17,10 +17,20 @@ per-tuple overhead the Cambridge report calls out.  This module is the cure:
   numeric columns (dtype mapping shared with the array island), it is
   lowered to a numpy mask kernel with SQL three-valued NULL semantics, so a
   filter over a 100k-row batch is a handful of vector ops.
+* **Key-encoded joins and group-bys.**  Join keys and grouping keys are
+  factorized once into dense int64 codes (:mod:`repro.common.keycodes`);
+  a hash join probes whole batches with ``np.take`` gathers over a CSR
+  layout of the build side — including left/right/full outer joins, which
+  track a matched-build bitmap and emit null-padded batches — and grouped
+  aggregation accumulates count/sum/avg/min/max per group with
+  ``np.bincount``/segmented reductions whose accumulation order matches
+  the row accumulators bit for bit.
 
-Operators the batch path does not cover (outer and nested-loop joins) fall
-back to the row executor for that subtree, so every query still answers —
-the two modes return identical results, which `tests/test_vectorized_execution.py`
+Operators the batch path does not cover (cross and non-equi joins) fall
+back to the row executor for that subtree — with the *reason* recorded per
+operator (surfaced by EXPLAIN as ``[row: <reason>]`` and counted in the
+engine's ``fallback_reasons``) — so every query still answers; the two
+modes return identical results, which `tests/test_vectorized_execution.py`
 asserts property-style.
 """
 
@@ -32,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.common.errors import ExecutionError
 from repro.common.expressions import (
     BinaryOp,
     ColumnRef,
@@ -41,10 +52,13 @@ from repro.common.expressions import (
     Literal,
     UnaryOp,
     compile_predicate,
+    conjunction,
     evaluate_predicate,
     split_conjuncts,
 )
+from repro.common.keycodes import JoinKeyTable, encode_group_keys
 from repro.common.schema import Column, ColumnBatch, Relation, Row, Schema
+from repro.common.schema import object_view as _object_view
 from repro.common.types import DataType, infer_type
 from repro.engines.array.storage import _NUMPY_DTYPES as _ARRAY_ISLAND_DTYPES
 from repro.engines.relational.executor import _DUAL_SCHEMA, Executor
@@ -89,14 +103,17 @@ _COMPARE_OPS: dict[str, Callable[[Any, Any], Any]] = {
     ">=": operator.ge,
 }
 
-#: Division and modulo are excluded: their by-zero behaviour must match the
-#: row path's per-row ExecutionError exactly, which a whole-batch kernel
-#: cannot reproduce when short-circuiting would have skipped the bad row.
 _ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
     "+": operator.add,
     "-": operator.sub,
     "*": operator.mul,
 }
+
+#: Division and modulo get masked kernels: the by-zero error must fire only
+#: for rows that the row path would actually evaluate (AND/OR short-circuits
+#: skip rows), so the kernel threads an active-row mask through lowering and
+#: checks divisors against it before dividing.
+_DIVISION_OPS = ("/", "%")
 
 
 class _KernelUnsupported(Exception):
@@ -137,10 +154,31 @@ def _as_bool(values: Any) -> np.ndarray:
     return np.asarray(values).astype(np.bool_, copy=False)
 
 
-# Each lowered node maps {column index: (values array, null mask | None)} to
-# its own (values, null mask | None) pair.  Values at null positions are
-# unspecified; the final mask removes them (SQL: NULL is not satisfied).
-_KernelNode = Callable[[dict[int, tuple[np.ndarray, "np.ndarray | None"]]], tuple[Any, "np.ndarray | None"]]
+
+
+def _null_mask_of(column: Sequence[Any]) -> np.ndarray:
+    if isinstance(column, np.ndarray):
+        return np.equal(column, None)
+    return np.fromiter((v is None for v in column), np.bool_, count=len(column))
+
+
+def _count_nulls(column: Sequence[Any]) -> int:
+    if isinstance(column, np.ndarray):
+        return int(np.count_nonzero(np.equal(column, None)))
+    return column.count(None)
+
+
+# Each lowered node maps ({column index: (values array, null mask | None)},
+# active-row mask) to its own (values, null mask | None) pair.  Values at
+# null positions are unspecified; the final mask removes them (SQL: NULL is
+# not satisfied).  The active mask marks rows the row executor would
+# actually evaluate at this point — AND/OR narrow it for their right
+# operands, and the division kernels consult it so ``x / 0`` errors fire
+# for exactly the rows that survive short-circuiting.
+_KernelNode = Callable[
+    [dict[int, tuple[np.ndarray, "np.ndarray | None"]], np.ndarray],
+    tuple[Any, "np.ndarray | None"],
+]
 
 
 def _require_float_columns(expr: Expression, schema: Schema) -> None:
@@ -166,14 +204,14 @@ def _lower(expr: Expression, schema: Schema, columns: dict[int, Any]) -> tuple[_
         value = expr.value
         if not isinstance(value, (bool, int, float)) or value is None:
             raise _KernelUnsupported(f"literal {value!r}")
-        return (lambda env: (value, None)), isinstance(value, bool)
+        return (lambda env, active: (value, None)), isinstance(value, bool)
     if isinstance(expr, ColumnRef):
         index = schema.index_of(expr.name)
         dtype = schema.columns[index].dtype
         if dtype not in _KERNEL_DTYPES:
             raise _KernelUnsupported(f"column {expr.name!r} has non-numeric type {dtype}")
         columns[index] = _KERNEL_DTYPES[dtype]
-        return (lambda env: env[index]), dtype is DataType.BOOLEAN
+        return (lambda env, active: env[index]), dtype is DataType.BOOLEAN
     if isinstance(expr, BinaryOp):
         op = expr.op.lower()
         if op in ("and", "or"):
@@ -183,10 +221,17 @@ def _lower(expr: Expression, schema: Schema, columns: dict[int, Any]) -> tuple[_
                 raise _KernelUnsupported("AND/OR over non-boolean operands")
             conjunctive = op == "and"
 
-            def _logic(env: dict) -> tuple[Any, np.ndarray | None]:
-                lv, ln = left(env)
-                rv, rn = right(env)
-                lb, rb = _as_bool(lv), _as_bool(rv)
+            def _logic(env: dict, active: np.ndarray) -> tuple[Any, np.ndarray | None]:
+                lv, ln = left(env, active)
+                lb = _as_bool(lv)
+                # The row path skips the right operand only when the left is
+                # the literal False (AND) / True (OR); NULL still evaluates it.
+                if conjunctive:
+                    evaluates_right = lb if ln is None else (lb | ln)
+                else:
+                    evaluates_right = ~lb if ln is None else (~lb | ln)
+                rv, rn = right(env, active & evaluates_right)
+                rb = _as_bool(rv)
                 vals = (lb & rb) if conjunctive else (lb | rb)
                 if ln is None and rn is None:
                     return vals, None
@@ -209,20 +254,47 @@ def _lower(expr: Expression, schema: Schema, columns: dict[int, Any]) -> tuple[_
             left, _lb = _lower(expr.left, schema, columns)
             right, _rb = _lower(expr.right, schema, columns)
 
-            def _binary(env: dict) -> tuple[Any, np.ndarray | None]:
-                lv, ln = left(env)
-                rv, rn = right(env)
+            def _binary(env: dict, active: np.ndarray) -> tuple[Any, np.ndarray | None]:
+                lv, ln = left(env, active)
+                rv, rn = right(env, active)
                 return fn(lv, rv), _union_nulls(ln, rn)
 
             return _binary, op in _COMPARE_OPS
+        if op in _DIVISION_OPS:
+            _require_float_columns(expr, schema)
+            left, _lb = _lower(expr.left, schema, columns)
+            right, _rb = _lower(expr.right, schema, columns)
+            modulo = op == "%"
+
+            def _masked_divide(env: dict, active: np.ndarray) -> tuple[Any, np.ndarray | None]:
+                lv, ln = left(env, active)
+                rv, rn = right(env, active)
+                zero = np.asarray(rv) == 0
+                if zero.ndim == 0:
+                    zero = np.full(active.shape, bool(zero), dtype=np.bool_)
+                # NULL on either side yields NULL before the division runs
+                # (_null_safe), so those rows cannot raise on the row path.
+                evaluated = active if ln is None else (active & ~ln)
+                if rn is not None:
+                    evaluated = evaluated & ~rn
+                if bool((zero & evaluated).any()):
+                    if modulo:
+                        raise ZeroDivisionError("float modulo")
+                    raise ExecutionError("division by zero")
+                safe_rv = np.where(zero, 1, rv) if zero.any() else rv
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    vals = np.mod(lv, safe_rv) if modulo else np.true_divide(lv, safe_rv)
+                return vals, _union_nulls(ln, rn)
+
+            return _masked_divide, False
         raise _KernelUnsupported(f"operator {expr.op!r}")
     if isinstance(expr, UnaryOp):
         op = expr.op.lower()
         if op == "not":
             operand, _ob = _lower(expr.operand, schema, columns)
 
-            def _not(env: dict) -> tuple[Any, np.ndarray | None]:
-                vals, nulls = operand(env)
+            def _not(env: dict, active: np.ndarray) -> tuple[Any, np.ndarray | None]:
+                vals, nulls = operand(env, active)
                 return ~_as_bool(vals), nulls
 
             return _not, True
@@ -230,8 +302,8 @@ def _lower(expr: Expression, schema: Schema, columns: dict[int, Any]) -> tuple[_
             _require_float_columns(expr, schema)
             operand, _ob = _lower(expr.operand, schema, columns)
 
-            def _neg(env: dict) -> tuple[Any, np.ndarray | None]:
-                vals, nulls = operand(env)
+            def _neg(env: dict, active: np.ndarray) -> tuple[Any, np.ndarray | None]:
+                vals, nulls = operand(env, active)
                 return operator.neg(vals), nulls
 
             return _neg, False
@@ -240,8 +312,8 @@ def _lower(expr: Expression, schema: Schema, columns: dict[int, Any]) -> tuple[_
         operand, _ob = _lower(expr.operand, schema, columns)
         negated = expr.negated
 
-        def _is_null(env: dict) -> tuple[Any, np.ndarray | None]:
-            vals, nulls = operand(env)
+        def _is_null(env: dict, active: np.ndarray) -> tuple[Any, np.ndarray | None]:
+            vals, nulls = operand(env, active)
             shaped = np.asarray(vals)
             if shaped.ndim == 0:
                 raise _KernelUnsupported("IS NULL over a scalar")
@@ -256,8 +328,8 @@ def _lower(expr: Expression, schema: Schema, columns: dict[int, Any]) -> tuple[_
         members = list(expr.values)
         negated = expr.negated
 
-        def _in(env: dict) -> tuple[Any, np.ndarray | None]:
-            vals, nulls = operand(env)
+        def _in(env: dict, active: np.ndarray) -> tuple[Any, np.ndarray | None]:
+            vals, nulls = operand(env, active)
             result = np.isin(vals, members)
             return (~result if negated else result), nulls
 
@@ -284,7 +356,7 @@ class FilterKernel:
                 nulls = None
                 vals = np.asarray(column, dtype=dtype)
             env[index] = (vals, nulls)
-        vals, nulls = self._fn(env)
+        vals, nulls = self._fn(env, np.ones(length, dtype=np.bool_))
         mask = _as_bool(vals)
         if mask.ndim == 0:
             mask = np.full(length, bool(mask), dtype=np.bool_)
@@ -373,9 +445,10 @@ class BatchExecutor:
         if isinstance(plan, FilterNode):
             return self._filter_stream(plan)
         if isinstance(plan, JoinNode):
-            if self._join_shape_vectorizable(plan):
+            reason = self._join_fallback_reason(plan)
+            if reason is None:
                 return self._join_stream(plan)
-            return self._fallback_stream(plan)
+            return self._fallback_stream(plan, reason)
         if isinstance(plan, AggregateNode):
             return self._aggregate_stream(plan)
         if isinstance(plan, ProjectNode):
@@ -384,14 +457,21 @@ class BatchExecutor:
             return self._sort_stream(plan)
         if isinstance(plan, LimitNode):
             return self._limit_stream(plan)
-        return self._fallback_stream(plan)
+        return self._fallback_stream(plan, f"unsupported operator: {type(plan).__name__}")
 
     @staticmethod
     def vectorizes(node: LogicalPlan) -> bool:
         """Whether a plan node runs on the batch pipeline (used by EXPLAIN)."""
+        return BatchExecutor.fallback_reason(node) is None
+
+    @staticmethod
+    def fallback_reason(node: LogicalPlan) -> str | None:
+        """Why a plan node falls back to the row executor, or None if it
+        vectorizes.  EXPLAIN renders this as ``[row: <reason>]`` and the
+        engine tallies it per reason in ``fallback_reasons``."""
         if isinstance(node, JoinNode):
-            return BatchExecutor._join_shape_vectorizable(node)
-        return isinstance(
+            return BatchExecutor._join_fallback_reason(node)
+        if isinstance(
             node,
             (
                 ScanNode,
@@ -403,11 +483,45 @@ class BatchExecutor:
                 SortNode,
                 LimitNode,
             ),
-        )
+        ):
+            return None
+        return f"unsupported operator: {type(node).__name__}"
+
+    @staticmethod
+    def _join_fallback_reason(node: JoinNode) -> str | None:
+        """Static (schema-free) classification mirroring the runtime check.
+
+        Without the input schemas a conjunct's side assignment cannot be
+        fully resolved; a trivially self-referential equality (``a.x = a.x``)
+        is rejected here, and the runtime re-checks against real schemas —
+        an unresolvable key still falls back, recorded as
+        ``no equi-join keys resolved``.
+        """
+        if node.join_type == "cross" or node.condition is None:
+            return "cross join"
+        if node.join_type not in ("inner", "left", "right", "full"):
+            return f"unsupported join type: {node.join_type}"
+        if node.strategy != "hash":
+            return "non-equi join"
+        for conjunct in split_conjuncts(node.condition):
+            if (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op in ("=", "==")
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+                and conjunct.left.name.lower() != conjunct.right.name.lower()
+            ):
+                return None
+        return "non-equi join"
 
     # ---------------------------------------------------------------- fallback
-    def _fallback_stream(self, plan: LogicalPlan) -> tuple[Schema, Iterator[ColumnBatch]]:
+    def _fallback_stream(
+        self, plan: LogicalPlan, reason: str = "unsupported plan shape"
+    ) -> tuple[Schema, Iterator[ColumnBatch]]:
         """Row-executor escape hatch for subtrees without a batch form."""
+        record = getattr(self._engine, "record_fallback", None)
+        if record is not None:
+            record(reason)
         relation = self._row_executor.execute(plan)
         schema = relation.schema
 
@@ -489,49 +603,191 @@ class BatchExecutor:
 
         return schema, generate()
 
-    @staticmethod
-    def _join_shape_vectorizable(node: JoinNode) -> bool:
-        if node.strategy != "hash" or node.join_type != "inner" or node.condition is None:
-            return False
-        for conjunct in split_conjuncts(node.condition):
-            if (
-                isinstance(conjunct, BinaryOp)
-                and conjunct.op in ("=", "==")
-                and isinstance(conjunct.left, ColumnRef)
-                and isinstance(conjunct.right, ColumnRef)
-            ):
-                return True
-        return False
-
     def _join_stream(self, node: JoinNode) -> tuple[Schema, Iterator[ColumnBatch]]:
+        """Key-encoded batched hash join (inner and left/right/full outer).
+
+        The build side is factorized once into dense int64 codes
+        (:class:`~repro.common.keycodes.JoinKeyTable`) and laid out CSR-style
+        (rows grouped by code, original order preserved); each probe batch
+        then resolves to build rows with ``searchsorted``/``np.repeat``
+        index arithmetic and two ``np.take`` gathers — no per-row tuples.
+        Only residual (non-equi) conjuncts, if any, run per candidate.
+
+        Outer joins track a matched-build bitmap: unmatched probe rows are
+        null-padded inline (left/full, preserving the row executor's
+        left-major order) and unmatched build rows are emitted as trailing
+        null-padded batches (right/full).
+        """
         left_schema, left_batches = self.stream(node.left)
         right_schema, right_batches = self.stream(node.right)
-        keys = Executor._equi_join_keys(node.condition, left_schema, right_schema)
+        keys, residual_conjuncts = Executor.split_join_condition(
+            node.condition, left_schema, right_schema
+        )
         if not keys:
-            return self._fallback_stream(node)
+            return self._fallback_stream(node, "no equi-join keys resolved")
         joined_schema = left_schema.concat(right_schema)
         left_indices = [left_schema.index_of(pair[0]) for pair in keys]
         right_indices = [right_schema.index_of(pair[1]) for pair in keys]
-        condition = _compile_predicate_or_defer(node.condition, joined_schema)
+        residual = (
+            _compile_predicate_or_defer(conjunction(residual_conjuncts), joined_schema)
+            if residual_conjuncts
+            else None
+        )
+        # Outer joins probe the left input (left-major output order); inner
+        # joins honor the planner's build-side hint.
+        build_on_left = node.join_type == "inner" and node.build_side != "right"
+        if build_on_left:
+            build_schema, build_batches, build_key_idx = left_schema, left_batches, left_indices
+            probe_schema, probe_batches, probe_key_idx = right_schema, right_batches, right_indices
+        else:
+            build_schema, build_batches, build_key_idx = right_schema, right_batches, right_indices
+            probe_schema, probe_batches, probe_key_idx = left_schema, left_batches, left_indices
+        pad_probe = node.join_type in ("left", "full")
+        track_build = node.join_type in ("right", "full")
+        batch_rows = self._batch_rows
 
         def generate() -> Iterator[ColumnBatch]:
-            # Build on the left side (the planner already made it the smaller
-            # one), keyed exactly like the row executor's hash join.
-            build: dict[tuple, list[tuple[Any, ...]]] = {}
-            for batch in left_batches:
-                for values in batch.value_rows():
-                    key = tuple(values[i] for i in left_indices)
-                    build.setdefault(key, []).append(values)
-            for batch in right_batches:
-                joined: list[tuple[Any, ...]] = []
-                for right_values in batch.value_rows():
-                    key = tuple(right_values[i] for i in right_indices)
-                    for left_values in build.get(key, ()):
-                        candidate = left_values + right_values
-                        if condition(candidate):
-                            joined.append(candidate)
-                if joined:
-                    yield ColumnBatch.from_value_rows(joined_schema, joined)
+            build_block = ColumnBatch.concat(build_schema, list(build_batches))
+            table = JoinKeyTable(
+                [build_block.columns[i] for i in build_key_idx],
+                [build_schema.columns[i].dtype for i in build_key_idx],
+                [probe_schema.columns[i].dtype for i in probe_key_idx],
+            )
+            build_codes = table.build_codes
+            # CSR layout: build row ids grouped by code, original order kept
+            # within each code so match order equals build insertion order.
+            order = np.argsort(build_codes, kind="stable")
+            sorted_codes = build_codes[order]
+            first_valid = int(np.searchsorted(sorted_codes, 0))
+            sorted_rows = order[first_valid:]
+            sorted_codes = sorted_codes[first_valid:]
+            starts = np.searchsorted(sorted_codes, np.arange(table.group_count))
+            counts = np.bincount(
+                sorted_codes, minlength=table.group_count
+            ).astype(np.int64)
+            build_obj = [_object_view(col) for col in build_block.columns]
+            build_matched = (
+                np.zeros(len(build_block), dtype=np.bool_) if track_build else None
+            )
+            for batch in probe_batches:
+                length = len(batch)
+                pcodes = table.probe([batch.columns[i] for i in probe_key_idx])
+                hits = np.flatnonzero(pcodes >= 0)
+                if hits.size:
+                    codes_h = pcodes[hits]
+                    cnts = counts[codes_h]
+                    total = int(cnts.sum())
+                else:
+                    cnts = np.zeros(0, dtype=np.int64)
+                    total = 0
+                if total:
+                    probe_rep = np.repeat(hits, cnts)
+                    seg_start = np.repeat(starts[codes_h], cnts)
+                    cum = np.cumsum(cnts)
+                    offsets = np.arange(total, dtype=np.int64) - np.repeat(cum - cnts, cnts)
+                    build_rows = sorted_rows[seg_start + offsets]
+                else:
+                    probe_rep = np.zeros(0, dtype=np.int64)
+                    build_rows = np.zeros(0, dtype=np.int64)
+                probe_obj: list[np.ndarray] | None = None
+                cand_build: list[np.ndarray] | None = None
+                cand_probe: list[np.ndarray] | None = None
+                if residual is not None and total:
+                    probe_obj = [_object_view(col) for col in batch.columns]
+                    cand_build = [np.take(col, build_rows) for col in build_obj]
+                    cand_probe = [np.take(col, probe_rep) for col in probe_obj]
+                    ordered = (
+                        cand_build + cand_probe if build_on_left else cand_probe + cand_build
+                    )
+                    keep = np.fromiter(
+                        (residual(values) for values in zip(*(c.tolist() for c in ordered))),
+                        np.bool_,
+                        count=total,
+                    )
+                    probe_rep = probe_rep[keep]
+                    build_rows = build_rows[keep]
+                    cand_build = [col[keep] for col in cand_build]
+                    cand_probe = [col[keep] for col in cand_probe]
+                if build_matched is not None and build_rows.size:
+                    build_matched[build_rows] = True
+                pads = (
+                    np.flatnonzero(np.bincount(probe_rep, minlength=length) == 0)
+                    if pad_probe
+                    else np.zeros(0, dtype=np.int64)
+                )
+                out_len = int(probe_rep.size + pads.size)
+                if not out_len:
+                    continue
+                if cand_build is not None:
+                    # Residual path: candidate columns are already gathered
+                    # and keep-compressed — merge in the pads (if any) with
+                    # one concatenate + permutation instead of re-gathering.
+                    if pads.size:
+                        merge_order = np.argsort(
+                            np.concatenate([probe_rep, pads]), kind="stable"
+                        )
+                        pad_fill = np.full(pads.size, None, dtype=object)
+                        probe_cols = [
+                            np.concatenate([kept, np.take(view, pads)])[merge_order]
+                            for kept, view in zip(cand_probe, probe_obj)
+                        ]
+                        build_cols = [
+                            np.concatenate([kept, pad_fill])[merge_order]
+                            for kept in cand_build
+                        ]
+                    else:
+                        probe_cols, build_cols = cand_probe, cand_build
+                else:
+                    if pads.size:
+                        merge_keys = np.concatenate([probe_rep, pads])
+                        merge_order = np.argsort(merge_keys, kind="stable")
+                        seq_probe = merge_keys[merge_order]
+                        seq_build = np.concatenate(
+                            [build_rows, np.zeros(pads.size, dtype=np.int64)]
+                        )[merge_order]
+                        is_pad = np.concatenate(
+                            [
+                                np.zeros(probe_rep.size, dtype=np.bool_),
+                                np.ones(pads.size, dtype=np.bool_),
+                            ]
+                        )[merge_order]
+                    else:
+                        seq_probe, seq_build, is_pad = probe_rep, build_rows, None
+                    if probe_obj is None:
+                        probe_obj = [_object_view(col) for col in batch.columns]
+                    probe_cols = [np.take(col, seq_probe) for col in probe_obj]
+                    if len(build_block):
+                        build_cols = [np.take(col, seq_build) for col in build_obj]
+                        if is_pad is not None:
+                            for col in build_cols:
+                                col[is_pad] = None
+                    else:
+                        # Empty build side: every emitted row is a pad (only
+                        # left/full outer reach here) — nothing to gather.
+                        build_cols = [
+                            np.full(out_len, None, dtype=object) for _ in build_obj
+                        ]
+                ordered_cols = (
+                    build_cols + probe_cols if build_on_left else probe_cols + build_cols
+                )
+                yield ColumnBatch(
+                    joined_schema, [col.tolist() for col in ordered_cols], out_len
+                )
+            if build_matched is not None:
+                unmatched = np.flatnonzero(~build_matched)
+                if unmatched.size:
+                    # One gather for all unmatched build rows, then cheap
+                    # list slices per emitted batch.
+                    padded = build_block.gather(unmatched)
+                    for start in range(0, unmatched.size, batch_rows):
+                        size = min(batch_rows, int(unmatched.size) - start)
+                        build_cols = [
+                            column[start : start + size] for column in padded.columns
+                        ]
+                        probe_pad = ColumnBatch.nulls(probe_schema, size).columns
+                        yield ColumnBatch(
+                            joined_schema, probe_pad + build_cols, size
+                        )
 
         return joined_schema, generate()
 
@@ -609,9 +865,23 @@ class BatchExecutor:
             if saw_rows or not node.group_by:
                 groups_out.append(((), results, first_values))
         else:
-            groups_out, first_values = self._run_grouped_aggregates(
-                node, child_schema, batches, agg_items
-            )
+            grouped_plan = self._vector_group_plan(node, child_schema, agg_items)
+            if grouped_plan is not None:
+                block = ColumnBatch.concat(child_schema, list(batches))
+                try:
+                    groups_out, first_values = self._run_vector_grouped(
+                        node, child_schema, block, grouped_plan
+                    )
+                except _KernelUnsupported:
+                    # e.g. int64 overflow risk in a SUM: replay the
+                    # materialized block through the per-row accumulators.
+                    groups_out, first_values = self._run_grouped_aggregates(
+                        node, child_schema, iter([block]), agg_items
+                    )
+            else:
+                groups_out, first_values = self._run_grouped_aggregates(
+                    node, child_schema, batches, agg_items
+                )
         # Output schema: mirrors the row executor exactly.
         columns = []
         for item in node.items:
@@ -709,7 +979,7 @@ class BatchExecutor:
                     continue
                 column = batch.columns[col_index]
                 if name == "count":
-                    counts[i] += len(column) - column.count(None)
+                    counts[i] += len(column) - _count_nulls(column)
                     continue
                 present = [v for v in column if v is not None]
                 if not present:
@@ -737,6 +1007,168 @@ class BatchExecutor:
             else:
                 results[i] = totals[i]
         return results, saw_rows, first_values
+
+    @staticmethod
+    def _reject_nan(column: Sequence[Any], reason: str) -> None:
+        try:
+            values = np.fromiter(
+                (0.0 if v is None else v for v in column), np.float64, count=len(column)
+            )
+        except (TypeError, ValueError) as exc:
+            raise _KernelUnsupported(str(exc)) from exc
+        if bool(np.isnan(values).any()):
+            raise _KernelUnsupported(reason)
+
+    @staticmethod
+    def _vector_group_plan(
+        node: AggregateNode, child_schema: Schema, agg_items: list
+    ) -> list[tuple[int, str, int | None]] | None:
+        """Plan for the key-encoded numpy group-by, or None to run per-row.
+
+        Requirements: grouping keys are bare column references (any dtype —
+        TEXT keys use the dict-based encoder), and every aggregate is a
+        non-distinct count/sum/avg/min/max over a bare column (or ``*``);
+        sum/avg/min/max additionally need a fixed-width numeric column so
+        the segmented numpy reductions apply.
+        """
+        if not node.group_by:
+            return None
+        for expr in node.group_by:
+            if not (isinstance(expr, ColumnRef) and child_schema.has_column(expr.name)):
+                return None
+        plan: list[tuple[int, str, int | None]] = []
+        for i, item in agg_items:
+            name = item.aggregate
+            if name not in _FAST_AGGREGATES or item.distinct:
+                return None
+            if item.expression is None:
+                plan.append((i, "count_star", None))
+                continue
+            if not (
+                isinstance(item.expression, ColumnRef)
+                and child_schema.has_column(item.expression.name)
+            ):
+                return None
+            index = child_schema.index_of(item.expression.name)
+            if name != "count" and child_schema.columns[index].dtype not in _KERNEL_DTYPES:
+                return None
+            plan.append((i, name, index))
+        return plan
+
+    def _run_vector_grouped(
+        self,
+        node: AggregateNode,
+        child_schema: Schema,
+        block: ColumnBatch,
+        plan: list[tuple[int, str, int | None]],
+    ) -> tuple[list[tuple[tuple, dict[int, Any], tuple | None]], tuple[Any, ...] | None]:
+        """Key-encoded group-by: one factorization, then segmented reductions.
+
+        Group keys become dense first-appearance int64 codes
+        (:func:`~repro.common.keycodes.encode_group_keys`), so emitting
+        groups in code order reproduces the row executor's dict-insertion
+        order.  Accumulation uses ``np.bincount`` (a strictly sequential
+        C loop, matching the row accumulators' per-group addition order bit
+        for bit — unlike ``np.sum``'s pairwise summation) and
+        ``np.minimum/maximum.reduceat`` over stable-sorted segments.
+        """
+        n = len(block)
+        if n == 0:
+            return [], None
+        columns = block.columns
+        first_values = tuple(col[0] for col in columns)
+        key_indices = [child_schema.index_of(expr.name) for expr in node.group_by]
+        for index in key_indices:
+            # NaN grouping keys: np.unique collapses all NaNs into one group
+            # while the row path's dict keeps distinct NaN objects distinct —
+            # only the per-row accumulators reproduce that faithfully.
+            if child_schema.columns[index].dtype is DataType.FLOAT:
+                self._reject_nan(columns[index], "NaN grouping key")
+        encoding = encode_group_keys(
+            [columns[i] for i in key_indices],
+            [child_schema.columns[i].dtype for i in key_indices],
+        )
+        codes, group_count = encoding.codes, encoding.group_count
+        star_counts: list[int] | None = None
+        per_item: dict[int, list[Any]] = {}
+        for i, name, col_index in plan:
+            if name == "count_star":
+                if star_counts is None:
+                    star_counts = np.bincount(codes, minlength=group_count).tolist()
+                per_item[i] = star_counts
+                continue
+            column = columns[col_index]
+            present = ~_null_mask_of(column)
+            sub_codes = codes[present]
+            group_sizes = np.bincount(sub_codes, minlength=group_count)
+            if name == "count":
+                per_item[i] = group_sizes.tolist()
+                continue
+            dtype = _KERNEL_DTYPES[child_schema.columns[col_index].dtype]
+            try:
+                values = np.fromiter(
+                    (0 if v is None else v for v in column), dtype, count=n
+                )[present]
+            except (OverflowError, TypeError, ValueError) as exc:
+                # e.g. Python ints beyond int64: the row accumulators'
+                # arbitrary precision is the only faithful path.
+                raise _KernelUnsupported(str(exc)) from exc
+            sizes = group_sizes.tolist()
+            if name == "avg":
+                totals = np.bincount(
+                    sub_codes, weights=values.astype(np.float64), minlength=group_count
+                ).tolist()
+                per_item[i] = [
+                    None if size == 0 else total / size
+                    for total, size in zip(totals, sizes)
+                ]
+            elif name == "sum":
+                if dtype is np.float64:
+                    totals = np.bincount(
+                        sub_codes, weights=values, minlength=group_count
+                    ).tolist()
+                else:
+                    ints = values.astype(np.int64)
+                    peak = int(np.abs(ints).max()) if ints.size else 0
+                    biggest = int(group_sizes.max()) if group_sizes.size else 0
+                    if peak and biggest and peak > (2**62) // biggest:
+                        raise _KernelUnsupported("int64 overflow risk in SUM")
+                    acc = np.zeros(group_count, dtype=np.int64)
+                    np.add.at(acc, sub_codes, ints)
+                    totals = acc.tolist()
+                per_item[i] = [
+                    None if size == 0 else total
+                    for total, size in zip(totals, sizes)
+                ]
+            else:  # min / max over stable-sorted segments
+                if dtype is np.float64 and values.size and bool(np.isnan(values).any()):
+                    # The row fold never replaces on NaN (NaN < x is False),
+                    # making min/max position-dependent; reduceat cannot
+                    # reproduce that, so replay through the accumulators.
+                    raise _KernelUnsupported("NaN in MIN/MAX column")
+                out: list[Any] = [None] * group_count
+                if sub_codes.size:
+                    seg_order = np.argsort(sub_codes, kind="stable")
+                    seg_codes = sub_codes[seg_order]
+                    seg_values = values[seg_order]
+                    seg_starts = np.flatnonzero(
+                        np.concatenate(([True], seg_codes[1:] != seg_codes[:-1]))
+                    )
+                    reducer = np.minimum if name == "min" else np.maximum
+                    reduced = reducer.reduceat(seg_values, seg_starts)
+                    for code, value in zip(
+                        seg_codes[seg_starts].tolist(), reduced.tolist()
+                    ):
+                        out[code] = value
+                per_item[i] = out
+        representatives = [
+            tuple(col[row] for col in columns) for row in encoding.first_rows.tolist()
+        ]
+        groups_out: list[tuple[tuple, dict[int, Any], tuple | None]] = []
+        for g in range(group_count):
+            accumulators = {i: per_item[i][g] for i, _name, _col in plan}
+            groups_out.append(((), accumulators, representatives[g]))
+        return groups_out, first_values
 
     def _run_grouped_aggregates(
         self,

@@ -95,13 +95,16 @@ class RuntimeMetrics:
         self,
         queue_depth: int | None = None,
         execution_modes: dict[str, int] | None = None,
+        fallback_reasons: dict[str, int] | None = None,
     ) -> dict:
         """Everything a dashboard needs, as one dict.
 
         ``execution_modes`` is the scheduler-supplied tally of relational
         SELECTs per executor path (vectorized vs row), so a benchmark
         comparing the two modes can read both throughput and path mix from
-        one snapshot.
+        one snapshot.  ``fallback_reasons`` tallies batch-pipeline
+        fallbacks to the row executor per reason (e.g. "non-equi join"),
+        making the remaining scalar gaps visible from the same snapshot.
         """
         p50 = self.latency_percentile(50)
         p95 = self.latency_percentile(95)
@@ -125,4 +128,6 @@ class RuntimeMetrics:
             out["queue_depth"] = queue_depth
         if execution_modes is not None:
             out["relational_execution_modes"] = dict(execution_modes)
+        if fallback_reasons is not None:
+            out["relational_fallback_reasons"] = dict(fallback_reasons)
         return out

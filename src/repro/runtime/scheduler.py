@@ -116,6 +116,7 @@ class PolystoreRuntime:
             "metrics": self.metrics.snapshot(
                 queue_depth=self.admission.queue_depth(),
                 execution_modes=self.relational_execution_modes(),
+                fallback_reasons=self.relational_fallback_reasons(),
             ),
             "admission": self.admission.describe(),
             "cache": self.cache.describe(),
@@ -130,6 +131,16 @@ class PolystoreRuntime:
             if modes:
                 for mode, count in modes.items():
                     counts[mode] = counts.get(mode, 0) + count
+        return counts
+
+    def relational_fallback_reasons(self) -> dict[str, int]:
+        """Batch-pipeline row-executor fallbacks per reason, summed over engines."""
+        counts: dict[str, int] = {}
+        for engine in self.bigdawg.catalog.engines():
+            reasons = getattr(engine, "fallback_reasons", None)
+            if reasons:
+                for reason, count in reasons.items():
+                    counts[reason] = counts.get(reason, 0) + count
         return counts
 
     def set_relational_execution_mode(self, mode: str) -> None:

@@ -65,6 +65,17 @@ QUERY_GRID = [
     "SELECT e.id, d.weight FROM events e JOIN dims d ON e.grp = d.grp WHERE e.value > 10 ORDER BY e.id LIMIT 20",
     "SELECT e.id, d.weight FROM events e LEFT JOIN dims d ON e.grp = d.grp ORDER BY e.id LIMIT 40",
     "SELECT d.grp, count(*) AS n FROM dims d JOIN events e ON d.grp = e.grp GROUP BY d.grp ORDER BY d.grp",
+    # Outer joins: NULL-keyed rows on both sides, unmatched rows both ways.
+    "SELECT e.id, e.grp, d.weight FROM events e LEFT JOIN dims d ON e.grp = d.grp",
+    "SELECT e.id, d.grp, d.weight FROM events e RIGHT JOIN dims d ON e.grp = d.grp",
+    "SELECT e.id, e.grp, d.grp, d.weight FROM events e FULL OUTER JOIN dims d ON e.grp = d.grp",
+    "SELECT d.grp, e.id FROM dims d LEFT OUTER JOIN events e ON d.grp = e.grp AND e.value > 25",
+    "SELECT e.id, d.weight FROM events e FULL JOIN dims d ON e.grp = d.grp WHERE e.flag = 2 OR e.flag IS NULL",
+    # Multi-column group-by and NULL-heavy grouped aggregates.
+    "SELECT grp, flag, count(*) AS n, sum(value) AS s FROM events GROUP BY grp, flag",
+    "SELECT grp, avg(value) AS a, min(value) AS lo, max(value) AS hi, count(value) AS c FROM events GROUP BY grp",
+    "SELECT flag, grp, note, count(*) AS n FROM events GROUP BY flag, grp, note ORDER BY n DESC, flag, grp, note",
+    "SELECT note, min(grp) AS g, count(*) AS n FROM events GROUP BY note HAVING count(*) > 10",
     "SELECT CASE WHEN value >= 20 THEN 'high' ELSE 'low' END AS band, id FROM events WHERE id < 30",
     "SELECT upper(grp) AS g, round(value) AS r FROM events WHERE id BETWEEN 10 AND 40 ORDER BY id",
     "SELECT count(*) AS n FROM (SELECT id FROM events WHERE flag = 2) t",
@@ -96,6 +107,9 @@ class TestModeParity:
         [
             "SELECT count(*) AS n, sum(value) AS s, avg(value) AS a FROM events WHERE value > 20 AND flag = 3",
             "SELECT grp, count(*) AS n FROM events GROUP BY grp ORDER BY grp",
+            "SELECT grp, flag, avg(value) AS a, sum(value) AS s, min(value) AS lo FROM events GROUP BY grp, flag",
+            "SELECT e.id, e.grp, d.weight FROM events e LEFT JOIN dims d ON e.grp = d.grp",
+            "SELECT e.id, d.grp FROM events e FULL OUTER JOIN dims d ON e.grp = d.grp",
         ],
     )
     def test_results_byte_identical_through_codec(self, engines, query):
@@ -136,14 +150,37 @@ class TestExecutionModeKnob:
             "SELECT e.id, d.weight FROM events e LEFT JOIN dims d ON e.grp = d.grp WHERE e.value > 1"
         )
         assert plan.startswith("ExecutionMode(vectorized)")
-        # The left join falls back to the row executor; scans stay vectorized.
+        # Equi outer joins run on the batch pipeline now — no row fallback.
         join_line = next(line for line in plan.splitlines() if "Join" in line)
-        assert "[row]" in join_line
+        assert "[vectorized]" in join_line
         scan_line = next(line for line in plan.splitlines() if "SeqScan" in line)
         assert "[vectorized]" in scan_line
         e.execution_mode = "row"
         assert e.explain("SELECT id FROM events").startswith("ExecutionMode(row)")
         assert "[vectorized]" not in e.explain("SELECT id FROM events")
+
+    def test_explain_annotates_fallback_reason(self):
+        e = make_engine("vectorized")
+        plan = e.explain(
+            "SELECT e.id FROM events e JOIN dims d ON e.value > d.weight LIMIT 5"
+        )
+        join_line = next(line for line in plan.splitlines() if "Join" in line)
+        assert "[row: non-equi join]" in join_line
+        cross = e.explain("SELECT count(*) AS n FROM events CROSS JOIN dims")
+        cross_join_line = next(line for line in cross.splitlines() if "Join" in line)
+        assert "[row: cross join]" in cross_join_line
+
+    def test_fallback_reason_counters(self):
+        e = make_engine("vectorized")
+        assert e.fallback_reasons == {}
+        e.execute("SELECT count(*) AS n FROM events CROSS JOIN dims")
+        e.execute("SELECT count(*) AS n FROM events CROSS JOIN dims")
+        e.execute("SELECT e.id FROM events e JOIN dims d ON e.value > d.weight LIMIT 5")
+        assert e.fallback_reasons.get("cross join") == 2
+        assert e.fallback_reasons.get("non-equi join") == 1
+        # Vectorized shapes leave the counters alone.
+        e.execute("SELECT e.id FROM events e LEFT JOIN dims d ON e.grp = d.grp LIMIT 5")
+        assert sum(e.fallback_reasons.values()) == 3
 
 
 class TestColumnBatch:
@@ -151,7 +188,7 @@ class TestColumnBatch:
         schema = Schema([("a", "integer"), ("b", "text")])
         batch = ColumnBatch.from_value_rows(schema, [(1, "x"), (2, "y"), (3, None)])
         assert len(batch) == 3
-        assert batch.columns == [[1, 2, 3], ["x", "y", None]]
+        assert [list(col) for col in batch.columns] == [[1, 2, 3], ["x", "y", None]]
         assert list(batch.value_rows()) == [(1, "x"), (2, "y"), (3, None)]
 
     def test_compress_and_take(self):
@@ -268,10 +305,293 @@ class TestFilterKernel:
         predicate = BinaryOp("=", ColumnRef("t"), Literal("x"))
         assert compile_filter_kernel(predicate, schema) is None
 
-    def test_division_left_to_row_path(self):
+    def test_division_over_integer_columns_left_to_row_path(self):
+        # int64 true division would double-round where Python's int/int does
+        # not; only float columns get the masked-division kernel.
         schema = self.make_schema()
         predicate = BinaryOp(">", BinaryOp("/", ColumnRef("a"), ColumnRef("b")), Literal(1))
         assert compile_filter_kernel(predicate, schema) is None
+
+    def test_masked_division_kernel_over_float_columns(self):
+        schema = Schema([Column("x", DataType.FLOAT), Column("y", DataType.FLOAT)])
+        predicate = BinaryOp(">", BinaryOp("/", ColumnRef("x"), ColumnRef("y")), Literal(1))
+        kernel = compile_filter_kernel(predicate, schema)
+        assert kernel is not None
+        batch = ColumnBatch.from_value_rows(
+            schema, [(4.0, 2.0), (1.0, 2.0), (None, 0.0), (3.0, None)]
+        )
+        # NULL dividend or divisor yields NULL (no error), like _null_safe.
+        assert list(kernel(batch)) == [True, False, False, False]
+
+    def test_masked_division_raises_like_row_path(self):
+        from repro.common.errors import ExecutionError
+
+        schema = Schema([Column("x", DataType.FLOAT), Column("y", DataType.FLOAT)])
+        predicate = BinaryOp(">", BinaryOp("/", ColumnRef("x"), ColumnRef("y")), Literal(1))
+        kernel = compile_filter_kernel(predicate, schema)
+        batch = ColumnBatch.from_value_rows(schema, [(4.0, 2.0), (1.0, 0.0)])
+        with pytest.raises(ExecutionError, match="division by zero"):
+            kernel(batch)
+
+    def test_masked_division_respects_and_short_circuit(self):
+        # Row semantics: `y > 0 AND x / y > 1` never divides where y <= 0,
+        # so a zero divisor behind the guard must not raise.
+        schema = Schema([Column("x", DataType.FLOAT), Column("y", DataType.FLOAT)])
+        predicate = BinaryOp(
+            "and",
+            BinaryOp(">", ColumnRef("y"), Literal(0)),
+            BinaryOp(">", BinaryOp("/", ColumnRef("x"), ColumnRef("y")), Literal(1)),
+        )
+        kernel = compile_filter_kernel(predicate, schema)
+        assert kernel is not None
+        batch = ColumnBatch.from_value_rows(
+            schema, [(4.0, 2.0), (9.0, 0.0), (1.0, 2.0), (5.0, None)]
+        )
+        assert list(kernel(batch)) == [True, False, False, False]
+
+    def test_modulo_kernel_matches_python_semantics(self):
+        schema = Schema([Column("x", DataType.FLOAT)])
+        predicate = BinaryOp("=", BinaryOp("%", ColumnRef("x"), Literal(3)), Literal(1.0))
+        kernel = compile_filter_kernel(predicate, schema)
+        assert kernel is not None
+        batch = ColumnBatch.from_value_rows(schema, [(7.0,), (-2.0,), (6.0,), (None,)])
+        reference = compile_predicate(predicate, schema)
+        assert list(kernel(batch)) == [reference(row) for row in batch.value_rows()]
+
+
+class TestDivisionModeParity:
+    """Satellite (e): `/` and `%` kernels keep per-row error semantics."""
+
+    @staticmethod
+    def build(mode):
+        e = RelationalEngine("d", execution_mode=mode)
+        e.execute("CREATE TABLE m (x FLOAT, y FLOAT)")
+        e.insert_rows("m", [(4.0, 2.0), (9.0, 3.0), (1.0, 4.0), (None, 5.0), (8.0, None)])
+        return e
+
+    def test_division_results_identical(self):
+        results = {}
+        for mode in ("vectorized", "row"):
+            e = self.build(mode)
+            results[mode] = [
+                r.values for r in e.execute("SELECT x FROM m WHERE x / y > 1.5 ORDER BY x").rows
+            ]
+        assert results["vectorized"] == results["row"] == [(4.0,), (9.0,)]
+
+    def test_division_by_zero_raises_in_both_modes(self):
+        from repro.common.errors import ExecutionError
+
+        for mode in ("vectorized", "row"):
+            e = self.build(mode)
+            e.execute("INSERT INTO m VALUES (1.0, 0.0)")
+            with pytest.raises(ExecutionError, match="division by zero"):
+                e.execute("SELECT x FROM m WHERE x / y > 1")
+
+    def test_zero_divisor_behind_and_guard_skipped_in_both_modes(self):
+        results = {}
+        for mode in ("vectorized", "row"):
+            e = self.build(mode)
+            e.insert_rows("m", [(7.0, 0.0)])
+            results[mode] = [
+                r.values
+                for r in e.execute(
+                    "SELECT x FROM m WHERE y > 1 AND x / y > 1.5 ORDER BY x"
+                ).rows
+            ]
+        assert results["vectorized"] == results["row"] == [(4.0,), (9.0,)]
+
+
+class TestOuterJoinWherePlacement:
+    """WHERE is post-join for outer joins: no pushdown to the padded side."""
+
+    @staticmethod
+    def build(mode):
+        e = RelationalEngine("w", execution_mode=mode)
+        e.execute("CREATE TABLE a (id INTEGER, k INTEGER)")
+        e.execute("CREATE TABLE b (k INTEGER, v FLOAT)")
+        e.insert_rows("a", [(1, 1), (2, 2)])
+        e.insert_rows("b", [(1, 5.0)])
+        return e
+
+    def test_where_on_padded_side_filters_padded_rows(self):
+        for mode in ("vectorized", "row"):
+            e = self.build(mode)
+            rows = [
+                r.values
+                for r in e.execute(
+                    "SELECT a.id, b.v FROM a LEFT JOIN b ON a.k = b.k WHERE b.v > 0"
+                ).rows
+            ]
+            # Standard SQL: the padded row (2, NULL) cannot satisfy b.v > 0.
+            assert rows == [(1, 5.0)], mode
+
+    def test_where_on_preserved_side_still_pushes_down(self):
+        e = self.build("vectorized")
+        plan = e.explain("SELECT a.id FROM a LEFT JOIN b ON a.k = b.k WHERE a.id > 1")
+        scan_a = next(line for line in plan.splitlines() if "SeqScan(a)" in line)
+        assert "filter=" in scan_a  # preserved-side conjunct pushed onto the scan
+        rows = [
+            r.values
+            for r in e.execute(
+                "SELECT a.id, b.v FROM a LEFT JOIN b ON a.k = b.k WHERE a.id > 1"
+            ).rows
+        ]
+        assert rows == [(2, None)]
+
+    def test_full_join_where_stays_above(self):
+        for mode in ("vectorized", "row"):
+            e = self.build(mode)
+            rows = [
+                r.values
+                for r in e.execute(
+                    "SELECT a.id, b.v FROM a FULL JOIN b ON a.k = b.k WHERE a.id IS NOT NULL"
+                ).rows
+            ]
+            assert rows == [(1, 5.0), (2, None)], mode
+
+
+class TestNaNParity:
+    """NaN shapes force the per-row accumulators (position-dependent folds)."""
+
+    def test_grouped_min_max_with_nan_matches_row_mode(self):
+        import math
+
+        out = {}
+        for mode in ("vectorized", "row"):
+            e = RelationalEngine("n", execution_mode=mode)
+            e.execute("CREATE TABLE t (g INTEGER, v FLOAT)")
+            e.insert_rows(
+                "t",
+                [(1, 5.0), (1, float("nan")), (2, float("nan")), (2, 3.0), (1, 2.0)],
+            )
+            out[mode] = [
+                r.values
+                for r in e.execute(
+                    "SELECT g, min(v) AS lo, max(v) AS hi FROM t GROUP BY g"
+                ).rows
+            ]
+
+        def same(x, y):
+            if isinstance(x, float) and isinstance(y, float):
+                return x == y or (math.isnan(x) and math.isnan(y))
+            return x == y
+
+        assert all(
+            same(x, y)
+            for a, b in zip(out["vectorized"], out["row"])
+            for x, y in zip(a, b)
+        )
+
+    def test_nan_group_keys_match_row_mode(self):
+        out = {}
+        for mode in ("vectorized", "row"):
+            e = RelationalEngine("n2", execution_mode=mode)
+            e.execute("CREATE TABLE t (v FLOAT)")
+            e.insert_rows("t", [(float("nan"),), (1.0,), (float("nan"),), (1.0,)])
+            out[mode] = [
+                r.values
+                for r in e.execute("SELECT v, count(*) AS n FROM t GROUP BY v").rows
+            ]
+        # Distinct NaN objects are distinct dict keys on the row path; the
+        # vectorized path must not collapse them into one group.
+        assert len(out["vectorized"]) == len(out["row"]) == 3
+        assert [n for _v, n in out["vectorized"]] == [n for _v, n in out["row"]]
+
+    def test_self_referential_equality_not_tagged_vectorized(self):
+        e = RelationalEngine("sr")
+        e.execute("CREATE TABLE a (x INTEGER)")
+        e.execute("CREATE TABLE b (y INTEGER)")
+        e.insert_rows("a", [(1,)])
+        e.insert_rows("b", [(2,)])
+        plan = e.explain("SELECT a.x FROM a JOIN b ON a.x = a.x")
+        join_line = next(line for line in plan.splitlines() if "Join" in line)
+        assert "[row: non-equi join]" in join_line
+        # And execution agrees with row mode (falls back, same answer).
+        vec = [r.values for r in e.execute("SELECT a.x FROM a JOIN b ON a.x = a.x").rows]
+        e.execution_mode = "row"
+        assert vec == [r.values for r in e.execute("SELECT a.x FROM a JOIN b ON a.x = a.x").rows]
+
+
+class TestBuildSideHint:
+    """Satellite: the planner's build-side decision reaches both executors."""
+
+    @staticmethod
+    def build(mode="vectorized"):
+        e = RelationalEngine("b", execution_mode=mode)
+        e.execute("CREATE TABLE big (id INTEGER, k INTEGER)")
+        e.insert_rows("big", [(i, i % 40) for i in range(2000)])
+        e.execute("CREATE TABLE small (k INTEGER, tag TEXT)")
+        e.insert_rows("small", [(k, f"t{k}") for k in range(30)])
+        return e
+
+    def test_planner_builds_on_smaller_side(self):
+        e = self.build()
+        # Large left, small right: the hash table must build on the right.
+        plan = e.explain("SELECT b.id, s.tag FROM big b JOIN small s ON b.k = s.k")
+        join_line = next(line for line in plan.splitlines() if "Join" in line)
+        assert "build=right" in join_line
+        # Small left, large right: build stays on the left.
+        plan = e.explain("SELECT b.id, s.tag FROM small s JOIN big b ON b.k = s.k")
+        join_line = next(line for line in plan.splitlines() if "Join" in line)
+        assert "build=left" in join_line
+
+    def test_outer_join_with_empty_build_side(self):
+        # Regression: the pad gather must not index into zero-length build
+        # columns when the right side is empty (or filtered to nothing).
+        out = {}
+        for mode in ("vectorized", "row"):
+            e = RelationalEngine("eb", execution_mode=mode)
+            e.execute("CREATE TABLE a (id INTEGER, k INTEGER)")
+            e.execute("CREATE TABLE b (k INTEGER, w FLOAT)")
+            e.insert_rows("a", [(1, 10), (2, 20)])
+            out[mode] = {
+                "empty": [
+                    r.values
+                    for r in e.execute(
+                        "SELECT a.id, b.w FROM a LEFT JOIN b ON a.k = b.k"
+                    ).rows
+                ],
+                "full": [
+                    r.values
+                    for r in e.execute(
+                        "SELECT a.id, b.w FROM a FULL JOIN b ON a.k = b.k"
+                    ).rows
+                ],
+            }
+        assert out["vectorized"] == out["row"]
+        assert out["row"]["empty"] == [(1, None), (2, None)]
+
+    def test_probe_key_beyond_int64_matches_row_mode(self):
+        # Regression: a probe-side Python int too large for int64 must probe
+        # as "no match", not crash the numeric transform.
+        out = {}
+        for mode in ("vectorized", "row"):
+            e = RelationalEngine("oi", execution_mode=mode)
+            e.execute("CREATE TABLE big (k INTEGER)")
+            e.execute("CREATE TABLE small (k INTEGER, tag TEXT)")
+            e.insert_rows("big", [(2**70,), (5,), (7,)])
+            e.insert_rows("small", [(5, "five"), (9, "nine")])
+            out[mode] = [
+                r.values
+                for r in e.execute(
+                    "SELECT b.k, s.tag FROM big b LEFT JOIN small s ON b.k = s.k"
+                ).rows
+            ]
+        assert out["vectorized"] == out["row"]
+        assert (2**70, None) in out["row"] and (5, "five") in out["row"]
+
+    def test_large_left_small_right_parity(self):
+        out = {}
+        for mode in ("vectorized", "row"):
+            e = self.build(mode)
+            out[mode] = [
+                r.values
+                for r in e.execute(
+                    "SELECT b.id, s.tag FROM big b JOIN small s ON b.k = s.k ORDER BY b.id"
+                ).rows
+            ]
+        assert out["vectorized"] == out["row"]
+        assert len(out["row"]) == 1500  # 2000 rows, 30 of 40 key values match
 
 
 class TestModeParityEdgeCases:
@@ -335,5 +655,33 @@ class TestRuntimeModeThreading:
             runtime.execute("RELATIONAL(SELECT count(*) AS n FROM t)", use_cache=False)
             modes = runtime.describe()["metrics"]["relational_execution_modes"]
             assert modes.get("row", 0) >= 1
+        finally:
+            runtime.shutdown()
+
+    def test_runtime_metrics_report_fallback_reasons(self):
+        from repro.core.bigdawg import BigDawg
+        from repro.runtime import PolystoreRuntime
+
+        bigdawg = BigDawg()
+        engine = RelationalEngine("postgres")
+        bigdawg.add_engine(engine, islands=["relational"])
+        engine.execute("CREATE TABLE a (id INTEGER)")
+        engine.execute("CREATE TABLE b (id INTEGER)")
+        engine.insert_rows("a", [(1,), (2,)])
+        engine.insert_rows("b", [(1,), (3,)])
+        runtime = PolystoreRuntime(bigdawg, workers=2)
+        try:
+            runtime.execute(
+                "RELATIONAL(SELECT count(*) AS n FROM a CROSS JOIN b)", use_cache=False
+            )
+            reasons = runtime.describe()["metrics"]["relational_fallback_reasons"]
+            assert reasons.get("cross join", 0) >= 1
+            # Vectorized equi-joins do not add fallback counts.
+            runtime.execute(
+                "RELATIONAL(SELECT count(*) AS n FROM a LEFT JOIN b ON a.id = b.id)",
+                use_cache=False,
+            )
+            after = runtime.describe()["metrics"]["relational_fallback_reasons"]
+            assert sum(after.values()) == sum(reasons.values())
         finally:
             runtime.shutdown()
