@@ -181,3 +181,155 @@ def test_explain_left_outer_join_is_vectorized(engines):
     plan = engines["vectorized"].explain(WORKLOADS["join_left_outer"])
     join_line = next(line for line in plan.splitlines() if "Join" in line)
     assert "[vectorized]" in join_line and "[row" not in join_line
+
+
+# --------------------------------------------------------------------- ISSUE 5
+# Wide-table join (projection pushdown) and high-cardinality group-by
+# (streaming two-pass) scenarios, reporting gathered-column counts and peak
+# resident rows.
+
+WIDE_PAYLOAD_COLUMNS = 32
+WIDE_JOIN_QUERY = (
+    "SELECT d.label, count(*) AS n, sum(w.p0) AS s FROM wtab w "
+    "JOIN wdim d ON w.fk = d.fk GROUP BY d.label ORDER BY d.label"
+)
+HIGHCARD_GROUPS = ROW_COUNT // 20
+HIGHCARD_QUERY = (
+    "SELECT hk, count(*) AS n, sum(value) AS s, avg(value) AS a, "
+    "max(value) AS hi FROM htab GROUP BY hk"
+)
+
+#: Wide-join floor: optimized vectorized vs the PR-4 vectorized baseline
+#: (optimizer off, every column gathered).  The ISSUE-5 acceptance bar is
+#: 1.5x at full size; smoke stays loose for noisy CI runners.
+WIDE_JOIN_FLOOR = 1.1 if SMOKE else 1.5
+
+
+def build_wide_engine(optimize: bool) -> RelationalEngine:
+    rng = random.Random(99)
+    engine = RelationalEngine("bench_wide", execution_mode="vectorized")
+    engine.optimizer_enabled = optimize
+    payload = ", ".join(f"p{i} FLOAT" for i in range(WIDE_PAYLOAD_COLUMNS))
+    engine.execute(
+        f"CREATE TABLE wtab (id INTEGER PRIMARY KEY, fk INTEGER, {payload})"
+    )
+    engine.insert_rows(
+        "wtab",
+        [
+            (i, rng.randrange(DIM_COUNT), *[float(i % (j + 7)) for j in range(WIDE_PAYLOAD_COLUMNS)])
+            for i in range(ROW_COUNT)
+        ],
+    )
+    engine.execute("CREATE TABLE wdim (fk INTEGER PRIMARY KEY, label TEXT)")
+    engine.insert_rows("wdim", [(k, f"seg_{k % 6}") for k in range(DIM_COUNT)])
+    return engine
+
+
+def gathered_join_columns(engine: RelationalEngine, query: str) -> int:
+    """Total columns the plan's hash joins pull from their inputs."""
+    from repro.engines.relational.optimizer import plan_column_names
+    from repro.engines.relational.planner import JoinNode
+
+    total = 0
+
+    def visit(node) -> None:
+        nonlocal total
+        if isinstance(node, JoinNode):
+            for side in (node.left, node.right):
+                names = plan_column_names(side, engine)
+                total += len(names) if names is not None else 0
+        for child in node.children():
+            visit(child)
+
+    visit(engine.plan(query))
+    return total
+
+
+def test_wide_join_prunes_columns_and_speeds_up():
+    """ISSUE-5 acceptance: the wide join gathers only referenced columns and
+    beats the PR-4 vectorized baseline by the floor."""
+    optimized = build_wide_engine(optimize=True)
+    baseline = build_wide_engine(optimize=False)
+    pruned_cols = gathered_join_columns(optimized, WIDE_JOIN_QUERY)
+    full_cols = gathered_join_columns(baseline, WIDE_JOIN_QUERY)
+    opt_seconds, opt_result = time_query(optimized, WIDE_JOIN_QUERY)
+    base_seconds, base_result = time_query(baseline, WIDE_JOIN_QUERY)
+
+    codec = BinaryCodec()
+    assert codec.encode(opt_result) == codec.encode(base_result), (
+        "pruning must not change results"
+    )
+    speedup = base_seconds / opt_seconds if opt_seconds > 0 else float("inf")
+    print(
+        f"\n[claim12:join_wide] rows={ROW_COUNT} payload_cols={WIDE_PAYLOAD_COLUMNS} "
+        f"gathered: {full_cols} -> {pruned_cols} columns | optimized={opt_seconds * 1000:.1f}ms "
+        f"baseline={base_seconds * 1000:.1f}ms speedup={speedup:.2f}x (floor {WIDE_JOIN_FLOOR}x)"
+    )
+    assert pruned_cols < full_cols, "join must gather fewer columns when optimized"
+    assert pruned_cols <= 4, f"expected only key+payload columns, got {pruned_cols}"
+    assert optimized.columns_pruned > 0
+    assert speedup >= WIDE_JOIN_FLOOR, (
+        f"wide join: pruning must be >= {WIDE_JOIN_FLOOR}x over the gather-all "
+        f"baseline, got {speedup:.2f}x"
+    )
+
+
+def build_highcard_engine(mode: str, streaming: bool = True) -> RelationalEngine:
+    rng = random.Random(7)
+    engine = RelationalEngine("bench_hc", execution_mode=mode)
+    engine.streaming_groupby = streaming
+    engine.execute(
+        "CREATE TABLE htab (id INTEGER PRIMARY KEY, hk INTEGER, value FLOAT)"
+    )
+    engine.insert_rows(
+        "htab",
+        [(i, rng.randrange(HIGHCARD_GROUPS), rng.random() * 50.0) for i in range(ROW_COUNT)],
+    )
+    return engine
+
+
+def test_streaming_groupby_bounds_peak_resident_rows():
+    """ISSUE-5 acceptance + CI memory guard: the high-cardinality group-by
+    streams with peak resident rows O(batch + groups) — if the block path
+    silently reactivates, the peak jumps to the full input size and this
+    fails."""
+    from repro.engines.relational.vectorized import DEFAULT_BATCH_ROWS
+
+    streaming = build_highcard_engine("vectorized", streaming=True)
+    block = build_highcard_engine("vectorized", streaming=False)
+    row = build_highcard_engine("row")
+
+    stream_seconds, stream_result = time_query(streaming, HIGHCARD_QUERY)
+    block_seconds, block_result = time_query(block, HIGHCARD_QUERY)
+    row_seconds, row_result = time_query(row, HIGHCARD_QUERY)
+
+    codec = BinaryCodec()
+    encoded = codec.encode(stream_result)
+    assert encoded == codec.encode(block_result)
+    assert encoded == codec.encode(row_result)
+
+    assert streaming.groupby_paths.get("stream", 0) >= 1
+    assert streaming.groupby_paths.get("block", 0) == 0, (
+        "the block group-by path silently reactivated"
+    )
+    peak = streaming.peak_groupby_resident_rows
+    bound = DEFAULT_BATCH_ROWS + HIGHCARD_GROUPS
+    speedup = row_seconds / stream_seconds if stream_seconds > 0 else float("inf")
+    print(
+        f"\n[claim12:group_by_highcard] rows={ROW_COUNT} groups={HIGHCARD_GROUPS} "
+        f"peak_resident_rows: stream={peak} block={block.peak_groupby_resident_rows} "
+        f"(bound {bound}) | stream={stream_seconds * 1000:.1f}ms "
+        f"block={block_seconds * 1000:.1f}ms row={row_seconds * 1000:.1f}ms "
+        f"speedup_vs_row={speedup:.1f}x"
+    )
+    assert peak <= bound, (
+        f"streaming group-by peak resident rows {peak} exceeds O(batch+groups) "
+        f"bound {bound}"
+    )
+    assert peak < ROW_COUNT
+    assert block.peak_groupby_resident_rows == ROW_COUNT
+    floor = 1.5 if SMOKE else 4.0
+    assert speedup >= floor, (
+        f"high-cardinality streaming group-by must be >= {floor}x over row "
+        f"mode, got {speedup:.2f}x"
+    )

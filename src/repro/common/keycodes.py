@@ -217,6 +217,66 @@ def encode_group_keys(
     )
 
 
+class IncrementalGroupEncoder:
+    """Shared group-key dictionary for the streaming two-pass group-by.
+
+    Each batch is factorized locally with :func:`encode_group_keys` (the
+    numpy-fast path), then only the batch's **distinct** keys are mapped
+    through a persistent insertion-ordered dictionary.  Global codes are
+    therefore stable across batches and numbered by first appearance over
+    the whole stream — emitting groups in code order reproduces the row
+    executor's dict-insertion output order — while the per-batch Python
+    work is O(distinct keys in the batch), not O(rows).
+
+    The dictionary keys are the actual key values (a scalar for
+    single-column keys, a tuple otherwise), so cross-batch equality follows
+    Python ``==``/``hash`` semantics exactly like the row executor's group
+    dict (``1 == 1.0``, ``True == 1``).  NaN grouping keys must be rejected
+    by the caller before encoding (``np.unique`` collapses NaNs that the
+    row path's dict keeps distinct).
+    """
+
+    def __init__(self, dtypes: Sequence[DataType | None]) -> None:
+        self._dtypes = list(dtypes)
+        self._single = len(self._dtypes) == 1
+        self._key_map: dict[Any, int] = {}
+
+    @property
+    def group_count(self) -> int:
+        return len(self._key_map)
+
+    def encode_batch(
+        self, columns: Sequence[Sequence[Any]]
+    ) -> tuple[np.ndarray, list[int]]:
+        """Encode one batch of key columns against the shared dictionary.
+
+        Returns ``(codes, new_first_rows)``: the global int64 group code per
+        row, plus the batch row index of the first occurrence of each group
+        that is **new** to the stream, in global-code order (the new groups
+        occupy codes ``group_count_before .. group_count_after - 1``).
+        """
+        local = encode_group_keys(columns, self._dtypes)
+        key_map = self._key_map
+        before = len(key_map)
+        translation = np.empty(local.group_count, dtype=np.int64)
+        first_rows = local.first_rows.tolist()
+        if self._single:
+            column = columns[0]
+            for g, r in enumerate(first_rows):
+                translation[g] = key_map.setdefault(column[r], len(key_map))
+        else:
+            for g, r in enumerate(first_rows):
+                key = tuple(column[r] for column in columns)
+                translation[g] = key_map.setdefault(key, len(key_map))
+        # Local codes are first-appearance ordered, so new global codes are
+        # assigned in increasing order as ``g`` advances — the new-group
+        # representatives come out already sorted by global code.
+        new_first_rows = [
+            r for g, r in enumerate(first_rows) if translation[g] >= before
+        ]
+        return translation[local.codes], new_first_rows
+
+
 class JoinKeyTable:
     """Code dictionary fitted on a hash join's build side.
 

@@ -26,7 +26,9 @@ from repro.engines.base import (
     columnar_relation_chunks,
 )
 from repro.engines.relational.executor import Executor
-from repro.engines.relational.planner import Planner, TableStatisticsProvider
+from repro.engines.relational.optimizer import Optimizer
+from repro.engines.relational.planner import LogicalPlan, Planner, TableStatisticsProvider
+from repro.engines.relational.statistics import StatisticsCatalog, TableStats
 from repro.engines.relational.vectorized import BatchExecutor
 from repro.engines.relational.sql.ast import (
     CreateIndexStatement,
@@ -72,16 +74,43 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         self._transactions = TransactionManager(self)
         self._execution_mode = "vectorized"
         self.execution_mode = execution_mode
+        #: Table/column statistics (row counts, NDV, null fractions, widths)
+        #: maintained incrementally on DML and read by the optimizer pass.
+        self.statistics = StatisticsCatalog(self)
+        #: Whether SELECT plans run through the statistics-driven optimizer
+        #: (projection pushdown, byte-based build side, conjunct ordering).
+        #: Off, plans execute exactly as the rule-based planner built them —
+        #: the baseline the wide-join benchmark measures against.
+        self.optimizer_enabled = True
+        #: Whether grouped aggregation streams batches through the shared
+        #: incremental key dictionary (peak memory O(batch + groups)); off,
+        #: the legacy path materializes the whole input as one block.
+        self.streaming_groupby = True
         #: SELECTs served per executor path, for the runtime's metrics.
         self.executions_by_mode: dict[str, int] = {mode: 0 for mode in EXECUTION_MODES}
         #: Row-executor fallbacks taken by the batch pipeline, keyed by the
         #: reason string EXPLAIN shows (e.g. "non-equi join"); surfaced by
         #: the runtime as ``relational_fallback_reasons``.
         self.fallback_reasons: dict[str, int] = {}
+        #: Total columns the optimizer pruned below joins/aggregates, and
+        #: grouped-aggregation executions per path ("stream" vs "block" vs
+        #: per-row), for the runtime's metrics snapshot.
+        self.columns_pruned = 0
+        self.groupby_paths: dict[str, int] = {}
+        #: Largest resident row footprint (batch + groups) any streaming
+        #: group-by reached — or the whole block size when the block path
+        #: runs, which is exactly what the CI memory guard watches for.
+        self.peak_groupby_resident_rows = 0
 
     def record_fallback(self, reason: str) -> None:
         """Count one batch-pipeline fallback to the row executor."""
         self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+
+    def record_groupby(self, path: str, peak_rows: int) -> None:
+        """Count one grouped aggregation by path and track peak resident rows."""
+        self.groupby_paths[path] = self.groupby_paths.get(path, 0) + 1
+        if peak_rows > self.peak_groupby_resident_rows:
+            self.peak_groupby_resident_rows = peak_rows
 
     @property
     def execution_mode(self) -> str:
@@ -122,6 +151,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         if key not in self._tables:
             raise ObjectNotFoundError(f"table {name!r} does not exist")
         del self._tables[key]
+        self.statistics.invalidate(name)
 
     def export_schema(self, name: str) -> Schema:
         return self.table(name).schema
@@ -150,6 +180,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
             for row in chunk:
                 table.insert(row.values)
         self._tables[key] = table
+        self.statistics.invalidate(name)
 
     # -------------------------------------------------------------- statistics
     def table(self, name: str) -> HeapTable:
@@ -167,6 +198,10 @@ class RelationalEngine(Engine, TableStatisticsProvider):
     def table_columns(self, table: str) -> list[str]:
         return self.table(table).schema.names
 
+    def table_stats(self, table: str) -> TableStats | None:
+        """Full table statistics for the optimizer (lazily analyzed)."""
+        return self.statistics.table_stats(table)
+
     # ------------------------------------------------------------------ DDL/DML
     def create_table(
         self,
@@ -182,6 +217,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
                 return TableDefinition(name, schema, tuple(primary_key), self.name)
             raise DuplicateObjectError(f"table {name!r} already exists")
         self._tables[key] = HeapTable(name, schema, primary_key)
+        self.statistics.invalidate(name)
         self.bump_write_version()
         return TableDefinition(name, schema, tuple(primary_key), self.name)
 
@@ -195,6 +231,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
             if txn is not None:
                 txn.record_insert(table_name, row_id)
             count += 1
+        self.statistics.note_mutation(table_name, count)
         self.bump_write_version()
         return count
 
@@ -217,7 +254,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
     def execute_statement(self, statement: Statement) -> Relation:
         self.queries_executed += 1
         if isinstance(statement, SelectStatement):
-            plan = self._planner.plan_select(statement)
+            plan = self._optimized_plan(statement)
             mode = self._execution_mode
             self.executions_by_mode[mode] += 1
             if mode == "vectorized":
@@ -241,19 +278,49 @@ class RelationalEngine(Engine, TableStatisticsProvider):
             return self._execute_delete(statement)
         raise ExecutionError(f"unsupported statement type: {type(statement).__name__}")
 
+    def plan(self, sql: str) -> LogicalPlan:
+        """The (optimized) logical plan a SELECT would execute — the hook
+        benchmarks and tests use to inspect pruning and build-side choices.
+        Inspection only: the ``columns_pruned`` metric counts executed
+        queries, not plans looked at."""
+        statement = parse_sql(sql)
+        if not isinstance(statement, SelectStatement):
+            raise ExecutionError("only SELECT statements are planned")
+        return self._optimized_plan(statement, record=False)
+
+    def _optimized_plan(
+        self, statement: SelectStatement, record: bool = True
+    ) -> LogicalPlan:
+        plan = self._planner.plan_select(statement)
+        if not self.optimizer_enabled:
+            return plan
+        result = Optimizer(self).optimize(plan)
+        if record:
+            self.columns_pruned += result.columns_pruned
+        return result.plan
+
     def explain(self, sql: str) -> str:
         """Return the optimized plan for a SELECT statement as indented text.
 
-        The first line reports the engine's execution mode; in vectorized
-        mode every operator is tagged ``[vectorized]`` or — when it falls
-        back to the row executor — ``[row: <reason>]``, so both the path
-        and *why* a fallback happens are visible per operator.
+        The first line reports the engine's execution mode and the second a
+        ``Stats(...)`` summary of every referenced table (live row count and
+        estimated bytes from the statistics layer).  In vectorized mode
+        every operator is tagged ``[vectorized]`` or — when it falls back to
+        the row executor — ``[row: <reason>]``; optimizer-inserted prunes
+        render as ``Project(kept...) [pruned: a,b,c]``.
         """
         statement = parse_sql(sql)
         if not isinstance(statement, SelectStatement):
             raise ExecutionError("EXPLAIN is only supported for SELECT statements")
         plan = self._planner.plan_select(statement)
+        tables: list[str] = []
+        if self.optimizer_enabled:
+            result = Optimizer(self).optimize(plan)
+            plan, tables = result.plan, result.tables
         header = f"ExecutionMode({self._execution_mode})"
+        stats_line = self._stats_line(tables)
+        if stats_line:
+            header = f"{header}\n{stats_line}"
         if self._execution_mode == "vectorized":
 
             def annotate(node):
@@ -262,6 +329,20 @@ class RelationalEngine(Engine, TableStatisticsProvider):
 
             return header + "\n" + plan.explain(annotate=annotate)
         return header + "\n" + plan.explain()
+
+    def _stats_line(self, tables: list[str]) -> str | None:
+        """The EXPLAIN ``Stats(...)`` line for the referenced base tables."""
+        parts = []
+        for table in tables:
+            stats = self.statistics.table_stats(table)
+            if stats is None:
+                continue
+            parts.append(
+                f"{table}: rows={stats.row_count}, bytes~{stats.estimated_bytes}"
+            )
+        if not parts:
+            return None
+        return f"Stats({'; '.join(parts)})"
 
     # ----------------------------------------------------------------- private
     def _execute_create_table(self, statement: CreateTableStatement) -> Relation:
@@ -279,6 +360,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
                 return self._count_relation(0)
             raise ObjectNotFoundError(f"table {statement.table!r} does not exist")
         del self._tables[key]
+        self.statistics.invalidate(statement.table)
         return self._count_relation(0)
 
     def _execute_insert(self, statement: InsertStatement) -> Relation:
@@ -297,6 +379,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
             if txn is not None:
                 txn.record_insert(statement.table, row_id)
             count += 1
+        self.statistics.note_mutation(statement.table, count)
         return self._count_relation(count)
 
     def _execute_update(self, statement: UpdateStatement) -> Relation:
@@ -317,6 +400,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
             if txn is not None:
                 txn.record_update(statement.table, row_id, old)
             table.update(row_id, new_values)
+        self.statistics.note_mutation(statement.table, len(matching))
         return self._count_relation(len(matching))
 
     def _execute_delete(self, statement: DeleteStatement) -> Relation:
@@ -329,6 +413,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
             if txn is not None:
                 txn.record_delete(statement.table, row_id, table.get(row_id))
             table.delete(row_id)
+        self.statistics.note_mutation(statement.table, len(matching))
         return self._count_relation(len(matching))
 
     @staticmethod

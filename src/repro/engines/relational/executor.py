@@ -23,6 +23,7 @@ from repro.engines.relational.planner import (
     LimitNode,
     LogicalPlan,
     ProjectNode,
+    PruneNode,
     ScanNode,
     SortNode,
     SubqueryNode,
@@ -57,6 +58,8 @@ class Executor:
             return self._execute_aggregate(plan)
         if isinstance(plan, ProjectNode):
             return self._execute_project(plan)
+        if isinstance(plan, PruneNode):
+            return self._execute_prune(plan)
         if isinstance(plan, SortNode):
             return self._execute_sort(plan)
         if isinstance(plan, LimitNode):
@@ -260,6 +263,17 @@ class Executor:
                     continue
             residual.append(conjunct)
         return keys, residual
+
+    def _execute_prune(self, node: PruneNode) -> Relation:
+        """Optimizer-inserted narrowing: keep only the named columns."""
+        child = self.execute(node.child)
+        indices = [child.schema.index_of(name) for name in node.columns]
+        schema = child.schema.project(node.columns)
+        result = Relation(schema)
+        result.rows.extend(
+            Row(schema, tuple(row.values[i] for i in indices)) for row in child.rows
+        )
+        return result
 
     def _execute_project(self, node: ProjectNode) -> Relation:
         child = self.execute(node.child)

@@ -17,6 +17,12 @@ class Aggregate:
     def result(self) -> Any:
         raise NotImplementedError
 
+    def load(self, *state: Any) -> None:
+        """Seed the accumulator with partial state (the vectorized streaming
+        group-by hands over mid-stream through this when it degrades to the
+        per-row path).  Non-distinct accumulators only."""
+        raise NotImplementedError
+
 
 class CountAggregate(Aggregate):
     """COUNT(*) or COUNT(expr); NULLs are skipped when counting an expression."""
@@ -39,6 +45,9 @@ class CountAggregate(Aggregate):
     def result(self) -> int:
         return self._count
 
+    def load(self, count: int) -> None:
+        self._count = count
+
 
 class SumAggregate(Aggregate):
     def __init__(self, distinct: bool = False) -> None:
@@ -57,6 +66,9 @@ class SumAggregate(Aggregate):
 
     def result(self) -> Any:
         return self._total
+
+    def load(self, total: Any) -> None:
+        self._total = total
 
 
 class AvgAggregate(Aggregate):
@@ -81,6 +93,10 @@ class AvgAggregate(Aggregate):
             return None
         return self._total / self._count
 
+    def load(self, total: float, count: int) -> None:
+        self._total = total
+        self._count = count
+
 
 class MinAggregate(Aggregate):
     def __init__(self, **_kwargs: Any) -> None:
@@ -95,6 +111,9 @@ class MinAggregate(Aggregate):
     def result(self) -> Any:
         return self._value
 
+    def load(self, value: Any) -> None:
+        self._value = value
+
 
 class MaxAggregate(Aggregate):
     def __init__(self, **_kwargs: Any) -> None:
@@ -108,6 +127,9 @@ class MaxAggregate(Aggregate):
 
     def result(self) -> Any:
         return self._value
+
+    def load(self, value: Any) -> None:
+        self._value = value
 
 
 class StddevAggregate(Aggregate):

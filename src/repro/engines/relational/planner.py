@@ -148,6 +148,30 @@ class JoinNode(LogicalPlan):
 
 
 @dataclass
+class PruneNode(LogicalPlan):
+    """A narrowing projection inserted by the optimizer, not by the query.
+
+    Keeps only ``columns`` (a subset of the child's output, in child
+    order) so operators above it — most importantly the batched hash
+    join's gathers — touch fewer columns.  ``pruned`` lists the columns
+    dropped, which EXPLAIN renders as ``[pruned: a,b,c]`` so the effect
+    of projection pushdown is observable per plan.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    pruned: list[str] = field(default_factory=list)
+    child: LogicalPlan = None  # type: ignore[assignment]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        kept = ", ".join(self.columns)
+        dropped = ",".join(name.split(".")[-1] for name in self.pruned)
+        return f"Project({kept}) [pruned: {dropped}]"
+
+
+@dataclass
 class ProjectNode(LogicalPlan):
     items: list = field(default_factory=list)  # list[SelectItem]
     child: LogicalPlan = None  # type: ignore[assignment]
@@ -216,6 +240,12 @@ class TableStatisticsProvider:
 
     def table_columns(self, table: str) -> list[str]:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def table_stats(self, table: str):
+        """Full :class:`~repro.engines.relational.statistics.TableStats` for a
+        table, or ``None`` when the provider keeps none (the optimizer then
+        falls back to row-count heuristics)."""
+        return None
 
 
 class Planner:

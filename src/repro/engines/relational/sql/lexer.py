@@ -22,12 +22,18 @@ KEYWORDS = {
     "select", "from", "where", "group", "by", "having", "order", "limit", "offset",
     "insert", "into", "values", "update", "set", "delete", "create", "drop", "table",
     "index", "unique", "on", "as", "and", "or", "not", "null", "is", "in", "like",
-    "join", "inner", "left", "right", "full", "cross", "outer", "distinct", "asc", "desc", "case",
+    "join", "inner", "left", "cross", "outer", "distinct", "asc", "desc", "case",
     "when", "then", "else", "end", "primary", "key", "if", "exists", "between",
     "true", "false", "count", "sum", "avg", "min", "max", "stddev",
     "integer", "int", "bigint", "float", "double", "real", "text", "varchar",
     "boolean", "bool", "timestamp",
 }
+
+#: Context-sensitive keywords: these lex as identifiers and the parser only
+#: treats them as keywords when the surrounding tokens form a join clause
+#: (``RIGHT [OUTER] JOIN`` / ``FULL [OUTER] JOIN``).  Keeping them out of
+#: ``KEYWORDS`` means a column named ``right`` or ``full`` still parses.
+SOFT_KEYWORDS = {"right", "full"}
 
 _OPERATOR_CHARS = set("=<>!+-*/%")
 _TWO_CHAR_OPERATORS = {"<=", ">=", "!=", "<>", "=="}
@@ -38,6 +44,10 @@ class Token:
     type: TokenType
     value: str
     position: int
+    #: True when any part of an identifier was double-quoted; quoting forces
+    #: identifier treatment, so the parser must never reinterpret a quoted
+    #: ``"right"``/``"full"`` as a soft join keyword.
+    quoted: bool = False
 
     def matches(self, token_type: TokenType, value: str | None = None) -> bool:
         if self.type is not token_type:
@@ -97,15 +107,51 @@ def tokenize(text: str) -> list[Token]:
             i += 1
             tokens.append(Token(TokenType.STRING, "".join(parts), start))
             continue
-        if ch.isalpha() or ch == "_":
+        if ch.isalpha() or ch == "_" or ch == '"':
+            # An identifier chain: bare and/or double-quoted ("" escapes a
+            # quote) segments joined by dots, so keyword-named columns can be
+            # table-qualified (t."left", "t"."order").  Quoting any segment
+            # forces identifier treatment, so even hard keywords work as
+            # column names.
             start = i
-            while i < n and (text[i].isalnum() or text[i] in "_."):
-                i += 1
-            word = text[start:i]
-            if word.lower() in KEYWORDS and "." not in word:
+            quoted = False
+            pieces: list[str] = []
+            while i < n:
+                if text[i] == '"':
+                    quoted = True
+                    i += 1
+                    segment: list[str] = []
+                    while i < n:
+                        if text[i] == '"':
+                            if i + 1 < n and text[i + 1] == '"':
+                                segment.append('"')
+                                i += 2
+                                continue
+                            break
+                        segment.append(text[i])
+                        i += 1
+                    if i >= n:
+                        raise ParseError("unterminated quoted identifier", start)
+                    i += 1
+                    if not segment:
+                        raise ParseError("empty quoted identifier", start)
+                    pieces.append("".join(segment))
+                else:
+                    seg_start = i
+                    while i < n and (text[i].isalnum() or text[i] == "_"):
+                        i += 1
+                    pieces.append(text[seg_start:i])
+                if i < n and text[i] == ".":
+                    pieces.append(".")
+                    i += 1
+                    if i < n and (text[i].isalnum() or text[i] in '_"'):
+                        continue
+                break
+            word = "".join(pieces)
+            if not quoted and word.lower() in KEYWORDS and "." not in word:
                 tokens.append(Token(TokenType.KEYWORD, word.lower(), start))
             else:
-                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+                tokens.append(Token(TokenType.IDENTIFIER, word, start, quoted))
             continue
         if ch in _OPERATOR_CHARS:
             if i + 1 < n and text[i : i + 2] in _TWO_CHAR_OPERATORS:

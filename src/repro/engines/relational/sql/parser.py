@@ -38,7 +38,12 @@ from repro.engines.relational.sql.ast import (
     TableRef,
     UpdateStatement,
 )
-from repro.engines.relational.sql.lexer import Token, TokenType, tokenize
+from repro.engines.relational.sql.lexer import (
+    SOFT_KEYWORDS,
+    Token,
+    TokenType,
+    tokenize,
+)
 
 _AGGREGATES = {"count", "sum", "avg", "min", "max", "stddev"}
 
@@ -73,6 +78,36 @@ class _Parser:
                 self.current.position,
             )
         return self.advance()
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _starts_soft_join(self, word: str | None = None) -> bool:
+        """Whether the current token is a soft keyword (``word``, or any
+        member of :data:`~repro.engines.relational.sql.lexer.SOFT_KEYWORDS`
+        when ``word`` is None) opening a join clause.  Soft keywords lex as
+        identifiers, so the decision needs one token of lookahead: only
+        ``right/full`` directly followed by ``JOIN`` or ``OUTER`` is a join;
+        anywhere else — or when the user double-quoted the word, which
+        forces identifier treatment — it is an ordinary identifier (a
+        column name, an alias, ...)."""
+        token = self.current
+        if token.type is not TokenType.IDENTIFIER or token.quoted:
+            return False
+        value = token.value.lower()
+        if value not in SOFT_KEYWORDS or (word is not None and value != word):
+            return False
+        upcoming = self._peek()
+        return upcoming.matches(TokenType.KEYWORD, "join") or upcoming.matches(
+            TokenType.KEYWORD, "outer"
+        )
+
+    def _accept_soft_join_keyword(self, word: str) -> bool:
+        if self._starts_soft_join(word):
+            self.advance()
+            return True
+        return False
 
     def accept_keyword(self, *words: str) -> bool:
         return any(self.accept(TokenType.KEYWORD, word) for word in words[:1]) or (
@@ -237,11 +272,11 @@ class _Parser:
                     self.accept(TokenType.KEYWORD, "outer")
                     self.expect(TokenType.KEYWORD, "join")
                     join_type = "left"
-                elif self.accept(TokenType.KEYWORD, "right"):
+                elif self._accept_soft_join_keyword("right"):
                     self.accept(TokenType.KEYWORD, "outer")
                     self.expect(TokenType.KEYWORD, "join")
                     join_type = "right"
-                elif self.accept(TokenType.KEYWORD, "full"):
+                elif self._accept_soft_join_keyword("full"):
                     self.accept(TokenType.KEYWORD, "outer")
                     self.expect(TokenType.KEYWORD, "join")
                     join_type = "full"
@@ -281,15 +316,23 @@ class _Parser:
             subquery = self.parse_select()
             self.expect(TokenType.PUNCTUATION, ")")
             alias = None
-            self.accept(TokenType.KEYWORD, "as")
-            if self.check(TokenType.IDENTIFIER):
+            explicit = bool(self.accept(TokenType.KEYWORD, "as"))
+            if self.check(TokenType.IDENTIFIER) and (
+                explicit
+                # "FROM (...) RIGHT JOIN b": the soft keyword opens a join
+                # clause, it is not the derived table's implicit alias.
+                or not self._starts_soft_join()
+            ):
                 alias = self.advance().value
             return TableRef(subquery=subquery, alias=alias)
         name = self.expect(TokenType.IDENTIFIER).value
         alias = None
         if self.accept(TokenType.KEYWORD, "as"):
             alias = self.expect(TokenType.IDENTIFIER).value
-        elif self.check(TokenType.IDENTIFIER):
+        elif self.check(TokenType.IDENTIFIER) and not self._starts_soft_join(
+            # "FROM a RIGHT JOIN b": the soft keyword opens a join clause,
+            # it is not an implicit alias (write "a AS right" to alias).
+        ):
             alias = self.advance().value
         return TableRef(name=name, alias=alias)
 

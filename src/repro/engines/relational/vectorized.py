@@ -56,7 +56,11 @@ from repro.common.expressions import (
     evaluate_predicate,
     split_conjuncts,
 )
-from repro.common.keycodes import JoinKeyTable, encode_group_keys
+from repro.common.keycodes import (
+    IncrementalGroupEncoder,
+    JoinKeyTable,
+    encode_group_keys,
+)
 from repro.common.schema import Column, ColumnBatch, Relation, Row, Schema
 from repro.common.schema import object_view as _object_view
 from repro.common.types import DataType, infer_type
@@ -71,6 +75,7 @@ from repro.engines.relational.planner import (
     LimitNode,
     LogicalPlan,
     ProjectNode,
+    PruneNode,
     ScanNode,
     SortNode,
     SubqueryNode,
@@ -451,6 +456,8 @@ class BatchExecutor:
             return self._fallback_stream(plan, reason)
         if isinstance(plan, AggregateNode):
             return self._aggregate_stream(plan)
+        if isinstance(plan, PruneNode):
+            return self._prune_stream(plan)
         if isinstance(plan, ProjectNode):
             return self._project_stream(plan)
         if isinstance(plan, SortNode):
@@ -479,6 +486,7 @@ class BatchExecutor:
                 SubqueryNode,
                 FilterNode,
                 ProjectNode,
+                PruneNode,
                 AggregateNode,
                 SortNode,
                 LimitNode,
@@ -791,6 +799,25 @@ class BatchExecutor:
 
         return joined_schema, generate()
 
+    def _prune_stream(self, node: PruneNode) -> tuple[Schema, Iterator[ColumnBatch]]:
+        """Optimizer-inserted narrowing: pass through only the kept columns.
+
+        Columns are shared by reference, so this costs one list pick per
+        batch — the savings materialize in the operators above (the hash
+        join gathers and the group-by representatives touch fewer columns).
+        """
+        child_schema, batches = self.stream(node.child)
+        indices = [child_schema.index_of(name) for name in node.columns]
+        schema = child_schema.project(node.columns)
+
+        def generate() -> Iterator[ColumnBatch]:
+            for batch in batches:
+                yield ColumnBatch(
+                    schema, [batch.columns[i] for i in indices], len(batch)
+                )
+
+        return schema, generate()
+
     def _project_stream(self, node: ProjectNode) -> tuple[Schema, Iterator[ColumnBatch]]:
         child_schema, batches = self.stream(node.child)
         first = next(batches, None)
@@ -866,19 +893,31 @@ class BatchExecutor:
                 groups_out.append(((), results, first_values))
         else:
             grouped_plan = self._vector_group_plan(node, child_schema, agg_items)
-            if grouped_plan is not None:
+            if grouped_plan is not None and getattr(
+                self._engine, "streaming_groupby", True
+            ):
+                groups_out, first_values = self._run_streaming_grouped(
+                    node, child_schema, batches, grouped_plan, agg_items
+                )
+            elif grouped_plan is not None:
+                # Legacy block path (``engine.streaming_groupby = False``):
+                # materialize the whole input as one columnar block.  Kept as
+                # the baseline the streaming benchmark measures against.
                 block = ColumnBatch.concat(child_schema, list(batches))
                 try:
                     groups_out, first_values = self._run_vector_grouped(
                         node, child_schema, block, grouped_plan
                     )
+                    self._record_groupby("block", len(block))
                 except _KernelUnsupported:
                     # e.g. int64 overflow risk in a SUM: replay the
                     # materialized block through the per-row accumulators.
                     groups_out, first_values = self._run_grouped_aggregates(
                         node, child_schema, iter([block]), agg_items
                     )
+                    self._record_groupby("block_degraded", len(block))
             else:
+                self._record_groupby("row", 0)
                 groups_out, first_values = self._run_grouped_aggregates(
                     node, child_schema, batches, agg_items
                 )
@@ -1170,6 +1209,116 @@ class BatchExecutor:
             groups_out.append(((), accumulators, representatives[g]))
         return groups_out, first_values
 
+    def _record_groupby(self, path: str, peak_rows: int) -> None:
+        """Report which grouped-aggregation path ran and its peak resident
+        rows to the engine (surfaced by the runtime's metrics snapshot)."""
+        record = getattr(self._engine, "record_groupby", None)
+        if record is not None:
+            record(path, peak_rows)
+
+    def _run_streaming_grouped(
+        self,
+        node: AggregateNode,
+        child_schema: Schema,
+        batches: Iterator[ColumnBatch],
+        plan: list[tuple[int, str, int | None]],
+        agg_items: list,
+    ) -> tuple[list[tuple[tuple, dict[int, Any], tuple | None]], tuple[Any, ...] | None]:
+        """Streaming two-pass group-by: encode per batch, merge partials.
+
+        Each batch's grouping keys are factorized locally and mapped through
+        a shared :class:`~repro.common.keycodes.IncrementalGroupEncoder`
+        dictionary, and its values fold into per-group accumulator arrays
+        (:class:`_StreamingGroupAggregator`) — so peak resident rows are
+        O(batch_size + groups) instead of the whole input, while per-group
+        accumulation order stays strictly sequential in row order (the
+        bit-for-bit parity contract with the row executor's accumulators).
+
+        Shapes the vector kernels cannot reproduce faithfully (NaN grouping
+        keys, NaN in MIN/MAX, int64 overflow risk) are detected *before* a
+        batch is folded in; the stream then degrades by seeding per-row
+        accumulators from the vectorized partial state and folding the
+        remaining rows through them — never re-reading consumed input.
+        """
+        key_indices = [child_schema.index_of(expr.name) for expr in node.group_by]
+        key_dtypes = [child_schema.columns[i].dtype for i in key_indices]
+        float_keys = [
+            i for i in key_indices if child_schema.columns[i].dtype is DataType.FLOAT
+        ]
+        encoder = IncrementalGroupEncoder(key_dtypes)
+        state = _StreamingGroupAggregator(plan, child_schema)
+        representatives: list[tuple[Any, ...]] = []
+        first_values: tuple[Any, ...] | None = None
+        peak = 0
+        iterator = iter(batches)
+        for batch in iterator:
+            n = len(batch)
+            if n == 0:
+                continue
+            columns = batch.columns
+            if first_values is None:
+                first_values = next(batch.value_rows())
+            try:
+                for index in float_keys:
+                    self._reject_nan(columns[index], "NaN grouping key")
+                prepared = state.prepare(columns, n)
+            except _KernelUnsupported:
+                groups_out = self._degrade_streaming(
+                    node,
+                    child_schema,
+                    agg_items,
+                    state,
+                    key_indices,
+                    representatives,
+                    itertools.chain([batch], iterator),
+                )
+                self._record_groupby("stream_degraded", peak)
+                return groups_out, first_values
+            codes, new_first_rows = encoder.encode_batch(
+                [columns[i] for i in key_indices]
+            )
+            for row in new_first_rows:
+                representatives.append(tuple(column[row] for column in columns))
+            state.accumulate(codes, prepared, encoder.group_count)
+            peak = max(peak, n + encoder.group_count)
+        per_item = state.results()
+        groups_out = [
+            ((), {i: per_item[i][g] for i, _name, _col in plan}, representatives[g])
+            for g in range(encoder.group_count)
+        ]
+        self._record_groupby("stream", peak)
+        return groups_out, first_values
+
+    def _degrade_streaming(
+        self,
+        node: AggregateNode,
+        child_schema: Schema,
+        agg_items: list,
+        state: "_StreamingGroupAggregator",
+        key_indices: list[int],
+        representatives: list[tuple[Any, ...]],
+        remaining: Iterator[ColumnBatch],
+    ) -> list[tuple[tuple, dict[int, Any], tuple | None]]:
+        """Hand a partially-streamed group-by over to the row accumulators.
+
+        The vectorized per-group state is loaded into freshly-made row
+        accumulators (every already-consumed row was folded in strictly
+        sequential order, so the seeded state is exactly what the row path
+        would hold at this point); the tripping batch and everything after
+        it then fold per row.
+        """
+        items_by_index = dict(agg_items)
+        groups: dict[tuple, dict[int, Any]] = {}
+        group_reprs: dict[tuple, tuple[Any, ...]] = {}
+        for code, repr_values in enumerate(representatives):
+            key = tuple(repr_values[i] for i in key_indices)
+            groups[key] = state.seeded_accumulators(code, items_by_index)
+            group_reprs[key] = repr_values
+        out, _first = self._fold_grouped_rows(
+            node, child_schema, remaining, agg_items, groups, group_reprs
+        )
+        return out
+
     def _run_grouped_aggregates(
         self,
         node: AggregateNode,
@@ -1177,13 +1326,26 @@ class BatchExecutor:
         batches: Iterator[ColumnBatch],
         agg_items: list,
     ) -> tuple[list[tuple[tuple, dict[int, Any], tuple | None]], tuple[Any, ...] | None]:
+        return self._fold_grouped_rows(node, child_schema, batches, agg_items)
+
+    def _fold_grouped_rows(
+        self,
+        node: AggregateNode,
+        child_schema: Schema,
+        batches: Iterator[ColumnBatch],
+        agg_items: list,
+        groups: dict[tuple, dict[int, Any]] | None = None,
+        group_reprs: dict[tuple, tuple[Any, ...]] | None = None,
+    ) -> tuple[list[tuple[tuple, dict[int, Any], tuple | None]], tuple[Any, ...] | None]:
         group_fns = [_compile_or_defer(expr, child_schema) for expr in node.group_by]
         agg_fns: dict[int, Any] = {}
         for i, item in agg_items:
             if item.expression is not None:
                 agg_fns[i] = _compile_or_defer(item.expression, child_schema)
-        groups: dict[tuple, dict[int, Any]] = {}
-        group_reprs: dict[tuple, tuple[Any, ...]] = {}
+        if groups is None:
+            groups = {}
+        if group_reprs is None:
+            group_reprs = {}
         first_values: tuple[Any, ...] | None = None
         for batch in batches:
             for values in batch.value_rows():
@@ -1285,3 +1447,232 @@ class BatchExecutor:
             except Exception:  # noqa: BLE001 - fall back to float, like the row path
                 return DataType.FLOAT
         return DataType.FLOAT
+
+
+class _StreamingGroupAggregator:
+    """Growable per-group accumulator arrays for the streaming group-by.
+
+    One instance serves one aggregation; arrays are indexed by the global
+    group codes handed out by the shared incremental key dictionary and
+    grow geometrically as new groups appear.  The merge discipline keeps
+    every per-group fold strictly sequential in row order:
+
+    * float SUM/AVG use a **seeded bincount** — the running totals ride
+      along as one leading entry per group, so ``np.bincount``'s
+      sequential C loop continues the exact ``((t + v1) + v2)...`` fold
+      the row accumulators perform (plain partial-sum merging would round
+      differently);
+    * integer SUM uses ``np.add.at`` (unbuffered, in input order) with a
+      conservative overflow guard that trips *before* a batch is folded;
+    * COUNT merges with plain bincount addition and MIN/MAX with segmented
+      reductions — both order-insensitive (NaN is rejected up front).
+    """
+
+    def __init__(
+        self, plan: list[tuple[int, str, int | None]], child_schema: Schema
+    ) -> None:
+        self._plan = plan
+        self._size = 0
+        self._cap = 0
+        self._state: dict[int, dict[str, Any]] = {}
+        for i, name, col in plan:
+            st: dict[str, Any] = {}
+            if name in ("count_star", "count"):
+                st["counts"] = np.zeros(0, dtype=np.int64)
+            else:
+                dtype = _KERNEL_DTYPES[child_schema.columns[col].dtype]
+                st["dtype"] = dtype
+                if name == "sum":
+                    st["float"] = dtype is np.float64
+                    st["acc"] = np.zeros(
+                        0, dtype=np.float64 if st["float"] else np.int64
+                    )
+                    st["sizes"] = np.zeros(0, dtype=np.int64)
+                    st["abs_max"] = 0
+                elif name == "avg":
+                    st["acc"] = np.zeros(0, dtype=np.float64)
+                    st["sizes"] = np.zeros(0, dtype=np.int64)
+                else:  # min / max
+                    st["vals"] = np.zeros(0, dtype=dtype)
+                    st["has"] = np.zeros(0, dtype=np.bool_)
+            self._state[i] = st
+
+    # ---------------------------------------------------------------- batches
+    def prepare(self, columns: list, n: int) -> list:
+        """Pack and vet one batch's aggregate inputs **before** any state
+        mutation, raising :class:`_KernelUnsupported` on shapes the vector
+        fold cannot reproduce faithfully (so the caller can still hand the
+        untouched batch to the row accumulators)."""
+        prepared: list[Any] = []
+        # Several aggregates over one column (count/sum/avg/max of `value`)
+        # share a single null-mask pass and a single packed array per batch.
+        present_cache: dict[int, np.ndarray] = {}
+        packed_cache: dict[int, np.ndarray] = {}
+        for i, name, col in self._plan:
+            if name == "count_star":
+                prepared.append(None)
+                continue
+            present = present_cache.get(col)
+            if present is None:
+                present = ~_null_mask_of(columns[col])
+                present_cache[col] = present
+            if name == "count":
+                prepared.append((present, None))
+                continue
+            st = self._state[i]
+            dtype = st["dtype"]
+            values = packed_cache.get(col)
+            if values is None:
+                try:
+                    values = np.fromiter(
+                        (0 if v is None else v for v in columns[col]),
+                        dtype,
+                        count=n,
+                    )
+                except (OverflowError, TypeError, ValueError) as exc:
+                    # e.g. Python ints beyond int64: only the row
+                    # accumulators' arbitrary precision is faithful.
+                    raise _KernelUnsupported(str(exc)) from exc
+                packed_cache[col] = values
+            if name in ("min", "max"):
+                if dtype is np.float64 and bool(np.isnan(values[present]).any()):
+                    # The row fold never replaces on NaN, making MIN/MAX
+                    # position-dependent; reductions cannot reproduce that.
+                    raise _KernelUnsupported("NaN in MIN/MAX column")
+                prepared.append((present, values))
+                continue
+            if name == "sum" and not st["float"]:
+                ints = values.astype(np.int64, copy=False)
+                peak = int(np.abs(ints[present]).max()) if present.any() else 0
+                if peak < 0 or (peak and st["abs_max"] + peak * n > 2**62):
+                    raise _KernelUnsupported("int64 overflow risk in SUM")
+                prepared.append((present, ints))
+                continue
+            prepared.append((present, values))
+        return prepared
+
+    def accumulate(self, codes: np.ndarray, prepared: list, group_count: int) -> None:
+        """Fold one prepared batch into the per-group state."""
+        self._ensure(group_count)
+        size = self._size
+        for (i, name, _col), payload in zip(self._plan, prepared):
+            st = self._state[i]
+            if name == "count_star":
+                st["counts"][:size] += np.bincount(codes, minlength=size)
+                continue
+            present, values = payload
+            sub = codes[present]
+            if name == "count":
+                st["counts"][:size] += np.bincount(sub, minlength=size)
+                continue
+            if name == "avg" or (name == "sum" and st.get("float")):
+                weights = values[present]
+                if weights.dtype != np.float64:
+                    weights = weights.astype(np.float64)
+                seeded_codes = np.concatenate(
+                    [np.arange(size, dtype=np.int64), sub]
+                )
+                seeded_weights = np.concatenate([st["acc"][:size], weights])
+                st["acc"][:size] = np.bincount(
+                    seeded_codes, weights=seeded_weights, minlength=size
+                )
+                st["sizes"][:size] += np.bincount(sub, minlength=size)
+                continue
+            if name == "sum":
+                np.add.at(st["acc"][:size], sub, values[present])
+                st["sizes"][:size] += np.bincount(sub, minlength=size)
+                if sub.size:
+                    st["abs_max"] = max(
+                        st["abs_max"], int(np.abs(st["acc"][:size]).max())
+                    )
+                continue
+            # min / max: per-batch segmented reduction, then an
+            # order-insensitive merge into the running extremes.
+            if not sub.size:
+                continue
+            vals = values[present]
+            order = np.argsort(sub, kind="stable")
+            seg_codes = sub[order]
+            seg_vals = vals[order]
+            seg_starts = np.flatnonzero(
+                np.concatenate(([True], seg_codes[1:] != seg_codes[:-1]))
+            )
+            reducer = np.minimum if name == "min" else np.maximum
+            reduced = reducer.reduceat(seg_vals, seg_starts)
+            idx = seg_codes[seg_starts]
+            current = st["vals"][idx]
+            merged = np.where(st["has"][idx], reducer(current, reduced), reduced)
+            st["vals"][idx] = merged
+            st["has"][idx] = True
+
+    def _ensure(self, group_count: int) -> None:
+        self._size = group_count
+        if group_count <= self._cap:
+            return
+        cap = max(64, self._cap * 2, group_count)
+        for st in self._state.values():
+            for key in ("counts", "acc", "sizes", "vals", "has"):
+                if key in st:
+                    old = st[key]
+                    grown = np.zeros(cap, dtype=old.dtype)
+                    grown[: len(old)] = old
+                    st[key] = grown
+        self._cap = cap
+
+    # ---------------------------------------------------------------- results
+    def results(self) -> dict[int, list[Any]]:
+        """Per-item result lists indexed by global group code (Python
+        scalars, matching the row accumulators' output types)."""
+        size = self._size
+        out: dict[int, list[Any]] = {}
+        for i, name, _col in self._plan:
+            st = self._state[i]
+            if name in ("count_star", "count"):
+                out[i] = st["counts"][:size].tolist()
+            elif name in ("sum", "avg"):
+                totals = st["acc"][:size].tolist()
+                sizes = st["sizes"][:size].tolist()
+                if name == "avg":
+                    out[i] = [
+                        None if count == 0 else total / count
+                        for total, count in zip(totals, sizes)
+                    ]
+                else:
+                    out[i] = [
+                        None if count == 0 else total
+                        for total, count in zip(totals, sizes)
+                    ]
+            else:
+                values = st["vals"][:size].tolist()
+                present = st["has"][:size].tolist()
+                out[i] = [
+                    value if has else None for value, has in zip(values, present)
+                ]
+        return out
+
+    def seeded_accumulators(self, code: int, items_by_index: dict) -> dict[int, Any]:
+        """Row accumulators pre-loaded with one group's vectorized state
+        (the degrade handoff: consumed rows were folded in row order, so
+        this state is bit-for-bit what the row path would hold)."""
+        accumulators: dict[int, Any] = {}
+        for i, name, _col in self._plan:
+            item = items_by_index[i]
+            accumulator = make_aggregate(
+                item.aggregate,
+                count_star=(item.expression is None),
+                distinct=item.distinct,
+            )
+            st = self._state[i]
+            if name in ("count_star", "count"):
+                accumulator.load(int(st["counts"][code]))
+            elif name == "sum":
+                if int(st["sizes"][code]):
+                    total = st["acc"][code]
+                    accumulator.load(float(total) if st["float"] else int(total))
+            elif name == "avg":
+                accumulator.load(float(st["acc"][code]), int(st["sizes"][code]))
+            else:
+                if bool(st["has"][code]):
+                    accumulator.load(st["vals"][code].item())
+            accumulators[i] = accumulator
+        return accumulators

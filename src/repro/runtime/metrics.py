@@ -96,6 +96,8 @@ class RuntimeMetrics:
         queue_depth: int | None = None,
         execution_modes: dict[str, int] | None = None,
         fallback_reasons: dict[str, int] | None = None,
+        columns_pruned: int | None = None,
+        groupby_paths: dict[str, int] | None = None,
     ) -> dict:
         """Everything a dashboard needs, as one dict.
 
@@ -105,6 +107,11 @@ class RuntimeMetrics:
         one snapshot.  ``fallback_reasons`` tallies batch-pipeline
         fallbacks to the row executor per reason (e.g. "non-equi join"),
         making the remaining scalar gaps visible from the same snapshot.
+        ``columns_pruned`` is the optimizer's running total of columns
+        dropped below joins/aggregates, and ``groupby_paths`` counts
+        grouped aggregations per execution path (streaming vs block vs
+        per-row) — together they make the statistics-driven optimizations
+        observable from the serving layer.
         """
         p50 = self.latency_percentile(50)
         p95 = self.latency_percentile(95)
@@ -130,4 +137,8 @@ class RuntimeMetrics:
             out["relational_execution_modes"] = dict(execution_modes)
         if fallback_reasons is not None:
             out["relational_fallback_reasons"] = dict(fallback_reasons)
+        if columns_pruned is not None:
+            out["relational_columns_pruned"] = columns_pruned
+        if groupby_paths is not None:
+            out["relational_groupby_paths"] = dict(groupby_paths)
         return out

@@ -117,6 +117,8 @@ class PolystoreRuntime:
                 queue_depth=self.admission.queue_depth(),
                 execution_modes=self.relational_execution_modes(),
                 fallback_reasons=self.relational_fallback_reasons(),
+                columns_pruned=self.relational_columns_pruned(),
+                groupby_paths=self.relational_groupby_paths(),
             ),
             "admission": self.admission.describe(),
             "cache": self.cache.describe(),
@@ -141,6 +143,23 @@ class PolystoreRuntime:
             if reasons:
                 for reason, count in reasons.items():
                     counts[reason] = counts.get(reason, 0) + count
+        return counts
+
+    def relational_columns_pruned(self) -> int:
+        """Columns the optimizer pruned below joins/aggregates, engine-wide."""
+        total = 0
+        for engine in self.bigdawg.catalog.engines():
+            total += getattr(engine, "columns_pruned", 0)
+        return total
+
+    def relational_groupby_paths(self) -> dict[str, int]:
+        """Grouped aggregations per path (stream/block/row), summed over engines."""
+        counts: dict[str, int] = {}
+        for engine in self.bigdawg.catalog.engines():
+            paths = getattr(engine, "groupby_paths", None)
+            if paths:
+                for path, count in paths.items():
+                    counts[path] = counts.get(path, 0) + count
         return counts
 
     def set_relational_execution_mode(self, mode: str) -> None:
