@@ -217,6 +217,37 @@ def encode_group_keys(
     )
 
 
+def partition_codes(codes: np.ndarray, num_partitions: int) -> list[np.ndarray]:
+    """Radix-partition dense int64 key codes into per-partition row indices.
+
+    Row ``i`` lands in partition ``codes[i] % num_partitions``; rows keep
+    their input order inside each partition, so per-partition processing in
+    partition-then-row order is deterministic regardless of which worker
+    handles which partition.  Rows with negative codes (:data:`NULL_CODE`)
+    belong to no partition and are excluded — join and group keys shard on
+    real key identity only.
+
+    Returns ``num_partitions`` int64 arrays of row indices.
+    """
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    codes = np.asarray(codes, dtype=np.int64)
+    if num_partitions == 1:
+        return [np.flatnonzero(codes >= 0).astype(np.int64, copy=False)]
+    # Negative codes go to a sentinel bucket past the last real partition
+    # (numpy's modulo maps -1 % k to k-1, which would leak NULLs into a
+    # real partition).
+    valid = codes >= 0
+    pids = np.where(valid, codes % num_partitions, num_partitions)
+    order = np.argsort(pids, kind="stable")
+    sorted_pids = pids[order]
+    bounds = np.searchsorted(sorted_pids, np.arange(num_partitions + 1))
+    return [
+        order[bounds[p] : bounds[p + 1]].astype(np.int64, copy=False)
+        for p in range(num_partitions)
+    ]
+
+
 class IncrementalGroupEncoder:
     """Shared group-key dictionary for the streaming two-pass group-by.
 

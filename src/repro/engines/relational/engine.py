@@ -18,6 +18,13 @@ from repro.common.errors import (
     ObjectNotFoundError,
 )
 from repro.common.expressions import compile_predicate
+from repro.common.parallel import (
+    PARALLELISM_AUTO,
+    TaskContext,
+    WorkerCredits,
+    partition_count_for,
+    resolve_parallelism,
+)
 from repro.common.schema import Column, Relation, Row, Schema, TableDefinition
 from repro.engines.base import (
     DEFAULT_CHUNK_ROWS,
@@ -27,7 +34,12 @@ from repro.engines.base import (
 )
 from repro.engines.relational.executor import Executor
 from repro.engines.relational.optimizer import Optimizer
-from repro.engines.relational.planner import LogicalPlan, Planner, TableStatisticsProvider
+from repro.engines.relational.planner import (
+    JoinNode,
+    LogicalPlan,
+    Planner,
+    TableStatisticsProvider,
+)
 from repro.engines.relational.statistics import StatisticsCatalog, TableStats
 from repro.engines.relational.vectorized import BatchExecutor
 from repro.engines.relational.sql.ast import (
@@ -101,6 +113,26 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         #: group-by reached — or the whole block size when the block path
         #: runs, which is exactly what the CI memory guard watches for.
         self.peak_groupby_resident_rows = 0
+        #: Intra-query worker count: ``"auto"`` (core count, capped) or an
+        #: explicit integer ≥ 1.  1 keeps the pipeline fully serial.
+        self._parallelism: int | str = PARALLELISM_AUTO
+        #: Fleet-wide extra-worker budget, installed by the runtime so one
+        #: big query cannot starve the many-client path (None standalone).
+        self.task_credits: WorkerCredits | None = None
+        #: Build-side memory budget in (estimated) bytes for hash joins;
+        #: None disables the budget.  Over budget, the join switches to the
+        #: radix-partitioned spill path instead of pinning the build block.
+        self.join_memory_budget: int | None = None
+        #: Fan-out of the spill path's radix partitioning (and its recursion).
+        self.join_spill_partitions = 8
+        #: Parallel-pipeline observability, surfaced by the runtime metrics:
+        #: scan morsels executed, build partitions spilled to disk, the
+        #: largest estimated resident build-side footprint, and columns
+        #: dropped from group-by representative rows.
+        self.morsels_executed = 0
+        self.partitions_spilled = 0
+        self.peak_build_bytes = 0
+        self.representative_columns_pruned = 0
 
     def record_fallback(self, reason: str) -> None:
         """Count one batch-pipeline fallback to the row executor."""
@@ -111,6 +143,23 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         self.groupby_paths[path] = self.groupby_paths.get(path, 0) + 1
         if peak_rows > self.peak_groupby_resident_rows:
             self.peak_groupby_resident_rows = peak_rows
+
+    def record_morsels(self, count: int) -> None:
+        """Count scan morsels (bounded ColumnBatches) emitted into pipelines."""
+        self.morsels_executed += count
+
+    def record_spill(self, partitions: int) -> None:
+        """Count join build partitions written to temp files."""
+        self.partitions_spilled += partitions
+
+    def record_build_bytes(self, nbytes: int) -> None:
+        """Track the largest estimated resident join build footprint."""
+        if nbytes > self.peak_build_bytes:
+            self.peak_build_bytes = nbytes
+
+    def record_representative_prune(self, count: int) -> None:
+        """Count columns dropped from group-by representative rows."""
+        self.representative_columns_pruned += count
 
     @property
     def execution_mode(self) -> str:
@@ -124,6 +173,39 @@ class RelationalEngine(Engine, TableStatisticsProvider):
                 f"execution_mode must be one of {EXECUTION_MODES}, got {mode!r}"
             )
         self._execution_mode = mode
+
+    @property
+    def parallelism(self) -> int | str:
+        """Intra-query workers: ``"auto"`` or an explicit integer ≥ 1."""
+        return self._parallelism
+
+    @parallelism.setter
+    def parallelism(self, value: int | str) -> None:
+        resolve_parallelism(value)  # validates
+        self._parallelism = value
+
+    def effective_parallelism(self) -> int:
+        """The concrete worker count ``parallelism`` resolves to right now."""
+        return resolve_parallelism(self._parallelism)
+
+    def task_context(self) -> TaskContext:
+        """A per-query :class:`TaskContext` honoring the parallelism knob.
+
+        When the runtime installed :attr:`task_credits`, extra workers are
+        borrowed non-blockingly from the fleet-wide budget and returned on
+        ``close()`` — under concurrent client load a query gets fewer (or
+        zero) extra workers and degrades toward serial execution.
+        """
+        workers = self.effective_parallelism()
+        if workers <= 1:
+            return TaskContext(1)
+        credits = self.task_credits
+        if credits is None:
+            return TaskContext(workers)
+        extra = credits.acquire_up_to(workers - 1)
+        if extra == 0:
+            return TaskContext(1)
+        return TaskContext(extra + 1, on_close=lambda: credits.release(extra))
 
     # ------------------------------------------------------------- Engine API
     @property
@@ -321,14 +403,43 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         stats_line = self._stats_line(tables)
         if stats_line:
             header = f"{header}\n{stats_line}"
+        workers = self.effective_parallelism()
+        header = (
+            f"{header}\nParallel(workers={workers}, "
+            f"partitions={partition_count_for(workers)})"
+        )
         if self._execution_mode == "vectorized":
 
             def annotate(node):
                 reason = BatchExecutor.fallback_reason(node)
-                return "[vectorized]" if reason is None else f"[row: {reason}]"
+                if reason is not None:
+                    return f"[row: {reason}]"
+                tag = "[vectorized]"
+                if isinstance(node, JoinNode) and self.join_memory_budget is not None:
+                    build = (
+                        node.left
+                        if node.join_type == "inner" and node.build_side != "right"
+                        else node.right
+                    )
+                    estimate = self.estimated_plan_bytes(build)
+                    if estimate is not None and estimate > self.join_memory_budget:
+                        tag = f"{tag} [spill]"
+                return tag
 
             return header + "\n" + plan.explain(annotate=annotate)
         return header + "\n" + plan.explain()
+
+    def estimated_plan_bytes(self, plan) -> int | None:
+        """Estimated materialized bytes of a plan subtree, or None if unknown.
+
+        Thin facade over the optimizer's cardinality model so the executor's
+        join memory budget can consult statistics without importing the
+        optimizer directly.
+        """
+        try:
+            return Optimizer(self)._estimate_bytes(plan)
+        except Exception:
+            return None
 
     def _stats_line(self, tables: list[str]) -> str | None:
         """The EXPLAIN ``Stats(...)`` line for the referenced base tables."""

@@ -307,7 +307,11 @@ class Executor:
         group_exprs = node.group_by
         groups: dict[tuple, dict[int, Any]] = {}
         group_rows: dict[tuple, Row] = {}
+        having_items = getattr(node, "having_items", [])
         agg_items = [(i, item) for i, item in enumerate(node.items) if item.aggregate]
+        agg_items += [
+            (len(node.items) + j, item) for j, item in enumerate(having_items)
+        ]
         for row in child:
             key = tuple(expr.evaluate(row) for expr in group_exprs)
             if key not in groups:
@@ -346,7 +350,7 @@ class Executor:
                 dtype = self._expression_type(item.expression, child)
                 columns.append(Column(item.output_name, dtype))
         schema = Schema(self._dedupe(columns))
-        having_schema = self._having_schema(schema, node.items)
+        having_schema = self._having_schema(schema, node.items, having_items)
         result = Relation(schema)
         for key, accumulators in groups.items():
             values: list[Any] = []
@@ -362,16 +366,24 @@ class Executor:
             out_row = Row(schema, tuple(values))
             if node.having is not None:
                 # HAVING may reference aggregate outputs either by alias or by
-                # their canonical rendering, e.g. "count(*)"; expose both.
-                having_row = Row(having_schema, tuple(values) + tuple(values))
+                # their canonical rendering, e.g. "count(*)"; expose both,
+                # then append HAVING-only aggregates (computed but not output).
+                having_values = tuple(
+                    accumulators[len(node.items) + j].result()
+                    for j in range(len(having_items))
+                )
+                having_row = Row(
+                    having_schema, tuple(values) + tuple(values) + having_values
+                )
                 if not evaluate_predicate(node.having, having_row):
                     continue
             result.rows.append(out_row)
         return result
 
     @staticmethod
-    def _having_schema(schema: Schema, items: list) -> Schema:
-        """Schema exposing output columns twice: under alias and canonical name."""
+    def _having_schema(schema: Schema, items: list, having_items: list = ()) -> Schema:
+        """Schema exposing output columns twice (alias and canonical name),
+        plus trailing columns for HAVING-only aggregates."""
         canonical = []
         used = {c.name.lower() for c in schema.columns}
         for i, item in enumerate(items):
@@ -384,6 +396,14 @@ class Executor:
                 name = f"__having_{i}__"
             used.add(name.lower())
             canonical.append(Column(name, schema.columns[min(i, len(schema.columns) - 1)].dtype))
+        for j, item in enumerate(having_items):
+            inner = "*" if item.expression is None else item.expression.to_sql()
+            name = f"{item.aggregate}({inner})"
+            if name.lower() in used:
+                name = f"__having_only_{j}__"
+            used.add(name.lower())
+            dtype = DataType.INTEGER if item.aggregate == "count" else DataType.FLOAT
+            canonical.append(Column(name, dtype))
         return Schema(list(schema.columns) + canonical)
 
     def _execute_sort(self, node: SortNode) -> Relation:

@@ -163,6 +163,10 @@ class Optimizer:
                     child_required |= referenced_refs(expr)
                 for item in node.items:
                     child_required |= referenced_refs(item.expression)
+                # HAVING-only aggregates are computed from synthesized items;
+                # their inputs must survive pruning like any SELECT aggregate.
+                for item in getattr(node, "having_items", []):
+                    child_required |= referenced_refs(item.expression)
                 # HAVING references aggregate outputs by canonical name
                 # ("count(*)"); those match no child column and fall away,
                 # while plain grouped-column references are kept.
@@ -190,8 +194,10 @@ class Optimizer:
         if isinstance(node, JoinNode):
             return self._optimize_join(node, required)
         if isinstance(node, SubqueryNode):
-            # The derived table's own SELECT list already bounds its output;
-            # optimize its interior as an independent root.
+            self._narrow_subquery(node, required)
+            # After (possibly) shrinking the derived table's SELECT list its
+            # interior optimizes as an independent root, so the narrowed
+            # projection propagates pushdown below it.
             node.plan = self._optimize(node.plan, None)
             return node
         if isinstance(node, PruneNode):  # pragma: no cover - defensive
@@ -244,6 +250,47 @@ class Optimizer:
         dropped = [c for c in columns if c not in kept]
         self._pruned += len(dropped)
         return PruneNode(columns=keep, pruned=dropped, child=child)
+
+    def _narrow_subquery(self, node: SubqueryNode, required: set[str] | None) -> None:
+        """Drop unreferenced items from a derived table's terminal SELECT list.
+
+        Safe only for a plain projection: DISTINCT compares whole output
+        rows, ``*`` output is unknowable at plan time, and duplicate output
+        names would renumber dedup suffixes — all three disable the rewrite.
+        ORDER BY wrappers above the projection may reference items the outer
+        query never reads, so their references are kept as well.
+        """
+        if required is None:
+            return
+        inner = node.plan
+        sort_refs: set[str] = set()
+        while isinstance(inner, (LimitNode, SortNode)):
+            if isinstance(inner, SortNode):
+                for order in inner.order_by:
+                    sort_refs |= referenced_refs(order.expression)
+            inner = inner.child
+        if not isinstance(inner, ProjectNode) or inner.distinct:
+            return
+        if any(item.star for item in inner.items):
+            return
+        names = [item.output_name for item in inner.items]
+        if len({n.lower() for n in names}) != len(names):
+            return
+        qualified = [f"{node.alias}.{n}" for n in names]
+        keep = {c.lower() for c in select_referenced(qualified, required)}
+        keep |= {
+            f"{node.alias}.{c}".lower()
+            for c in select_referenced(names, sort_refs)
+        }
+        kept_items = [
+            item for item, q in zip(inner.items, qualified) if q.lower() in keep
+        ]
+        if not kept_items:
+            kept_items = inner.items[:1]
+        if len(kept_items) >= len(inner.items):
+            return
+        self._pruned += len(inner.items) - len(kept_items)
+        inner.items = kept_items
 
     # ------------------------------------------------------- plan-side schemas
     def _node_columns(self, node: LogicalPlan) -> list[str] | None:

@@ -16,6 +16,7 @@ The resulting physical plan is executed by
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -29,6 +30,11 @@ from repro.common.expressions import (
     split_conjuncts,
 )
 from repro.engines.relational.sql.ast import SelectStatement, TableRef
+
+#: Canonical rendering of a HAVING-context aggregate reference, e.g.
+#: ``count(*)`` or ``sum(v + 1)`` (see the parser's aggregate-in-expression
+#: branch, which emits ``ColumnRef(f"{aggregate}({inner_sql})")``).
+_HAVING_AGGREGATE_RE = re.compile(r"^(count|sum|avg|min|max|stddev)\((.*)\)$", re.IGNORECASE)
 
 
 @dataclass
@@ -192,6 +198,11 @@ class AggregateNode(LogicalPlan):
     items: list = field(default_factory=list)  # list[SelectItem]
     having: Expression | None = None
     child: LogicalPlan = None  # type: ignore[assignment]
+    #: Aggregates that appear only in HAVING (e.g. ``HAVING count(*) > 2``
+    #: with no ``count(*)`` in the SELECT list).  The planner synthesizes
+    #: these so executors compute their accumulators alongside ``items``;
+    #: their values feed the HAVING predicate but never the output rows.
+    having_items: list = field(default_factory=list)  # list[SelectItem]
 
     def children(self) -> list[LogicalPlan]:
         return [self.child]
@@ -275,6 +286,7 @@ class Planner:
                 items=statement.items,
                 having=statement.having,
                 child=plan,
+                having_items=self._having_only_items(statement),
             )
         else:
             plan = ProjectNode(items=statement.items, child=plan, distinct=statement.distinct)
@@ -283,6 +295,48 @@ class Planner:
         if statement.limit is not None or statement.offset is not None:
             plan = LimitNode(limit=statement.limit, offset=statement.offset, child=plan)
         return plan
+
+    @staticmethod
+    def _having_only_items(statement: SelectStatement) -> list:
+        """Synthesize SelectItems for aggregates referenced only in HAVING.
+
+        HAVING-context aggregates parse to ``ColumnRef("count(*)")``-style
+        references; when no SELECT item exposes that canonical name the
+        executors would have nothing to evaluate it against.  Reconstruct
+        each uncovered aggregate as a SelectItem so accumulators get
+        computed for it too.
+        """
+        if statement.having is None:
+            return []
+        from repro.engines.relational.sql.ast import SelectItem
+        from repro.engines.relational.sql.parser import ParseError, parse_expression
+
+        covered: set[str] = set()
+        for item in statement.items:
+            if item.alias:
+                covered.add(item.alias.lower())
+            if item.aggregate:
+                covered.add(item.output_name.lower())
+                inner = "*" if item.expression is None else item.expression.to_sql()
+                covered.add(f"{item.aggregate}({inner})".lower())
+        extra: list = []
+        # referenced_columns() is a set; sort for a deterministic item order.
+        for ref in sorted(statement.having.referenced_columns()):
+            match = _HAVING_AGGREGATE_RE.match(ref)
+            if match is None or ref.lower() in covered:
+                continue
+            covered.add(ref.lower())
+            aggregate = match.group(1).lower()
+            inner_sql = match.group(2).strip()
+            if inner_sql == "*":
+                expression = None
+            else:
+                try:
+                    expression = parse_expression(inner_sql)
+                except ParseError:
+                    continue  # leave unparseable refs to error as before
+            extra.append(SelectItem(expression=expression, aggregate=aggregate))
+        return extra
 
     @staticmethod
     def _order_by_needs_source_columns(statement: SelectStatement) -> bool:

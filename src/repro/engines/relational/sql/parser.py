@@ -543,6 +543,23 @@ def parse_sql(text: str) -> Statement:
     return statement
 
 
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone scalar expression (no statement keywords).
+
+    Used by the planner to reconstruct the inner expression of a
+    HAVING-only aggregate reference such as ``sum(v + 1)`` from its
+    rendered SQL, since HAVING aggregates parse to plain column refs.
+    """
+    tokens = tokenize(text.strip())
+    parser = _Parser(tokens)
+    expression = parser.parse_expression()
+    if not parser.check(TokenType.EOF):
+        raise ParseError(
+            f"unexpected trailing input: {parser.current.value!r}", parser.current.position
+        )
+    return expression
+
+
 def parse_many(text: str) -> list[Statement]:
     """Parse a semicolon-separated script into a list of statements."""
     statements = []

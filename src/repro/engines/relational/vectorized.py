@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, SchemaError
 from repro.common.expressions import (
     BinaryOp,
     ColumnRef,
@@ -60,13 +60,16 @@ from repro.common.keycodes import (
     IncrementalGroupEncoder,
     JoinKeyTable,
     encode_group_keys,
+    partition_codes,
 )
+from repro.common.parallel import TaskContext, partition_count_for
 from repro.common.schema import Column, ColumnBatch, Relation, Row, Schema
 from repro.common.schema import object_view as _object_view
 from repro.common.types import DataType, infer_type
 from repro.engines.array.storage import _NUMPY_DTYPES as _ARRAY_ISLAND_DTYPES
 from repro.engines.relational.executor import _DUAL_SCHEMA, Executor
 from repro.engines.relational.functions import make_aggregate
+from repro.engines.relational.morsel import approx_batch_bytes, partitioned_spill_join
 from repro.engines.relational.planner import (
     AggregateNode,
     FilterNode,
@@ -430,6 +433,31 @@ class BatchExecutor:
         self._batch_rows = batch_rows
         self._row_executor = row_executor if row_executor is not None else Executor(engine)
 
+    # -------------------------------------------------------------- parallelism
+    def _task_context(self) -> TaskContext:
+        """Per-query task context from the engine (serial when absent)."""
+        factory = getattr(self._engine, "task_context", None)
+        if factory is not None:
+            return factory()
+        return TaskContext(1)
+
+    def _record_morsel(self) -> None:
+        record = getattr(self._engine, "record_morsels", None)
+        if record is not None:
+            record(1)
+
+    def _estimated_build_bytes(self, node: JoinNode) -> int | None:
+        """Statistics-based build-side size prediction (None without stats)."""
+        estimate = getattr(self._engine, "estimated_plan_bytes", None)
+        if estimate is None:
+            return None
+        build_child = (
+            node.left
+            if node.join_type == "inner" and node.build_side != "right"
+            else node.right
+        )
+        return estimate(build_child)
+
     # ------------------------------------------------------------------ public
     def execute(self, plan: LogicalPlan) -> Relation:
         schema, batches = self.stream(plan)
@@ -554,6 +582,7 @@ class BatchExecutor:
                 if predicate is not None:
                     batch = predicate(batch)
                 if len(batch):
+                    self._record_morsel()
                     yield batch
 
         return schema, generate()
@@ -583,12 +612,14 @@ class BatchExecutor:
                     if predicate is not None:
                         batch = predicate(batch)
                     if len(batch):
+                        self._record_morsel()
                         yield batch
             if pending:
                 batch = ColumnBatch.from_value_rows(schema, pending)
                 if predicate is not None:
                     batch = predicate(batch)
                 if len(batch):
+                    self._record_morsel()
                     yield batch
 
         return schema, generate()
@@ -655,29 +686,118 @@ class BatchExecutor:
         batch_rows = self._batch_rows
 
         def generate() -> Iterator[ColumnBatch]:
-            build_block = ColumnBatch.concat(build_schema, list(build_batches))
+            engine = self._engine
+            budget = getattr(engine, "join_memory_budget", None)
+            # ---------------------------------------------- memory budget gate
+            # Stream the build side watching the budget: a statistics-based
+            # prediction or a measured overrun hands the whole join (prefix
+            # batches already read + the rest of both streams) to the
+            # partitioned spill join, which never pins the full build side.
+            parts: list[ColumnBatch] = []
+            build_iter = iter(build_batches)
+            over_budget = False
+            approx = 0
+            if budget is not None:
+                predicted = self._estimated_build_bytes(node)
+                over_budget = predicted is not None and predicted > budget
+                if not over_budget:
+                    for part in build_iter:
+                        parts.append(part)
+                        approx += approx_batch_bytes(part)
+                        if approx > budget:
+                            over_budget = True
+                            break
+            else:
+                parts = list(build_iter)
+                approx = sum(approx_batch_bytes(part) for part in parts)
+            if over_budget:
+                spill_partitions = getattr(engine, "join_spill_partitions", 8)
+                yield from partitioned_spill_join(
+                    joined_schema=joined_schema,
+                    build_schema=build_schema,
+                    probe_schema=probe_schema,
+                    build_batches=itertools.chain(parts, build_iter),
+                    probe_batches=probe_batches,
+                    build_key_idx=build_key_idx,
+                    probe_key_idx=probe_key_idx,
+                    residual=residual,
+                    build_on_left=build_on_left,
+                    pad_probe=pad_probe,
+                    track_build=track_build,
+                    batch_rows=batch_rows,
+                    budget=budget,
+                    partitions=spill_partitions,
+                    engine=engine,
+                )
+                return
+            record_bytes = getattr(engine, "record_build_bytes", None)
+            if record_bytes is not None:
+                record_bytes(approx)
+            build_block = ColumnBatch.concat(build_schema, parts)
             table = JoinKeyTable(
                 [build_block.columns[i] for i in build_key_idx],
                 [build_schema.columns[i].dtype for i in build_key_idx],
                 [probe_schema.columns[i].dtype for i in probe_key_idx],
             )
             build_codes = table.build_codes
+            group_count = table.group_count
+            ctx = self._task_context()
             # CSR layout: build row ids grouped by code, original order kept
             # within each code so match order equals build insertion order.
-            order = np.argsort(build_codes, kind="stable")
-            sorted_codes = build_codes[order]
-            first_valid = int(np.searchsorted(sorted_codes, 0))
-            sorted_rows = order[first_valid:]
-            sorted_codes = sorted_codes[first_valid:]
-            starts = np.searchsorted(sorted_codes, np.arange(table.group_count))
-            counts = np.bincount(
-                sorted_codes, minlength=table.group_count
-            ).astype(np.int64)
+            if ctx.workers > 1 and group_count and len(build_block) >= 2048:
+                # Parallel build: each radix partition owns a disjoint set of
+                # codes, hence disjoint slices of the shared CSR arrays —
+                # scatter targets depend only on codes, never on scheduling.
+                valid = build_codes >= 0
+                counts = np.bincount(
+                    build_codes[valid], minlength=group_count
+                ).astype(np.int64)
+                starts = np.zeros(group_count, dtype=np.int64)
+                if group_count > 1:
+                    np.cumsum(counts[:-1], out=starts[1:])
+                sorted_rows = np.empty(int(counts.sum()), dtype=np.int64)
+                part_rows = partition_codes(
+                    build_codes, partition_count_for(ctx.workers)
+                )
+
+                def build_partition(rows_p: np.ndarray) -> None:
+                    if not rows_p.size:
+                        return
+                    codes_p = build_codes[rows_p]
+                    order_p = np.argsort(codes_p, kind="stable")
+                    cs = codes_p[order_p]
+                    seg_new = np.concatenate(([True], cs[1:] != cs[:-1]))
+                    seg_begin = np.flatnonzero(seg_new)
+                    seg_ids = np.cumsum(seg_new) - 1
+                    offsets = (
+                        np.arange(cs.size, dtype=np.int64) - seg_begin[seg_ids]
+                    )
+                    sorted_rows[starts[cs] + offsets] = rows_p[order_p]
+
+                ctx.run_all(
+                    [
+                        (lambda rows=rows: build_partition(rows))
+                        for rows in part_rows
+                    ]
+                )
+            else:
+                order = np.argsort(build_codes, kind="stable")
+                sorted_codes = build_codes[order]
+                first_valid = int(np.searchsorted(sorted_codes, 0))
+                sorted_rows = order[first_valid:]
+                sorted_codes = sorted_codes[first_valid:]
+                starts = np.searchsorted(sorted_codes, np.arange(group_count))
+                counts = np.bincount(
+                    sorted_codes, minlength=group_count
+                ).astype(np.int64)
             build_obj = [_object_view(col) for col in build_block.columns]
             build_matched = (
                 np.zeros(len(build_block), dtype=np.bool_) if track_build else None
             )
-            for batch in probe_batches:
+
+            def probe_one(
+                batch: ColumnBatch,
+            ) -> tuple[np.ndarray | None, ColumnBatch | None]:
                 length = len(batch)
                 pcodes = table.probe([batch.columns[i] for i in probe_key_idx])
                 hits = np.flatnonzero(pcodes >= 0)
@@ -716,8 +836,7 @@ class BatchExecutor:
                     build_rows = build_rows[keep]
                     cand_build = [col[keep] for col in cand_build]
                     cand_probe = [col[keep] for col in cand_probe]
-                if build_matched is not None and build_rows.size:
-                    build_matched[build_rows] = True
+                matched_rows = build_rows if track_build else None
                 pads = (
                     np.flatnonzero(np.bincount(probe_rep, minlength=length) == 0)
                     if pad_probe
@@ -725,7 +844,7 @@ class BatchExecutor:
                 )
                 out_len = int(probe_rep.size + pads.size)
                 if not out_len:
-                    continue
+                    return matched_rows, None
                 if cand_build is not None:
                     # Residual path: candidate columns are already gathered
                     # and keep-compressed — merge in the pads (if any) with
@@ -778,9 +897,26 @@ class BatchExecutor:
                 ordered_cols = (
                     build_cols + probe_cols if build_on_left else probe_cols + build_cols
                 )
-                yield ColumnBatch(
+                return matched_rows, ColumnBatch(
                     joined_schema, [col.tolist() for col in ordered_cols], out_len
                 )
+
+            try:
+                # Morsel-wise probe: the CSR table is read-only after build,
+                # so probe batches fan out to workers; results come back in
+                # input order (matched-bitmap updates applied here, in
+                # order) — output is byte-identical to the serial loop.
+                for matched_rows, out in ctx.map_ordered(probe_one, probe_batches):
+                    if (
+                        build_matched is not None
+                        and matched_rows is not None
+                        and matched_rows.size
+                    ):
+                        build_matched[matched_rows] = True
+                    if out is not None:
+                        yield out
+            finally:
+                ctx.close()
             if build_matched is not None:
                 unmatched = np.flatnonzero(~build_matched)
                 if unmatched.size:
@@ -883,9 +1019,15 @@ class BatchExecutor:
 
     def _aggregate_stream(self, node: AggregateNode) -> tuple[Schema, Iterator[ColumnBatch]]:
         child_schema, batches = self.stream(node.child)
+        having_items = getattr(node, "having_items", [])
         agg_items = [(i, item) for i, item in enumerate(node.items) if item.aggregate]
+        # HAVING-only aggregates get accumulators past the SELECT items'
+        # index range; their values feed the predicate, never the output.
+        extra_offset = len(node.items)
+        agg_items += [(extra_offset + j, item) for j, item in enumerate(having_items)]
         fast = self._fast_aggregate_plan(node, child_schema, agg_items)
         first_values: tuple[Any, ...] | None = None
+        rep_cols: list[int] | None = None
         if fast is not None:
             results, saw_rows, first_values = self._run_fast_aggregates(batches, fast)
             groups_out: list[tuple[tuple, dict[int, Any], tuple | None]] = []
@@ -893,11 +1035,17 @@ class BatchExecutor:
                 groups_out.append(((), results, first_values))
         else:
             grouped_plan = self._vector_group_plan(node, child_schema, agg_items)
+            if grouped_plan is not None:
+                rep_cols = self._representative_columns(node, child_schema)
+                if rep_cols is not None:
+                    prune = getattr(self._engine, "record_representative_prune", None)
+                    if prune is not None:
+                        prune(len(child_schema.columns) - len(rep_cols))
             if grouped_plan is not None and getattr(
                 self._engine, "streaming_groupby", True
             ):
                 groups_out, first_values = self._run_streaming_grouped(
-                    node, child_schema, batches, grouped_plan, agg_items
+                    node, child_schema, batches, grouped_plan, agg_items, rep_cols
                 )
             elif grouped_plan is not None:
                 # Legacy block path (``engine.streaming_groupby = False``):
@@ -906,14 +1054,14 @@ class BatchExecutor:
                 block = ColumnBatch.concat(child_schema, list(batches))
                 try:
                     groups_out, first_values = self._run_vector_grouped(
-                        node, child_schema, block, grouped_plan
+                        node, child_schema, block, grouped_plan, rep_cols
                     )
                     self._record_groupby("block", len(block))
                 except _KernelUnsupported:
                     # e.g. int64 overflow risk in a SUM: replay the
                     # materialized block through the per-row accumulators.
                     groups_out, first_values = self._run_grouped_aggregates(
-                        node, child_schema, iter([block]), agg_items
+                        node, child_schema, iter([block]), agg_items, rep_cols
                     )
                     self._record_groupby("block_degraded", len(block))
             else:
@@ -931,16 +1079,21 @@ class BatchExecutor:
                 dtype = self._expression_type(item.expression, child_schema, first_values)
                 columns.append(Column(item.output_name, dtype))
         schema = Schema(Executor._dedupe(columns))
-        having_schema = Executor._having_schema(schema, node.items)
+        having_schema = Executor._having_schema(schema, node.items, having_items)
         having = (
             _compile_predicate_or_defer(node.having, having_schema)
             if node.having is not None
             else None
         )
+        rep_schema = (
+            child_schema
+            if rep_cols is None
+            else Schema([child_schema.columns[i] for i in rep_cols])
+        )
         item_fns: dict[int, Any] = {}
         for i, item in enumerate(node.items):
             if not item.aggregate:
-                item_fns[i] = _compile_or_defer(item.expression, child_schema)
+                item_fns[i] = _compile_or_defer(item.expression, rep_schema)
 
         def generate() -> Iterator[ColumnBatch]:
             out_rows: list[tuple[Any, ...]] = []
@@ -955,13 +1108,53 @@ class BatchExecutor:
                     else:
                         values.append(item_fns[i](representative))
                 out = tuple(values)
-                if having is not None and not having(out + out):
-                    continue
+                if having is not None:
+                    extra: list[Any] = []
+                    for j in range(len(having_items)):
+                        result = accumulators[extra_offset + j]
+                        extra.append(
+                            result.result() if hasattr(result, "result") else result
+                        )
+                    if not having(out + out + tuple(extra)):
+                        continue
                 out_rows.append(out)
             if out_rows:
                 yield ColumnBatch.from_value_rows(schema, out_rows)
 
         return schema, generate()
+
+    @staticmethod
+    def _representative_columns(
+        node: AggregateNode, child_schema: Schema
+    ) -> list[int] | None:
+        """Column indices a group representative must retain, or None for all.
+
+        A grouped aggregation keeps one representative row per group only to
+        evaluate non-aggregate SELECT items; when those items (plus the
+        grouping keys) reference an unambiguous subset of the child columns,
+        storing just that subset bounds per-group memory by the referenced
+        width instead of the full row width.  Returns None (keep full rows)
+        when any reference fails to resolve — ambiguity and unknown-column
+        errors must surface exactly as they would on the full path.
+        """
+        needed: set[int] = set()
+        try:
+            for expr in node.group_by:
+                for ref in expr.referenced_columns():
+                    needed.add(child_schema.index_of(ref))
+            for item in node.items:
+                if item.aggregate:
+                    continue
+                if item.star or item.expression is None:
+                    return None
+                for ref in item.expression.referenced_columns():
+                    needed.add(child_schema.index_of(ref))
+        except SchemaError:
+            return None
+        cols = sorted(needed)
+        if len(cols) >= len(child_schema.columns):
+            return None
+        return cols
 
     def _fast_aggregate_plan(
         self, node: AggregateNode, child_schema: Schema, agg_items: list
@@ -1100,6 +1293,7 @@ class BatchExecutor:
         child_schema: Schema,
         block: ColumnBatch,
         plan: list[tuple[int, str, int | None]],
+        rep_cols: list[int] | None = None,
     ) -> tuple[list[tuple[tuple, dict[int, Any], tuple | None]], tuple[Any, ...] | None]:
         """Key-encoded group-by: one factorization, then segmented reductions.
 
@@ -1200,9 +1394,16 @@ class BatchExecutor:
                     ):
                         out[code] = value
                 per_item[i] = out
-        representatives = [
-            tuple(col[row] for col in columns) for row in encoding.first_rows.tolist()
-        ]
+        if rep_cols is None:
+            representatives = [
+                tuple(col[row] for col in columns)
+                for row in encoding.first_rows.tolist()
+            ]
+        else:
+            representatives = [
+                tuple(columns[i][row] for i in rep_cols)
+                for row in encoding.first_rows.tolist()
+            ]
         groups_out: list[tuple[tuple, dict[int, Any], tuple | None]] = []
         for g in range(group_count):
             accumulators = {i: per_item[i][g] for i, _name, _col in plan}
@@ -1223,6 +1424,7 @@ class BatchExecutor:
         batches: Iterator[ColumnBatch],
         plan: list[tuple[int, str, int | None]],
         agg_items: list,
+        rep_cols: list[int] | None = None,
     ) -> tuple[list[tuple[tuple, dict[int, Any], tuple | None]], tuple[Any, ...] | None]:
         """Streaming two-pass group-by: encode per batch, merge partials.
 
@@ -1246,47 +1448,65 @@ class BatchExecutor:
             i for i in key_indices if child_schema.columns[i].dtype is DataType.FLOAT
         ]
         encoder = IncrementalGroupEncoder(key_dtypes)
-        state = _StreamingGroupAggregator(plan, child_schema)
+        ctx = self._task_context()
+        partitions = partition_count_for(ctx.workers) if ctx.workers > 1 else 1
+        state: _StreamingGroupAggregator | _PartitionedGroupAggregator
+        if partitions > 1:
+            state = _PartitionedGroupAggregator(plan, child_schema, partitions, ctx)
+        else:
+            state = _StreamingGroupAggregator(plan, child_schema)
         representatives: list[tuple[Any, ...]] = []
         first_values: tuple[Any, ...] | None = None
         peak = 0
         iterator = iter(batches)
-        for batch in iterator:
-            n = len(batch)
-            if n == 0:
-                continue
-            columns = batch.columns
-            if first_values is None:
-                first_values = next(batch.value_rows())
-            try:
-                for index in float_keys:
-                    self._reject_nan(columns[index], "NaN grouping key")
-                prepared = state.prepare(columns, n)
-            except _KernelUnsupported:
-                groups_out = self._degrade_streaming(
-                    node,
-                    child_schema,
-                    agg_items,
-                    state,
-                    key_indices,
-                    representatives,
-                    itertools.chain([batch], iterator),
+        try:
+            for batch in iterator:
+                n = len(batch)
+                if n == 0:
+                    continue
+                columns = batch.columns
+                if first_values is None:
+                    first_values = next(batch.value_rows())
+                try:
+                    for index in float_keys:
+                        self._reject_nan(columns[index], "NaN grouping key")
+                    prepared = state.prepare(columns, n)
+                except _KernelUnsupported:
+                    groups_out = self._degrade_streaming(
+                        node,
+                        child_schema,
+                        agg_items,
+                        state,
+                        key_indices,
+                        representatives,
+                        itertools.chain([batch], iterator),
+                        rep_cols,
+                    )
+                    self._record_groupby("stream_degraded", peak)
+                    return groups_out, first_values
+                codes, new_first_rows = encoder.encode_batch(
+                    [columns[i] for i in key_indices]
                 )
-                self._record_groupby("stream_degraded", peak)
-                return groups_out, first_values
-            codes, new_first_rows = encoder.encode_batch(
-                [columns[i] for i in key_indices]
-            )
-            for row in new_first_rows:
-                representatives.append(tuple(column[row] for column in columns))
-            state.accumulate(codes, prepared, encoder.group_count)
-            peak = max(peak, n + encoder.group_count)
+                if rep_cols is None:
+                    for row in new_first_rows:
+                        representatives.append(
+                            tuple(column[row] for column in columns)
+                        )
+                else:
+                    for row in new_first_rows:
+                        representatives.append(
+                            tuple(columns[i][row] for i in rep_cols)
+                        )
+                state.accumulate(codes, prepared, encoder.group_count)
+                peak = max(peak, n + encoder.group_count)
+        finally:
+            ctx.close()
         per_item = state.results()
         groups_out = [
             ((), {i: per_item[i][g] for i, _name, _col in plan}, representatives[g])
             for g in range(encoder.group_count)
         ]
-        self._record_groupby("stream", peak)
+        self._record_groupby("stream_parallel" if partitions > 1 else "stream", peak)
         return groups_out, first_values
 
     def _degrade_streaming(
@@ -1294,10 +1514,11 @@ class BatchExecutor:
         node: AggregateNode,
         child_schema: Schema,
         agg_items: list,
-        state: "_StreamingGroupAggregator",
+        state: "_StreamingGroupAggregator | _PartitionedGroupAggregator",
         key_indices: list[int],
         representatives: list[tuple[Any, ...]],
         remaining: Iterator[ColumnBatch],
+        rep_cols: list[int] | None = None,
     ) -> list[tuple[tuple, dict[int, Any], tuple | None]]:
         """Hand a partially-streamed group-by over to the row accumulators.
 
@@ -1310,12 +1531,17 @@ class BatchExecutor:
         items_by_index = dict(agg_items)
         groups: dict[tuple, dict[int, Any]] = {}
         group_reprs: dict[tuple, tuple[Any, ...]] = {}
+        if rep_cols is None:
+            key_positions = key_indices
+        else:
+            positions = {col: pos for pos, col in enumerate(rep_cols)}
+            key_positions = [positions[i] for i in key_indices]
         for code, repr_values in enumerate(representatives):
-            key = tuple(repr_values[i] for i in key_indices)
+            key = tuple(repr_values[i] for i in key_positions)
             groups[key] = state.seeded_accumulators(code, items_by_index)
             group_reprs[key] = repr_values
         out, _first = self._fold_grouped_rows(
-            node, child_schema, remaining, agg_items, groups, group_reprs
+            node, child_schema, remaining, agg_items, groups, group_reprs, rep_cols
         )
         return out
 
@@ -1325,8 +1551,11 @@ class BatchExecutor:
         child_schema: Schema,
         batches: Iterator[ColumnBatch],
         agg_items: list,
+        rep_cols: list[int] | None = None,
     ) -> tuple[list[tuple[tuple, dict[int, Any], tuple | None]], tuple[Any, ...] | None]:
-        return self._fold_grouped_rows(node, child_schema, batches, agg_items)
+        return self._fold_grouped_rows(
+            node, child_schema, batches, agg_items, rep_cols=rep_cols
+        )
 
     def _fold_grouped_rows(
         self,
@@ -1336,6 +1565,7 @@ class BatchExecutor:
         agg_items: list,
         groups: dict[tuple, dict[int, Any]] | None = None,
         group_reprs: dict[tuple, tuple[Any, ...]] | None = None,
+        rep_cols: list[int] | None = None,
     ) -> tuple[list[tuple[tuple, dict[int, Any], tuple | None]], tuple[Any, ...] | None]:
         group_fns = [_compile_or_defer(expr, child_schema) for expr in node.group_by]
         agg_fns: dict[int, Any] = {}
@@ -1363,7 +1593,11 @@ class BatchExecutor:
                         for i, item in agg_items
                     }
                     groups[key] = accumulators
-                    group_reprs[key] = values
+                    group_reprs[key] = (
+                        values
+                        if rep_cols is None
+                        else tuple(values[i] for i in rep_cols)
+                    )
                 for i, item in agg_items:
                     value = 1 if item.expression is None else agg_fns[i](values)
                     accumulators[i].add(value)
@@ -1676,3 +1910,92 @@ class _StreamingGroupAggregator:
                     accumulator.load(st["vals"][code].item())
             accumulators[i] = accumulator
         return accumulators
+
+
+class _PartitionedGroupAggregator:
+    """K radix-partitioned streaming aggregators folded by parallel tasks.
+
+    Global group ``g`` lives in partition ``g % k`` under local code
+    ``g // k`` (locals stay dense and first-appearance ordered within each
+    partition).  Each batch dispatches one task per partition and
+    **barriers** before the next batch, so every partition folds batches in
+    stream order and each group's accumulation sequence — including the
+    seeded-bincount float folds — is bit-for-bit the serial aggregator's.
+    The outward interface (prepare/accumulate/results/seeded_accumulators)
+    matches :class:`_StreamingGroupAggregator` exactly.
+    """
+
+    def __init__(
+        self,
+        plan: list[tuple[int, str, int | None]],
+        child_schema: Schema,
+        partitions: int,
+        ctx: TaskContext,
+    ) -> None:
+        self._plan = plan
+        self._k = partitions
+        self._ctx = ctx
+        self._parts = [
+            _StreamingGroupAggregator(plan, child_schema) for _ in range(partitions)
+        ]
+        # Never accumulated into: used only to run ``prepare``'s vetting
+        # (dtype packing, NaN checks, the int-SUM overflow guard).
+        self._probe = _StreamingGroupAggregator(plan, child_schema)
+        self._group_count = 0
+
+    def prepare(self, columns: list, n: int) -> list:
+        # The overflow guard consults accumulated |acc| maxima; sync the
+        # probe's to the max across partitions — which IS the serial
+        # aggregator's abs_max (the global max over all groups) — so the
+        # guard trips on exactly the same batch as single-threaded mode.
+        for i, _name, _col in self._plan:
+            probe_state = self._probe._state[i]
+            if "abs_max" in probe_state:
+                probe_state["abs_max"] = max(
+                    part._state[i]["abs_max"] for part in self._parts
+                )
+        return self._probe.prepare(columns, n)
+
+    def accumulate(self, codes: np.ndarray, prepared: list, group_count: int) -> None:
+        self._group_count = group_count
+        k = self._k
+        part_rows = partition_codes(codes, k)
+
+        def make_task(p: int, rows: np.ndarray):
+            part = self._parts[p]
+            local_count = (group_count - p + k - 1) // k if group_count > p else 0
+
+            def task() -> None:
+                local_codes = codes[rows] // k
+                local_prepared: list[Any] = []
+                for payload in prepared:
+                    if payload is None:
+                        local_prepared.append(None)
+                    else:
+                        present, values = payload
+                        local_prepared.append(
+                            (
+                                present[rows],
+                                None if values is None else values[rows],
+                            )
+                        )
+                part.accumulate(local_codes, local_prepared, local_count)
+
+            return task
+
+        self._ctx.run_all([make_task(p, part_rows[p]) for p in range(k)])
+
+    def results(self) -> dict[int, list[Any]]:
+        part_results = [part.results() for part in self._parts]
+        k = self._k
+        out: dict[int, list[Any]] = {}
+        for i, _name, _col in self._plan:
+            out[i] = [
+                part_results[g % k][i][g // k] for g in range(self._group_count)
+            ]
+        return out
+
+    def seeded_accumulators(self, code: int, items_by_index: dict) -> dict[int, Any]:
+        return self._parts[code % self._k].seeded_accumulators(
+            code // self._k, items_by_index
+        )

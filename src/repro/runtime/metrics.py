@@ -98,6 +98,9 @@ class RuntimeMetrics:
         fallback_reasons: dict[str, int] | None = None,
         columns_pruned: int | None = None,
         groupby_paths: dict[str, int] | None = None,
+        morsels_executed: int | None = None,
+        partitions_spilled: int | None = None,
+        peak_build_bytes: int | None = None,
     ) -> dict:
         """Everything a dashboard needs, as one dict.
 
@@ -111,7 +114,11 @@ class RuntimeMetrics:
         dropped below joins/aggregates, and ``groupby_paths`` counts
         grouped aggregations per execution path (streaming vs block vs
         per-row) — together they make the statistics-driven optimizations
-        observable from the serving layer.
+        observable from the serving layer.  ``morsels_executed``,
+        ``partitions_spilled`` and ``peak_build_bytes`` surface the
+        morsel-parallel pipeline: scan batches dispatched, join build
+        partitions written to temp files under the memory budget, and the
+        largest resident build-side footprint any hash join pinned.
         """
         p50 = self.latency_percentile(50)
         p95 = self.latency_percentile(95)
@@ -141,4 +148,10 @@ class RuntimeMetrics:
             out["relational_columns_pruned"] = columns_pruned
         if groupby_paths is not None:
             out["relational_groupby_paths"] = dict(groupby_paths)
+        if morsels_executed is not None:
+            out["relational_morsels_executed"] = morsels_executed
+        if partitions_spilled is not None:
+            out["relational_partitions_spilled"] = partitions_spilled
+        if peak_build_bytes is not None:
+            out["relational_peak_build_bytes"] = peak_build_bytes
         return out

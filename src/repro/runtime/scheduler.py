@@ -33,6 +33,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Sequence
 
 from repro.common.errors import BigDawgError, ObjectNotFoundError, PlanningError
+from repro.common.parallel import WorkerCredits, resolve_parallelism
 from repro.common.schema import Relation
 from repro.core.bigdawg import BigDawg
 from repro.core.query.planner import BindingStep, CastStep, PlanExecution, QueryPlan
@@ -60,6 +61,7 @@ class PolystoreRuntime:
         cache_capacity: int = 256,
         engine_latency: float = 0.0,
         parallel_steps: bool = True,
+        parallelism: int | str = "auto",
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -72,6 +74,12 @@ class PolystoreRuntime:
         self.metrics = RuntimeMetrics()
         self.engine_latency = engine_latency
         self.parallel_steps = parallel_steps
+        # Intra-query morsel parallelism: every relational engine gets the
+        # knob plus one shared fleet-wide extra-worker budget, so a single
+        # big join cannot grab `workers x parallelism` threads under load.
+        self.parallelism = parallelism
+        self.task_credits = WorkerCredits(max(0, resolve_parallelism(parallelism) - 1) * workers)
+        self.set_relational_parallelism(parallelism)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="bigdawg-runtime"
         )
@@ -119,6 +127,9 @@ class PolystoreRuntime:
                 fallback_reasons=self.relational_fallback_reasons(),
                 columns_pruned=self.relational_columns_pruned(),
                 groupby_paths=self.relational_groupby_paths(),
+                morsels_executed=self.relational_morsels_executed(),
+                partitions_spilled=self.relational_partitions_spilled(),
+                peak_build_bytes=self.relational_peak_build_bytes(),
             ),
             "admission": self.admission.describe(),
             "cache": self.cache.describe(),
@@ -161,6 +172,41 @@ class PolystoreRuntime:
                 for path, count in paths.items():
                     counts[path] = counts.get(path, 0) + count
         return counts
+
+    def relational_morsels_executed(self) -> int:
+        """Scan morsels emitted into batch pipelines, summed over engines."""
+        total = 0
+        for engine in self.bigdawg.catalog.engines():
+            total += getattr(engine, "morsels_executed", 0)
+        return total
+
+    def relational_partitions_spilled(self) -> int:
+        """Join build partitions spilled to temp files, summed over engines."""
+        total = 0
+        for engine in self.bigdawg.catalog.engines():
+            total += getattr(engine, "partitions_spilled", 0)
+        return total
+
+    def relational_peak_build_bytes(self) -> int:
+        """Largest estimated resident join build footprint, engine-wide max."""
+        peak = 0
+        for engine in self.bigdawg.catalog.engines():
+            peak = max(peak, getattr(engine, "peak_build_bytes", 0))
+        return peak
+
+    def set_relational_parallelism(self, value: int | str) -> None:
+        """Set every relational engine's intra-query worker count.
+
+        Each engine keeps borrowing extra workers from the runtime's shared
+        :class:`WorkerCredits` budget, so raising the knob never lets the
+        deployment exceed ``workers x parallelism`` busy threads.
+        """
+        resolve_parallelism(value)  # validates before touching any engine
+        self.parallelism = value
+        for engine in self.bigdawg.catalog.engines():
+            if hasattr(engine, "task_credits"):
+                engine.parallelism = value
+                engine.task_credits = self.task_credits
 
     def set_relational_execution_mode(self, mode: str) -> None:
         """Flip every relational engine in the polystore to one executor path.
