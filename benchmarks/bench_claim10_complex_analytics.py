@@ -74,8 +74,11 @@ def test_claim10_summary(runner, bench_deployment, bench_onesize):
         ("FFT via row store", timed(lambda: bench_onesize.dominant_frequency(0))),
     ]
     print("\nCLAIM-10: complex analytics on the polystore")
+    from bench_recording import record_bench
+
     for label, seconds in rows:
         print(f"  {label:24s}: {seconds:.4f} s")
+        record_bench("claim10", label, seconds=seconds)
     array_fft = dict(rows)["FFT via array island"]
     row_fft = dict(rows)["FFT via row store"]
     # Shape: the same FFT is much cheaper against the array engine's dense

@@ -94,6 +94,14 @@ def test_claim11_throughput_scales_with_workers(deployment):
         print(f"workers={workers}: {elapsed:.3f}s, {qps:7.1f} q/s")
     speedup = qps_by_workers[8] / qps_by_workers[1]
     print(f"speedup 8 workers vs 1: {speedup:.2f}x")
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim11", "worker_sweep",
+        qps_by_workers={str(k): v for k, v in qps_by_workers.items()},
+        speedup_8_vs_1=speedup,
+        smoke=SMOKE,
+    )
     assert speedup >= 3.0, f"expected >=3x at 8 workers, got {speedup:.2f}x"
 
 
@@ -116,6 +124,15 @@ def test_claim11_cache_cuts_repeated_query_latency(deployment):
         assert runtime.cache.hits >= warm_runs
         print(f"cold={cold_seconds * 1e3:.2f}ms warm={warm_seconds * 1e3:.3f}ms "
               f"({cold_seconds / warm_seconds:.0f}x)")
+        from bench_recording import record_bench
+
+        record_bench(
+            "claim11", "result_cache",
+            cold_seconds=cold_seconds,
+            warm_seconds=warm_seconds,
+            speedup=cold_seconds / warm_seconds,
+            smoke=SMOKE,
+        )
         assert warm_seconds < cold_seconds / 2
 
         # A CAST invalidates: the next execution is a miss and recomputes.

@@ -148,6 +148,17 @@ def test_vectorized_speedup(engines, workload):
         f"\n[claim12:{workload}] rows={ROW_COUNT} vectorized={vec_seconds * 1000:.1f}ms "
         f"row={row_seconds * 1000:.1f}ms speedup={speedup:.1f}x (floor {FLOORS[workload]}x)"
     )
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim12", workload,
+        rows=ROW_COUNT,
+        vectorized_seconds=vec_seconds,
+        row_seconds=row_seconds,
+        speedup=speedup,
+        floor=FLOORS[workload],
+        smoke=SMOKE,
+    )
     assert speedup >= FLOORS[workload], (
         f"{workload}: vectorized must be >= {FLOORS[workload]}x faster, got {speedup:.2f}x"
     )
@@ -265,6 +276,18 @@ def test_wide_join_prunes_columns_and_speeds_up():
         f"gathered: {full_cols} -> {pruned_cols} columns | optimized={opt_seconds * 1000:.1f}ms "
         f"baseline={base_seconds * 1000:.1f}ms speedup={speedup:.2f}x (floor {WIDE_JOIN_FLOOR}x)"
     )
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim12", "join_wide",
+        rows=ROW_COUNT,
+        gathered_columns_baseline=full_cols,
+        gathered_columns_optimized=pruned_cols,
+        optimized_seconds=opt_seconds,
+        baseline_seconds=base_seconds,
+        speedup=speedup,
+        smoke=SMOKE,
+    )
     assert pruned_cols < full_cols, "join must gather fewer columns when optimized"
     assert pruned_cols <= 4, f"expected only key+payload columns, got {pruned_cols}"
     assert optimized.columns_pruned > 0
@@ -321,6 +344,19 @@ def test_streaming_groupby_bounds_peak_resident_rows():
         f"(bound {bound}) | stream={stream_seconds * 1000:.1f}ms "
         f"block={block_seconds * 1000:.1f}ms row={row_seconds * 1000:.1f}ms "
         f"speedup_vs_row={speedup:.1f}x"
+    )
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim12", "group_by_highcard",
+        rows=ROW_COUNT,
+        groups=HIGHCARD_GROUPS,
+        stream_seconds=stream_seconds,
+        block_seconds=block_seconds,
+        row_seconds=row_seconds,
+        peak_resident_rows=peak,
+        speedup_vs_row=speedup,
+        smoke=SMOKE,
     )
     assert peak <= bound, (
         f"streaming group-by peak resident rows {peak} exceeds O(batch+groups) "
@@ -386,6 +422,16 @@ def test_parallel_worker_sweep(workload):
         f"\n[claim12:{workload}] rows={ROW_COUNT} cores={os.cpu_count()} "
         f"{sweep} speedup_4w={speedup:.2f}x"
     )
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim12", workload,
+        rows=ROW_COUNT,
+        cores=os.cpu_count(),
+        seconds_by_workers={str(w): timings[w] for w in WORKER_SWEEP},
+        speedup_4_workers=speedup,
+        smoke=SMOKE,
+    )
     if not SMOKE and (os.cpu_count() or 1) >= 4:
         assert speedup >= PARALLEL_SPEEDUP_FLOOR, (
             f"{workload}: 4 workers must be >= {PARALLEL_SPEEDUP_FLOOR}x over "
@@ -419,4 +465,77 @@ def test_join_spill_budget_completes_and_matches():
         f"budget=512B spilled_partitions={budgeted.partitions_spilled} "
         f"peak_build_bytes={budgeted.peak_build_bytes} "
         f"spill={seconds * 1000:.1f}ms"
+    )
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim12", "join_spill",
+        rows=ROW_COUNT,
+        build_rows=BIG_DIM_COUNT,
+        budget_bytes=512,
+        spilled_partitions=budgeted.partitions_spilled,
+        peak_build_bytes=budgeted.peak_build_bytes,
+        spill_seconds=seconds,
+        smoke=SMOKE,
+    )
+
+
+# --------------------------------------------------------------------- ISSUE 7
+# Tracing overhead guard: the observability layer must stay cheap enough to
+# leave on.  The same mixed workload runs with the global tracer disabled and
+# enabled; enabled must stay within TRACING_OVERHEAD_CEILING of disabled.
+
+TRACING_OVERHEAD_CEILING = 1.3
+
+
+def test_tracing_overhead_bounded(engines):
+    """ISSUE-7 acceptance + CI guard: tracing every operator, morsel and
+    span stays within the overhead ceiling of the untraced run."""
+    from repro.observability.tracing import Tracer, get_tracer, set_tracer
+
+    engine = engines["vectorized"]
+    queries = [
+        WORKLOADS["filter_aggregate"],
+        WORKLOADS["group_by"],
+        WORKLOADS["join"],
+    ]
+
+    def run_all() -> float:
+        best = float("inf")
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            for query in queries:
+                engine.execute(query)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    previous = get_tracer()
+    baseline_seconds = run_all()
+    tracer = Tracer(enabled=True)
+    set_tracer(tracer)
+    try:
+        traced_seconds = run_all()
+    finally:
+        set_tracer(previous)
+    assert len(tracer) > 0, "the traced run collected no spans"
+    overhead = traced_seconds / baseline_seconds if baseline_seconds > 0 else 1.0
+    print(
+        f"\n[claim12:tracing_overhead] rows={ROW_COUNT} "
+        f"disabled={baseline_seconds * 1000:.1f}ms traced={traced_seconds * 1000:.1f}ms "
+        f"overhead={overhead:.2f}x (ceiling {TRACING_OVERHEAD_CEILING}x)"
+    )
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim12", "tracing_overhead",
+        rows=ROW_COUNT,
+        disabled_seconds=baseline_seconds,
+        traced_seconds=traced_seconds,
+        overhead=overhead,
+        spans=len(tracer),
+        smoke=SMOKE,
+    )
+    assert overhead <= TRACING_OVERHEAD_CEILING, (
+        f"tracing overhead {overhead:.2f}x exceeds the "
+        f"{TRACING_OVERHEAD_CEILING}x ceiling"
     )

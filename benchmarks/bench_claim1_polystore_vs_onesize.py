@@ -110,12 +110,20 @@ def test_claim1_speedup_summary(bench_deployment, bench_onesize):
             timed(lambda: bench_deployment.bigdawg.execute('TEXT(SEARCH notes FOR "very sick" MIN 3)')),
         ),
     ]
+    from bench_recording import record_bench
+
     print("\nCLAIM-1: specialized engines vs single relational store")
     print(f"{'workload class':38s} {'one-size (s)':>14s} {'polystore (s)':>14s} {'speedup':>9s}")
     specialized_wins = 0
     for label, baseline_seconds, polystore_seconds in rows:
         speedup = baseline_seconds / polystore_seconds if polystore_seconds > 0 else float("inf")
         print(f"{label:38s} {baseline_seconds:14.4f} {polystore_seconds:14.4f} {speedup:8.1f}x")
+        record_bench(
+            "claim1", label,
+            onesize_seconds=baseline_seconds,
+            polystore_seconds=polystore_seconds,
+            speedup=speedup,
+        )
         if label.startswith("sql"):
             continue  # SQL analytics is the baseline's home turf; no win expected
         if speedup > 1:

@@ -197,5 +197,13 @@ def test_claim2_summary():
     print(f"  file-based (CSV) : {csv_seconds:.4f} s, {csv_bytes:,} bytes")
     print(f"  binary direct    : {binary_seconds:.4f} s, {binary_bytes:,} bytes")
     print(f"  speedup          : {csv_seconds / binary_seconds:.2f}x")
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim2", "binary_vs_csv_20k_rows",
+        csv_seconds=csv_seconds, csv_bytes=csv_bytes,
+        binary_seconds=binary_seconds, binary_bytes=binary_bytes,
+        speedup=csv_seconds / binary_seconds,
+    )
     # Shape of the claim: the binary path is at least as fast as file-based export/import.
     assert binary_seconds <= csv_seconds * 1.1

@@ -81,6 +81,13 @@ def test_claim3_detection_latency_summary(bench_dataset, feed, reference):
     print(f"  tuple-at-a-time streaming engine : {streaming_latency * 1000:8.1f} ms")
     for interval, latency in batch_latencies.items():
         print(f"  micro-batch ({interval:.1f} s batches)      : {latency * 1000:8.1f} ms")
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim3", "detection_latency",
+        streaming_latency_s=streaming_latency,
+        microbatch_latency_s={str(k): v for k, v in batch_latencies.items()},
+    )
     # Shape: the streaming engine alerts within a few hundred ms of the anomaly,
     # micro-batching is bounded below by its batch interval and loses clearly.
     assert streaming_latency < 0.5

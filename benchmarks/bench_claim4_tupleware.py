@@ -68,6 +68,15 @@ def test_claim4_speedup_summary(engine):
     print(f"  compiled/fused (Tupleware)        : {compiled_seconds:.4f} s")
     print(f"  interpreted per-record (Hadoop-ish): {interpreted_seconds:.4f} s")
     print(f"  speedup                            : {speedup:.0f}x")
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim4", "compiled_vs_interpreted",
+        records=RECORDS,
+        compiled_seconds=compiled_seconds,
+        interpreted_seconds=interpreted_seconds,
+        speedup=speedup,
+    )
     assert compiled_report.result == pytest.approx(interpreted_report.result, rel=1e-9)
     # Shape of the claim: order-of-magnitude-plus advantage for compiled execution.
     assert speedup > 10

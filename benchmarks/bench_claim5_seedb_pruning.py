@@ -60,6 +60,17 @@ def test_claim5_summary(seedb):
           f"{exhaustive.full_evaluations} full evaluations")
     print(f"  top view (pruned)     : {pruned.views[0].candidate.label}")
     print(f"  top view (exhaustive) : {exhaustive.views[0].candidate.label}")
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim5", "pruned_vs_exhaustive",
+        candidates=pruned.candidates_considered,
+        pruned_seconds=pruned_seconds,
+        pruned_full_evaluations=pruned.full_evaluations,
+        exhaustive_seconds=exhaustive_seconds,
+        exhaustive_full_evaluations=exhaustive.full_evaluations,
+        speedup=exhaustive_seconds / pruned_seconds if pruned_seconds else None,
+    )
     # Shape: pruning evaluates far fewer views on the full data and is faster,
     # while the top recommendation survives.
     assert pruned.full_evaluations < exhaustive.full_evaluations

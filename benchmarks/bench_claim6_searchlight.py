@@ -50,6 +50,17 @@ def test_claim6_summary(searchlight):
           f"of {fast.windows_considered:,} windows, {len(fast.solutions)} solutions")
     print(f"  exhaustive      : {slow_seconds:.3f} s, validated {slow.windows_validated:,} "
           f"windows, {len(slow.solutions)} solutions")
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim6", "synopsis_vs_exhaustive",
+        synopsis_seconds=fast_seconds,
+        synopsis_windows_validated=fast.windows_validated,
+        exhaustive_seconds=slow_seconds,
+        exhaustive_windows_validated=slow.windows_validated,
+        solutions=len(fast.solutions),
+        speedup=slow_seconds / fast_seconds if fast_seconds else None,
+    )
     # Shape: identical answers, strictly less validation work with the synopsis.
     assert {(s.signal, s.start) for s in fast.solutions} == {(s.signal, s.start) for s in slow.solutions}
     assert fast.windows_validated <= slow.windows_validated

@@ -51,6 +51,16 @@ def test_claim7_summary(bench_deployment):
           f"prefetch hits {with_prefetch.prefetch_hits}")
     print(f"  without prefetch: hit rate {without_prefetch.hit_rate:.2f}, "
           f"mean gesture {without_prefetch.mean_gesture_seconds * 1000:.3f} ms")
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim7", "prefetch_vs_cold",
+        prefetch_hit_rate=with_prefetch.hit_rate,
+        prefetch_mean_gesture_s=with_prefetch.mean_gesture_seconds,
+        prefetch_hits=with_prefetch.prefetch_hits,
+        cold_hit_rate=without_prefetch.hit_rate,
+        cold_mean_gesture_s=without_prefetch.mean_gesture_seconds,
+    )
     # Shape: prefetching turns most gestures into cache hits.
     assert with_prefetch.hit_rate > without_prefetch.hit_rate
     assert with_prefetch.prefetch_hits > 0

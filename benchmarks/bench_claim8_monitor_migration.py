@@ -108,6 +108,16 @@ def test_claim8_migration_summary(bigdawg):
     print(f"  after migration  (scidb)      : {after_seconds:.4f} s per query")
     print(f"  measured speedup              : {before_seconds / after_seconds:.1f}x")
     print(f"  placement now                 : {bigdawg.catalog.locate('waveforms').engine_name}")
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim8", "workload_driven_migration",
+        query_class=recommendation.query_class,
+        before_seconds=before_seconds,
+        after_seconds=after_seconds,
+        speedup=before_seconds / after_seconds,
+        placement=bigdawg.catalog.locate("waveforms").engine_name,
+    )
     # Shape: the advisor moves the object and the dominant query gets much faster.
     assert bigdawg.catalog.locate("waveforms").engine_name == "scidb"
     assert before_seconds / after_seconds > 5

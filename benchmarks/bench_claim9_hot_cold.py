@@ -64,6 +64,15 @@ def test_claim9_summary(hot_cold):
     print(f"  tuples still hot in the stream : {hot_count:,}")
     print(f"  samples aged into the array    : {cold_count:,}")
     print(f"  combined series reconstruction : {combined.size:,} samples in {combine_seconds * 1000:.2f} ms")
+    from bench_recording import record_bench
+
+    record_bench(
+        "claim9", "hot_cold_coverage",
+        hot_tuples=hot_count,
+        cold_samples=cold_count,
+        combined_samples=int(combined.size),
+        combine_seconds=combine_seconds,
+    )
     # Shape: nothing is lost or duplicated across the hot/cold boundary, and the
     # combined view reproduces the original signal exactly.
     assert hot_count + cold_count == len(waveform.values)

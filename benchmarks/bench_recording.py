@@ -1,0 +1,60 @@
+"""Machine-readable benchmark results.
+
+Every ``bench_claim*`` module calls :func:`record_bench` from its summary
+test(s), so each run leaves a ``BENCH_<name>.json`` next to the human-readable
+stdout table — one JSON object mapping scenario names to their measured
+metrics (wall times, speedups, counters).  CI uploads these as artifacts;
+locally they land in ``benchmarks/results/`` (override with the
+``BENCH_RESULTS_DIR`` environment variable).
+
+Repeated calls for the same benchmark merge into one file, so a module with
+several summary tests accumulates all its scenarios; re-running a scenario
+overwrites its previous entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+_DEFAULT_DIR = Path(__file__).resolve().parent / "results"
+
+
+def results_dir() -> Path:
+    """Where ``BENCH_<name>.json`` files are written (created on demand)."""
+    configured = os.environ.get("BENCH_RESULTS_DIR")
+    return Path(configured) if configured else _DEFAULT_DIR
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def record_bench(name: str, scenario: str, **metrics: Any) -> Path:
+    """Merge one scenario's metrics into ``BENCH_<name>.json``.
+
+    Returns the path written.  Failures to serialize individual values fall
+    back to ``str`` so a benchmark never fails because of its reporting.
+    """
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    data: dict[str, Any] = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+    data[scenario] = _jsonable(metrics)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

@@ -23,6 +23,8 @@ from collections.abc import Callable, Iterable, Iterator
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from repro.observability.tracing import capture_context, with_context
+
 PARALLELISM_AUTO = "auto"
 _AUTO_CAP = 8
 
@@ -120,9 +122,13 @@ class TaskContext:
         pool = self._executor()
         window = self.workers * 2
         pending: deque = deque()
+        # Carry the submitter's trace context into the pool threads so
+        # morsel-level spans nest under the query's operator spans.  With
+        # tracing off the context is None and tasks run unwrapped.
+        ctx = capture_context()
         try:
             for item in items:
-                pending.append(pool.submit(fn, item))
+                pending.append(pool.submit(with_context, ctx, fn, item))
                 if len(pending) >= window:
                     yield pending.popleft().result()
             while pending:
@@ -142,7 +148,8 @@ class TaskContext:
         if self.workers <= 1 or len(thunks) <= 1:
             return [thunk() for thunk in thunks]
         pool = self._executor()
-        futures = [pool.submit(thunk) for thunk in thunks]
+        ctx = capture_context()
+        futures = [pool.submit(with_context, ctx, thunk) for thunk in thunks]
         return [future.result() for future in futures]
 
     # --------------------------------------------------------------- lifetime

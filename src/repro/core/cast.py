@@ -48,6 +48,7 @@ from repro.common.schema import Relation, Schema
 from repro.common.serialization import BinaryCodec, CsvCodec
 from repro.core.catalog import BigDawgCatalog
 from repro.engines.base import DEFAULT_CHUNK_ROWS
+from repro.observability.tracing import get_tracer
 
 
 @dataclass
@@ -159,16 +160,28 @@ class CastMigrator:
             raise CastError(f"chunk_size must be positive, got {size}")
         stats = _PipelineStats()
         started = time.perf_counter()
-        # One export_stream call: engines with native chunk support answer
-        # from metadata, and fallback engines export the relation only once.
-        schema, exported = source.export_stream(object_name, size)
-        if codec is None:
-            # Zero-copy fast path: every engine here shares the in-memory
-            # Relation representation, so chunks flow through unserialized.
-            decoded = self._count_rows(exported, stats)
-        else:
-            decoded = self._frame_pipeline(exported, schema, codec, method, use_tempfile, stats)
-        target.import_chunks(destination_name, schema, decoded, **import_options)
+        tracer = get_tracer()
+        with tracer.span(
+            "cast", kind="cast", object=object_name,
+            source=source.name, target=target.name, method=method,
+        ):
+            # One export_stream call: engines with native chunk support answer
+            # from metadata, and fallback engines export the relation only once.
+            schema, exported = source.export_stream(object_name, size)
+            if codec is None:
+                # Zero-copy fast path: every engine here shares the in-memory
+                # Relation representation, so chunks flow through unserialized.
+                decoded = self._count_rows(exported, stats)
+            elif tracer.enabled:
+                decoded = self._traced_frame_pipeline(
+                    exported, schema, codec, method, use_tempfile, stats, tracer
+                )
+            else:
+                decoded = self._frame_pipeline(
+                    exported, schema, codec, method, use_tempfile, stats
+                )
+            with tracer.span("cast.import", kind="cast", object=destination_name):
+                target.import_chunks(destination_name, schema, decoded, **import_options)
         elapsed = time.perf_counter() - started
         if drop_source:
             source.drop_object(object_name)
@@ -234,6 +247,59 @@ class CastMigrator:
             stats.bytes_moved += len(payload)
             stats.peak_chunk_bytes = max(stats.peak_chunk_bytes, len(payload))
             yield codec.decode(payload, schema)
+
+    def _traced_frame_pipeline(
+        self,
+        chunks: Iterator[Relation],
+        schema: Schema,
+        codec: BinaryCodec | CsvCodec,
+        method: str,
+        use_tempfile: bool,
+        stats: "_PipelineStats",
+        tracer: Any,
+    ) -> Iterator[Relation]:
+        """:meth:`_frame_pipeline` with one span per CAST stage per chunk.
+
+        Export time is the pull from the source iterator; import time is
+        the gap between yielding a decoded chunk and being resumed (the
+        consumer is ``import_chunks``).  Kept as a separate method so the
+        untraced pipeline stays branch-free.
+        """
+        source = iter(chunks)
+        index = 0
+        while True:
+            export_wall = time.time()
+            export_begin = time.perf_counter()
+            try:
+                chunk = next(source)
+            except StopIteration:
+                return
+            tracer.record(
+                "cast.export", start_s=export_wall,
+                duration_s=time.perf_counter() - export_begin,
+                kind="cast", chunk=index, rows=len(chunk),
+            )
+            with tracer.span("cast.encode", kind="cast", chunk=index) as span:
+                payload = codec.encode(chunk)
+                span.set("bytes", len(payload))
+            if method == "csv" and use_tempfile:
+                with tracer.span("cast.stage", kind="cast", chunk=index):
+                    payload = self._stage_through_tempfile(payload)
+            stats.rows += len(chunk)
+            stats.chunks += 1
+            stats.bytes_moved += len(payload)
+            stats.peak_chunk_bytes = max(stats.peak_chunk_bytes, len(payload))
+            with tracer.span("cast.decode", kind="cast", chunk=index):
+                decoded = codec.decode(payload, schema)
+            import_wall = time.time()
+            import_begin = time.perf_counter()
+            yield decoded
+            tracer.record(
+                "cast.import_chunk", start_s=import_wall,
+                duration_s=time.perf_counter() - import_begin,
+                kind="cast", chunk=index,
+            )
+            index += 1
 
     @staticmethod
     def _count_rows(chunks: Iterator[Relation], stats: "_PipelineStats") -> Iterator[Relation]:

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 from repro.common.errors import CastError, PlanningError
 from repro.common.schema import Relation
 from repro.core.query.language import CrossIslandQuery, ScopedQuery, parse_query
+from repro.observability.tracing import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.bigdawg import BigDawg
@@ -408,25 +409,28 @@ class PlanExecution:
     def run_step(self, index: int) -> None:
         step = self.plan.steps[index]
         started = time.perf_counter()
-        if isinstance(step, CastStep):
-            self._run_cast(index, step)
-        elif isinstance(step, BindingStep):
-            relation = self._bigdawg.island(step.scope.island).execute(
-                self._rewrite(step.scope.body_without_casts)
-            )
-            physical = self._renames[step.name.lower()]
-            self._bigdawg.materialize_temporary(physical, relation)
-            with self._lock:
-                self._materialized.append(physical)
-        elif isinstance(step, IslandQueryStep):
-            result = self._bigdawg.island(step.scope.island).execute(
-                self._rewrite(step.scope.body_without_casts)
-            )
-            with self._lock:
-                self._result = result
-                self._has_result = True
-        else:  # pragma: no cover - defensive
-            raise PlanningError(f"unknown plan step {type(step).__name__}")
+        with get_tracer().span(
+            f"step.{type(step).__name__}", kind="step", step=step.describe()
+        ):
+            if isinstance(step, CastStep):
+                self._run_cast(index, step)
+            elif isinstance(step, BindingStep):
+                relation = self._bigdawg.island(step.scope.island).execute(
+                    self._rewrite(step.scope.body_without_casts)
+                )
+                physical = self._renames[step.name.lower()]
+                self._bigdawg.materialize_temporary(physical, relation)
+                with self._lock:
+                    self._materialized.append(physical)
+            elif isinstance(step, IslandQueryStep):
+                result = self._bigdawg.island(step.scope.island).execute(
+                    self._rewrite(step.scope.body_without_casts)
+                )
+                with self._lock:
+                    self._result = result
+                    self._has_result = True
+            else:  # pragma: no cover - defensive
+                raise PlanningError(f"unknown plan step {type(step).__name__}")
         self.plan.timings[f"{index + 1}. {step.describe()}"] = time.perf_counter() - started
 
     def _run_cast(self, index: int, step: CastStep) -> None:

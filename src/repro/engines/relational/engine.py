@@ -10,6 +10,7 @@ Usage::
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.common.errors import (
@@ -34,6 +35,7 @@ from repro.engines.base import (
 )
 from repro.engines.relational.executor import Executor
 from repro.engines.relational.optimizer import Optimizer
+from repro.observability.profile import PlanProfiler, SlowQueryLog
 from repro.engines.relational.planner import (
     JoinNode,
     LogicalPlan,
@@ -133,6 +135,9 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         self.partitions_spilled = 0
         self.peak_build_bytes = 0
         self.representative_columns_pruned = 0
+        #: SELECTs slower than ``slow_queries.threshold_s`` are logged here
+        #: with their SQL and wall time (free until a threshold is set).
+        self.slow_queries = SlowQueryLog()
 
     def record_fallback(self, reason: str) -> None:
         """Count one batch-pipeline fallback to the row executor."""
@@ -331,6 +336,14 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         row count; SELECT returns its result set.
         """
         statement = parse_sql(sql)
+        if self.slow_queries.enabled and isinstance(statement, SelectStatement):
+            started = time.perf_counter()
+            result = self.execute_statement(statement)
+            self.slow_queries.observe(
+                sql, time.perf_counter() - started,
+                engine=self.name, mode=self._execution_mode,
+            )
+            return result
         return self.execute_statement(statement)
 
     def execute_statement(self, statement: Statement) -> Relation:
@@ -381,7 +394,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
             self.columns_pruned += result.columns_pruned
         return result.plan
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, analyze: bool = False) -> str:
         """Return the optimized plan for a SELECT statement as indented text.
 
         The first line reports the engine's execution mode and the second a
@@ -390,6 +403,12 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         every operator is tagged ``[vectorized]`` or — when it falls back to
         the row executor — ``[row: <reason>]``; optimizer-inserted prunes
         render as ``Project(kept...) [pruned: a,b,c]``.
+
+        With ``analyze=True`` the query is actually executed and every
+        operator is additionally annotated with its estimated vs. actual
+        row count, batch count and wall time — ``(estimated=N rows,
+        actual=M rows, batches=B, time=X.XXXms)`` — followed by a
+        ``Total(...)`` footer, in the spirit of ``EXPLAIN ANALYZE``.
         """
         statement = parse_sql(sql)
         if not isinstance(statement, SelectStatement):
@@ -408,26 +427,72 @@ class RelationalEngine(Engine, TableStatisticsProvider):
             f"{header}\nParallel(workers={workers}, "
             f"partitions={partition_count_for(workers)})"
         )
-        if self._execution_mode == "vectorized":
+        profiler: PlanProfiler | None = None
+        total_s: float | None = None
+        result_rows: int | None = None
+        if analyze:
+            profiler = PlanProfiler(plan, estimator=self.estimated_plan_rows)
+            mode = self._execution_mode
+            self._batch_executor.profiler = profiler
+            self._executor.profiler = profiler
+            started = time.perf_counter()
+            try:
+                if mode == "vectorized":
+                    result = self._batch_executor.execute(plan)
+                else:
+                    result = self._executor.execute(plan)
+            finally:
+                self._batch_executor.profiler = None
+                self._executor.profiler = None
+            total_s = time.perf_counter() - started
+            result_rows = len(result.rows)
+            self.queries_executed += 1
+            self.executions_by_mode[mode] += 1
 
-            def annotate(node):
+        def annotate(node):
+            parts: list[str] = []
+            if self._execution_mode == "vectorized":
                 reason = BatchExecutor.fallback_reason(node)
                 if reason is not None:
-                    return f"[row: {reason}]"
-                tag = "[vectorized]"
-                if isinstance(node, JoinNode) and self.join_memory_budget is not None:
-                    build = (
-                        node.left
-                        if node.join_type == "inner" and node.build_side != "right"
-                        else node.right
-                    )
-                    estimate = self.estimated_plan_bytes(build)
-                    if estimate is not None and estimate > self.join_memory_budget:
-                        tag = f"{tag} [spill]"
-                return tag
+                    parts.append(f"[row: {reason}]")
+                else:
+                    tag = "[vectorized]"
+                    if isinstance(node, JoinNode) and self.join_memory_budget is not None:
+                        build = (
+                            node.left
+                            if node.join_type == "inner" and node.build_side != "right"
+                            else node.right
+                        )
+                        estimate = self.estimated_plan_bytes(build)
+                        if estimate is not None and estimate > self.join_memory_budget:
+                            tag = f"{tag} [spill]"
+                    parts.append(tag)
+            if profiler is not None:
+                parts.append(profiler.annotation(node))
+            return " ".join(parts)
 
-            return header + "\n" + plan.explain(annotate=annotate)
-        return header + "\n" + plan.explain()
+        if self._execution_mode == "vectorized" or profiler is not None:
+            text = header + "\n" + plan.explain(annotate=annotate)
+        else:
+            text = header + "\n" + plan.explain()
+        if total_s is not None:
+            text = (
+                f"{text.rstrip()}\n"
+                f"Total(rows={result_rows}, time={total_s * 1000:.3f}ms)\n"
+            )
+        return text
+
+    def estimated_plan_rows(self, plan) -> int | None:
+        """Estimated output row count of a plan subtree, or None if unknown.
+
+        Same facade pattern as :meth:`estimated_plan_bytes` — EXPLAIN
+        ANALYZE uses it to print estimated vs. actual cardinality per
+        operator without importing the optimizer.
+        """
+        try:
+            return Optimizer(self)._estimate_rows(plan)
+        except Exception:
+            return None
 
     def estimated_plan_bytes(self, plan) -> int | None:
         """Estimated materialized bytes of a plan subtree, or None if unknown.

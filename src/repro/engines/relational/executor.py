@@ -8,6 +8,7 @@ index scans touch only matching rows, hash joins build on the smaller side.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import ExecutionError
@@ -42,8 +43,26 @@ class Executor:
 
     def __init__(self, engine: "RelationalEngine") -> None:
         self._engine = engine
+        #: Installed by ``RelationalEngine.explain(analyze=True)`` for the
+        #: duration of one query; None skips profiling entirely.
+        self.profiler = None
 
     def execute(self, plan: LogicalPlan) -> Relation:
+        profiler = self.profiler
+        if profiler is None:
+            return self._dispatch(plan)
+        entry = profiler.entry(plan)
+        if entry is None:
+            return self._dispatch(plan)
+        # Inclusive time: the row executor materializes bottom-up, so each
+        # node's elapsed time covers its whole subtree (children record
+        # their own smaller inclusive totals as the recursion returns).
+        started = time.perf_counter()
+        relation = self._dispatch(plan)
+        entry.record(len(relation.rows), time.perf_counter() - started, mode="row")
+        return relation
+
+    def _dispatch(self, plan: LogicalPlan) -> Relation:
         if isinstance(plan, ScanNode):
             return self._execute_scan(plan)
         if isinstance(plan, IndexScanNode):

@@ -31,6 +31,7 @@ import numpy as np
 from repro.common.keycodes import partition_codes
 from repro.common.schema import ColumnBatch, Schema
 from repro.common.schema import object_view as _object_view
+from repro.observability.tracing import get_tracer
 
 #: Recursion floor: partitions smaller than this join in memory even when
 #: their estimate still exceeds the budget (they cannot shrink much further).
@@ -297,6 +298,7 @@ def partitioned_spill_join(
 
     # ---------------------------------------------------- per-partition joining
     def process(build_run: SpillRun, probe_run: SpillRun, depth: int) -> None:
+        tracer = get_tracer()
         try:
             if (
                 budget is not None
@@ -304,9 +306,17 @@ def partitioned_spill_join(
                 and depth < _MAX_RECURSE_DEPTH
                 and len(build_run) > _MIN_RECURSE_ROWS
             ):
-                _recurse(build_run, probe_run, depth)
+                with tracer.span(
+                    "join.spill_repartition", kind="operator",
+                    depth=depth, build_rows=len(build_run),
+                ):
+                    _recurse(build_run, probe_run, depth)
                 return
-            _process_leaf(build_run, probe_run)
+            with tracer.span(
+                "join.spill_leaf", kind="operator", depth=depth,
+                build_rows=len(build_run), probe_rows=len(probe_run),
+            ):
+                _process_leaf(build_run, probe_run)
         finally:
             build_run.close()
             probe_run.close()

@@ -83,6 +83,8 @@ from repro.engines.relational.planner import (
     SortNode,
     SubqueryNode,
 )
+from repro.observability.profile import observe_stream
+from repro.observability.tracing import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engines.relational.engine import RelationalEngine
@@ -432,6 +434,9 @@ class BatchExecutor:
         self._engine = engine
         self._batch_rows = batch_rows
         self._row_executor = row_executor if row_executor is not None else Executor(engine)
+        #: Installed by ``RelationalEngine.explain(analyze=True)`` for the
+        #: duration of one query; None keeps the pipeline unobserved.
+        self.profiler = None
 
     # -------------------------------------------------------------- parallelism
     def _task_context(self) -> TaskContext:
@@ -468,7 +473,21 @@ class BatchExecutor:
         return relation
 
     def stream(self, plan: LogicalPlan) -> tuple[Schema, Iterator[ColumnBatch]]:
-        """Output schema plus a bounded-batch iterator for a plan subtree."""
+        """Output schema plus a bounded-batch iterator for a plan subtree.
+
+        When a :class:`~repro.observability.profile.PlanProfiler` is
+        installed (EXPLAIN ANALYZE) or the global tracer is enabled, the
+        iterator is wrapped to account per-operator rows/batches/time;
+        otherwise the pipeline is returned untouched.
+        """
+        schema, batches = self._stream_impl(plan)
+        profiler = self.profiler
+        tracer = get_tracer()
+        if profiler is not None or tracer.enabled:
+            batches = observe_stream(plan, batches, profiler, tracer)
+        return schema, batches
+
+    def _stream_impl(self, plan: LogicalPlan) -> tuple[Schema, Iterator[ColumnBatch]]:
         if isinstance(plan, ScanNode):
             return self._scan_stream(plan)
         if isinstance(plan, IndexScanNode):
@@ -901,12 +920,22 @@ class BatchExecutor:
                     joined_schema, [col.tolist() for col in ordered_cols], out_len
                 )
 
+            probe_task = probe_one
+            tracer = get_tracer()
+            if tracer.enabled:
+
+                def probe_task(batch: ColumnBatch):
+                    with tracer.span(
+                        "join.probe_morsel", kind="operator", rows=len(batch)
+                    ):
+                        return probe_one(batch)
+
             try:
                 # Morsel-wise probe: the CSR table is read-only after build,
                 # so probe batches fan out to workers; results come back in
                 # input order (matched-bitmap updates applied here, in
                 # order) — output is byte-identical to the serial loop.
-                for matched_rows, out in ctx.map_ordered(probe_one, probe_batches):
+                for matched_rows, out in ctx.map_ordered(probe_task, probe_batches):
                     if (
                         build_matched is not None
                         and matched_rows is not None

@@ -1,0 +1,54 @@
+"""Observability: query tracing, typed metrics, per-operator profiling.
+
+Four pieces, used together or separately:
+
+* :mod:`~repro.observability.tracing` — ``Tracer``/``Span`` with ambient
+  thread-local context that survives the runtime's worker pools.
+* :mod:`~repro.observability.registry` — a typed metric registry
+  (counters, gauges, histograms) behind one namespaced snapshot.
+* :mod:`~repro.observability.profile` — per-operator rows/batches/time
+  profiling (EXPLAIN ANALYZE) and the slow-query log.
+* :mod:`~repro.observability.export` — Chrome trace-event JSON export and
+  a text tree renderer for collected spans.
+"""
+
+from repro.observability.export import render_tree, to_chrome_trace, write_chrome_trace
+from repro.observability.profile import (
+    OperatorProfile,
+    PlanProfiler,
+    SlowQueryLog,
+    observe_stream,
+)
+from repro.observability.registry import Counter, Gauge, Histogram, MetricRegistry
+from repro.observability.tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    capture_context,
+    current_span,
+    get_tracer,
+    set_tracer,
+    with_context,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "OperatorProfile",
+    "PlanProfiler",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "capture_context",
+    "current_span",
+    "get_tracer",
+    "observe_stream",
+    "render_tree",
+    "set_tracer",
+    "to_chrome_trace",
+    "with_context",
+    "write_chrome_trace",
+]

@@ -26,9 +26,19 @@ class AdmissionTimeout(BigDawgError):
 
 
 class EngineGate:
-    """Bounded concurrent slots for one engine, with a FIFO wait queue."""
+    """Bounded concurrent slots for one engine, with a FIFO wait queue.
 
-    def __init__(self, engine_name: str, slots: int) -> None:
+    Besides the admission counters, the gate separates the two timings the
+    tail-latency story needs: *queue-wait* (seconds a ticket was blocked
+    before admission — recorded by :meth:`acquire` and reported through
+    ``on_wait``) and *hold* (seconds the admitted step kept its slot, i.e.
+    execution — recorded by the admission controller via
+    :meth:`record_hold`).  End-to-end latency alone cannot distinguish an
+    overloaded gate from a slow engine; these two can.
+    """
+
+    def __init__(self, engine_name: str, slots: int,
+                 on_wait: "callable | None" = None) -> None:
         if slots <= 0:
             raise ValueError(f"slots must be positive, got {slots}")
         self.engine_name = engine_name
@@ -36,16 +46,23 @@ class EngineGate:
         self._condition = threading.Condition()
         self._queue: deque[object] = deque()
         self._in_use = 0
+        self._on_wait = on_wait
         # Counters for the metrics surface.
         self.admitted = 0
         self.timed_out = 0
         self.peak_waiting = 0
+        self.wait_seconds_total = 0.0
+        self.held_seconds_total = 0.0
 
     # ----------------------------------------------------------------- slots
-    def acquire(self, timeout: float | None = None) -> None:
-        """Wait (FIFO) for a slot; raise :class:`AdmissionTimeout` on timeout."""
+    def acquire(self, timeout: float | None = None) -> float:
+        """Wait (FIFO) for a slot; raise :class:`AdmissionTimeout` on timeout.
+
+        Returns the seconds spent queued before admission.
+        """
         ticket = object()
-        deadline = None if timeout is None else time.monotonic() + timeout
+        entered = time.monotonic()
+        deadline = None if timeout is None else entered + timeout
         with self._condition:
             self._queue.append(ticket)
             self.peak_waiting = max(self.peak_waiting, len(self._queue))
@@ -54,6 +71,7 @@ class EngineGate:
                 if remaining is not None and remaining <= 0:
                     self._queue.remove(ticket)
                     self.timed_out += 1
+                    self.wait_seconds_total += time.monotonic() - entered
                     # Our departure may unblock the ticket behind us.
                     self._condition.notify_all()
                     raise AdmissionTimeout(
@@ -64,8 +82,13 @@ class EngineGate:
             self._queue.popleft()
             self._in_use += 1
             self.admitted += 1
+            waited = time.monotonic() - entered
+            self.wait_seconds_total += waited
             # The new queue head may also be admittable (multiple slots).
             self._condition.notify_all()
+        if self._on_wait is not None:
+            self._on_wait(waited)
+        return waited
 
     def release(self) -> None:
         with self._condition:
@@ -73,6 +96,11 @@ class EngineGate:
                 raise RuntimeError(f"engine gate {self.engine_name!r} released more than acquired")
             self._in_use -= 1
             self._condition.notify_all()
+
+    def record_hold(self, seconds: float) -> None:
+        """Account seconds one admitted step held a slot (execution time)."""
+        with self._condition:
+            self.held_seconds_total += seconds
 
     # ----------------------------------------------------------------- status
     @property
@@ -95,6 +123,8 @@ class EngineGate:
                 "admitted": self.admitted,
                 "timed_out": self.timed_out,
                 "peak_waiting": self.peak_waiting,
+                "wait_seconds_total": round(self.wait_seconds_total, 6),
+                "held_seconds_total": round(self.held_seconds_total, 6),
             }
 
 
@@ -113,6 +143,10 @@ class AdmissionController:
             raise ValueError(f"slots_per_engine must be positive, got {slots_per_engine}")
         self.slots_per_engine = slots_per_engine
         self.timeout = timeout
+        #: Optional callable receiving each gate's queue-wait seconds — the
+        #: runtime points this at ``RuntimeMetrics.record_queue_wait`` so
+        #: backpressure shows up in the registry's histogram.
+        self.wait_sink = None
         self._overrides = {name.lower(): count for name, count in (slots or {}).items()}
         self._gates: dict[str, EngineGate] = {}
         self._lock = threading.Lock()
@@ -122,9 +156,15 @@ class AdmissionController:
         with self._lock:
             if key not in self._gates:
                 self._gates[key] = EngineGate(
-                    key, self._overrides.get(key, self.slots_per_engine)
+                    key, self._overrides.get(key, self.slots_per_engine),
+                    on_wait=self._record_wait,
                 )
             return self._gates[key]
+
+    def _record_wait(self, seconds: float) -> None:
+        sink = self.wait_sink
+        if sink is not None:
+            sink(seconds)
 
     @contextmanager
     def admit(self, engine_names: Iterable[str],
@@ -133,14 +173,19 @@ class AdmissionController:
         effective = self.timeout if timeout is None else timeout
         ordered = sorted({name.lower() for name in engine_names})
         acquired: list[EngineGate] = []
+        held_from: float | None = None
         try:
             for name in ordered:
                 gate = self.gate(name)
                 gate.acquire(effective)
                 acquired.append(gate)
+            held_from = time.monotonic()
             yield
         finally:
+            held = 0.0 if held_from is None else time.monotonic() - held_from
             for gate in reversed(acquired):
+                if held_from is not None:
+                    gate.record_hold(held)
                 gate.release()
 
     # ----------------------------------------------------------------- status
@@ -149,6 +194,18 @@ class AdmissionController:
         with self._lock:
             gates = list(self._gates.values())
         return sum(gate.waiting for gate in gates)
+
+    def queue_wait_seconds(self) -> float:
+        """Total seconds spent queued across all gates, ever."""
+        with self._lock:
+            gates = list(self._gates.values())
+        return sum(gate.wait_seconds_total for gate in gates)
+
+    def held_seconds(self) -> float:
+        """Total slot-hold (execution) seconds across all gates, ever."""
+        with self._lock:
+            gates = list(self._gates.values())
+        return sum(gate.held_seconds_total for gate in gates)
 
     def describe(self) -> dict:
         with self._lock:

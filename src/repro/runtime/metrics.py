@@ -1,10 +1,17 @@
-"""Runtime counters: throughput, latency percentiles, queue depth, cache hits.
+"""Runtime counters: throughput, latency percentiles, queue wait, cache hits.
 
 :class:`RuntimeMetrics` is the one place the serving layer's health is
 visible.  The scheduler records every submission and completion here; the
-snapshot combines them with the admission controller's queue depth and the
-cache's hit rate into a single dict a dashboard (or a benchmark assertion)
-can read.  The same completions are forwarded to the
+snapshot combines them with everything registered in the attached
+:class:`~repro.observability.registry.MetricRegistry` — per-engine executor
+counters, admission queue depth, queue-wait histograms — into a single dict
+a dashboard (or a benchmark assertion) can read.  Components *register*
+their metrics instead of the snapshot call growing a kwarg per counter: the
+scheduler installs computed gauges for the relational executor tallies, the
+admission controller feeds the queue-wait histogram, and any engine can add
+its own namespaced entries through :attr:`registry`.
+
+The same completions are forwarded to the
 :class:`~repro.core.monitor.ExecutionMonitor`, so the
 :class:`~repro.core.monitor.MigrationAdvisor` learns engine preferences from
 live production traffic rather than only from offline probes.
@@ -17,13 +24,20 @@ import threading
 import time
 from collections import deque
 
+from repro.observability.registry import MetricRegistry
+
+#: Default sliding window (seconds) for :meth:`RuntimeMetrics.windowed_throughput`.
+DEFAULT_THROUGHPUT_WINDOW_S = 30.0
+
 
 class RuntimeMetrics:
-    """Thread-safe counters plus a bounded latency window for percentiles."""
+    """Thread-safe counters plus bounded windows for percentiles/throughput."""
 
-    def __init__(self, window: int = 4096) -> None:
+    def __init__(self, window: int = 4096, registry: MetricRegistry | None = None) -> None:
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=window)
+        #: Completion timestamps (``perf_counter``) for windowed throughput.
+        self._completions: deque[float] = deque(maxlen=window)
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -32,6 +46,15 @@ class RuntimeMetrics:
         self.casts_skipped = 0
         self._first_submit: float | None = None
         self._last_complete: float | None = None
+        #: Start of the resettable measurement window (see :meth:`reset_window`).
+        self._window_start: float | None = None
+        #: The uniform metric surface: components register counters, gauges
+        #: and histograms here and :meth:`snapshot` flattens all of them.
+        self.registry = registry if registry is not None else MetricRegistry()
+        #: Queue-wait observations (seconds spent blocked in admission gates
+        #: before execution), kept separate from end-to-end latency so
+        #: backpressure is visible on its own axis.
+        self._queue_wait = self.registry.histogram("queue_wait_s", window=window)
 
     # --------------------------------------------------------------- recording
     def record_submitted(self) -> None:
@@ -48,7 +71,9 @@ class RuntimeMetrics:
             else:
                 self.cache_misses += 1
             self._latencies.append(seconds)
-            self._last_complete = time.perf_counter()
+            now = time.perf_counter()
+            self._last_complete = now
+            self._completions.append(now)
 
     def record_failed(self) -> None:
         with self._lock:
@@ -58,6 +83,10 @@ class RuntimeMetrics:
         if count:
             with self._lock:
                 self.casts_skipped += count
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """One admission-gate wait (seconds blocked before a slot opened)."""
+        self._queue_wait.observe(seconds)
 
     # -------------------------------------------------------------- statistics
     def latency_percentile(self, percentile: float) -> float | None:
@@ -75,7 +104,11 @@ class RuntimeMetrics:
         return samples[lower] * (1 - fraction) + samples[upper] * fraction
 
     def throughput(self) -> float:
-        """Completed queries per second of wall time, 0.0 before any complete."""
+        """Completed queries per second since the *first submission ever*.
+
+        Long-lived runtimes see this decay across idle gaps; use
+        :meth:`windowed_throughput` for the recent rate.
+        """
         with self._lock:
             if self._first_submit is None or self._last_complete is None:
                 return 0.0
@@ -85,40 +118,54 @@ class RuntimeMetrics:
             return float(completed)
         return completed / elapsed
 
+    def windowed_throughput(
+        self, window_seconds: float = DEFAULT_THROUGHPUT_WINDOW_S
+    ) -> float:
+        """Completed queries per second over the trailing window.
+
+        The window never reaches past the start of the current measurement
+        window (a :meth:`reset_window` call, else the first submission), so
+        a young runtime is not under-reported by dividing through idle time
+        it never lived.
+        """
+        now = time.perf_counter()
+        with self._lock:
+            origin = self._window_start
+            if origin is None:
+                origin = self._first_submit
+            if origin is None and self._completions:
+                # Completions recorded without record_submitted (bare-metrics
+                # callers): measure from the first completion instead.
+                origin = self._completions[0]
+            if origin is None:
+                return 0.0
+            span = min(window_seconds, now - origin)
+            if span <= 0:
+                return 0.0
+            cutoff = now - span
+            count = sum(1 for stamp in self._completions if stamp >= cutoff)
+        return count / span
+
+    def reset_window(self) -> None:
+        """Restart the windowed measurements (throughput window and stamps)."""
+        with self._lock:
+            self._completions.clear()
+            self._window_start = time.perf_counter()
+
     @property
     def cache_hit_rate(self) -> float:
         with self._lock:
             total = self.cache_hits + self.cache_misses
             return self.cache_hits / total if total else 0.0
 
-    def snapshot(
-        self,
-        queue_depth: int | None = None,
-        execution_modes: dict[str, int] | None = None,
-        fallback_reasons: dict[str, int] | None = None,
-        columns_pruned: int | None = None,
-        groupby_paths: dict[str, int] | None = None,
-        morsels_executed: int | None = None,
-        partitions_spilled: int | None = None,
-        peak_build_bytes: int | None = None,
-    ) -> dict:
+    def snapshot(self, queue_depth: int | None = None) -> dict:
         """Everything a dashboard needs, as one dict.
 
-        ``execution_modes`` is the scheduler-supplied tally of relational
-        SELECTs per executor path (vectorized vs row), so a benchmark
-        comparing the two modes can read both throughput and path mix from
-        one snapshot.  ``fallback_reasons`` tallies batch-pipeline
-        fallbacks to the row executor per reason (e.g. "non-equi join"),
-        making the remaining scalar gaps visible from the same snapshot.
-        ``columns_pruned`` is the optimizer's running total of columns
-        dropped below joins/aggregates, and ``groupby_paths`` counts
-        grouped aggregations per execution path (streaming vs block vs
-        per-row) — together they make the statistics-driven optimizations
-        observable from the serving layer.  ``morsels_executed``,
-        ``partitions_spilled`` and ``peak_build_bytes`` surface the
-        morsel-parallel pipeline: scan batches dispatched, join build
-        partitions written to temp files under the memory budget, and the
-        largest resident build-side footprint any hash join pinned.
+        The core serving counters come first; everything registered in
+        :attr:`registry` (engine executor tallies, admission wait
+        histograms, queue depth gauges, ...) is flattened on top under its
+        registered name.  ``queue_depth`` may still be passed explicitly by
+        callers holding a bare ``RuntimeMetrics`` without a wired registry.
         """
         p50 = self.latency_percentile(50)
         p95 = self.latency_percentile(95)
@@ -135,23 +182,11 @@ class RuntimeMetrics:
             }
         out["cache_hit_rate"] = round(self.cache_hit_rate, 4)
         out["throughput_qps"] = round(self.throughput(), 2)
+        out["throughput_recent_qps"] = round(self.windowed_throughput(), 2)
         out["latency_p50_s"] = p50
         out["latency_p95_s"] = p95
         out["latency_p99_s"] = p99
+        out.update(self.registry.snapshot())
         if queue_depth is not None:
             out["queue_depth"] = queue_depth
-        if execution_modes is not None:
-            out["relational_execution_modes"] = dict(execution_modes)
-        if fallback_reasons is not None:
-            out["relational_fallback_reasons"] = dict(fallback_reasons)
-        if columns_pruned is not None:
-            out["relational_columns_pruned"] = columns_pruned
-        if groupby_paths is not None:
-            out["relational_groupby_paths"] = dict(groupby_paths)
-        if morsels_executed is not None:
-            out["relational_morsels_executed"] = morsels_executed
-        if partitions_spilled is not None:
-            out["relational_partitions_spilled"] = partitions_spilled
-        if peak_build_bytes is not None:
-            out["relational_peak_build_bytes"] = peak_build_bytes
         return out

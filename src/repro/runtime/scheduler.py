@@ -30,6 +30,7 @@ import re
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import ExitStack
 from typing import Sequence
 
 from repro.common.errors import BigDawgError, ObjectNotFoundError, PlanningError
@@ -37,11 +38,19 @@ from repro.common.parallel import WorkerCredits, resolve_parallelism
 from repro.common.schema import Relation
 from repro.core.bigdawg import BigDawg
 from repro.core.query.planner import BindingStep, CastStep, PlanExecution, QueryPlan
+from repro.observability.profile import SlowQueryLog
+from repro.observability.tracing import capture_context, get_tracer, with_context
 from repro.runtime.admission import AdmissionController
 from repro.runtime.cache import ResultCache
 from repro.runtime.metrics import RuntimeMetrics
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _span_text(query: str, limit: int = 200) -> str:
+    """Query text trimmed for span attributes (traces stay bounded)."""
+    text = " ".join(query.split())
+    return text if len(text) <= limit else text[: limit - 3] + "..."
 
 #: Process-wide session ids: several runtimes may serve one polystore, and
 #: session-scoped temp names (``name__s<id>``) must never collide across them.
@@ -72,6 +81,38 @@ class PolystoreRuntime:
         )
         self.cache = ResultCache(bigdawg.catalog, capacity=cache_capacity)
         self.metrics = RuntimeMetrics()
+        #: Queries slower than ``slow_queries.threshold_s`` land here (off
+        #: until a threshold is set).
+        self.slow_queries = SlowQueryLog()
+        # Queue-wait flows from the gates into the metrics histogram, and
+        # every aggregated engine counter becomes a computed gauge in the
+        # registry — one uniform snapshot instead of per-counter kwargs.
+        self.admission.wait_sink = self.metrics.record_queue_wait
+        registry = self.metrics.registry
+        registry.register_gauge("queue_depth", self.admission.queue_depth)
+        registry.register_gauge(
+            "admission_wait_s_total", lambda: round(self.admission.queue_wait_seconds(), 6)
+        )
+        registry.register_gauge(
+            "admission_held_s_total", lambda: round(self.admission.held_seconds(), 6)
+        )
+        registry.register_gauge(
+            "relational_execution_modes", self.relational_execution_modes
+        )
+        registry.register_gauge(
+            "relational_fallback_reasons", self.relational_fallback_reasons
+        )
+        registry.register_gauge("relational_columns_pruned", self.relational_columns_pruned)
+        registry.register_gauge("relational_groupby_paths", self.relational_groupby_paths)
+        registry.register_gauge(
+            "relational_morsels_executed", self.relational_morsels_executed
+        )
+        registry.register_gauge(
+            "relational_partitions_spilled", self.relational_partitions_spilled
+        )
+        registry.register_gauge(
+            "relational_peak_build_bytes", self.relational_peak_build_bytes
+        )
         self.engine_latency = engine_latency
         self.parallel_steps = parallel_steps
         # Intra-query morsel parallelism: every relational engine gets the
@@ -92,7 +133,12 @@ class PolystoreRuntime:
         if self._closed:
             raise RuntimeError("runtime has been shut down")
         self.metrics.record_submitted()
-        return self._pool.submit(self._run, query, cast_method, chunk_size, use_cache)
+        # When tracing, remember the enqueue instant so the worker can emit
+        # a "queued" span for the time spent waiting for a pool thread.
+        queued_at = time.time() if get_tracer().enabled else None
+        return self._pool.submit(
+            self._run, query, cast_method, chunk_size, use_cache, queued_at
+        )
 
     def execute(self, query: str, cast_method: str = "binary",
                 chunk_size: int | None = None, use_cache: bool = True) -> Relation:
@@ -121,16 +167,9 @@ class PolystoreRuntime:
     def describe(self) -> dict:
         return {
             "workers": self.workers,
-            "metrics": self.metrics.snapshot(
-                queue_depth=self.admission.queue_depth(),
-                execution_modes=self.relational_execution_modes(),
-                fallback_reasons=self.relational_fallback_reasons(),
-                columns_pruned=self.relational_columns_pruned(),
-                groupby_paths=self.relational_groupby_paths(),
-                morsels_executed=self.relational_morsels_executed(),
-                partitions_spilled=self.relational_partitions_spilled(),
-                peak_build_bytes=self.relational_peak_build_bytes(),
-            ),
+            # Every engine/admission counter is a registered metric now, so
+            # the bare snapshot carries the whole surface.
+            "metrics": self.metrics.snapshot(),
             "admission": self.admission.describe(),
             "cache": self.cache.describe(),
         }
@@ -221,37 +260,52 @@ class PolystoreRuntime:
 
     # -------------------------------------------------------------- execution
     def _run(self, query: str, cast_method: str, chunk_size: int | None,
-             use_cache: bool) -> Relation:
+             use_cache: bool, queued_at: float | None = None) -> Relation:
         started = time.perf_counter()
-        try:
-            if use_cache:
-                hit = self.cache.get(query)
-                if hit is not None:
-                    elapsed = time.perf_counter() - started
-                    self.metrics.record_completed(elapsed, cached=True)
-                    return hit
-            fingerprint = self.cache.fingerprint()
-            result, plan = self._execute_uncached(query, cast_method, chunk_size)
-            if use_cache:
-                # put() refuses the entry if any engine (including ones this
-                # very query mutated) or the catalog moved past `fingerprint`.
-                self.cache.put(query, result, fingerprint)
-            elapsed = time.perf_counter() - started
-            self.metrics.record_completed(elapsed, cached=False)
-            self._observe(query, plan, elapsed)
-            return result
-        except Exception:
-            self.metrics.record_failed()
-            raise
+        tracer = get_tracer()
+        with tracer.span("query", kind="lifecycle", query=_span_text(query)) as root:
+            if queued_at is not None and tracer.enabled:
+                tracer.record(
+                    "queued", start_s=queued_at, duration_s=time.time() - queued_at,
+                    parent=root, kind="lifecycle",
+                )
+            try:
+                if use_cache:
+                    hit = self.cache.get(query)
+                    if hit is not None:
+                        elapsed = time.perf_counter() - started
+                        self.metrics.record_completed(elapsed, cached=True)
+                        root.set("cached", True)
+                        return hit
+                fingerprint = self.cache.fingerprint()
+                result, plan = self._execute_uncached(query, cast_method, chunk_size)
+                if use_cache:
+                    # put() refuses the entry if any engine (including ones this
+                    # very query mutated) or the catalog moved past `fingerprint`.
+                    self.cache.put(query, result, fingerprint)
+                elapsed = time.perf_counter() - started
+                self.metrics.record_completed(elapsed, cached=False)
+                if self.slow_queries.enabled:
+                    self.slow_queries.observe(query, elapsed)
+                self._observe(query, plan, elapsed)
+                return result
+            except Exception:
+                self.metrics.record_failed()
+                raise
 
     def _execute_uncached(self, query: str, cast_method: str,
                           chunk_size: int | None) -> tuple[Relation, QueryPlan | None]:
         stripped = query.strip()
+        tracer = get_tracer()
         if self.bigdawg.is_scoped(stripped):
-            plan = self.bigdawg.plan(stripped, cast_method=cast_method, chunk_size=chunk_size)
+            with tracer.span("planned", kind="lifecycle"):
+                plan = self.bigdawg.plan(
+                    stripped, cast_method=cast_method, chunk_size=chunk_size
+                )
             execution = self.bigdawg.planner.start(plan)
             try:
-                self._run_plan(plan, execution)
+                with tracer.span("executed", kind="lifecycle", steps=len(plan.steps)):
+                    self._run_plan(plan, execution)
                 self.metrics.record_casts_skipped(len(execution.skipped_casts))
                 return execution.finish(), plan
             finally:
@@ -262,9 +316,13 @@ class PolystoreRuntime:
             members = island.member_engines()
             if members:
                 engines = {members[0].name.lower()}
-        with self.admission.admit(engines):
-            self._dispatch_delay()
-            return island.execute(stripped), None
+        with tracer.span("executed", kind="lifecycle"):
+            with ExitStack() as stack:
+                with tracer.span("admitted", kind="lifecycle",
+                                 engines=",".join(sorted(engines))):
+                    stack.enter_context(self.admission.admit(engines))
+                self._dispatch_delay()
+                return island.execute(stripped), None
 
     def _run_plan(self, plan: QueryPlan, execution: PlanExecution) -> None:
         """Run steps in dependency waves; a wave's steps run on parallel threads."""
@@ -280,10 +338,14 @@ class PolystoreRuntime:
                     self._run_admitted_step(execution, plan, index)
             else:
                 errors: list[BaseException] = []
+                # Wave threads are raw Threads, not pool workers: carry the
+                # query's trace context across explicitly so step spans nest
+                # under the submitting query's "executed" span.
+                ctx = capture_context()
 
                 def run(index: int) -> None:
                     try:
-                        self._run_admitted_step(execution, plan, index)
+                        with_context(ctx, self._run_admitted_step, execution, plan, index)
                     except BaseException as exc:  # noqa: BLE001 - re-raised below
                         errors.append(exc)
 
@@ -303,9 +365,15 @@ class PolystoreRuntime:
     def _run_admitted_step(self, execution: PlanExecution, plan: QueryPlan,
                            index: int) -> None:
         engines = self._step_engines(plan.steps[index])
-        with self.admission.admit(engines):
-            self._dispatch_delay()
-            execution.run_step(index)
+        tracer = get_tracer()
+        with tracer.span("plan_step", kind="step",
+                         step=plan.steps[index].describe()):
+            with ExitStack() as stack:
+                with tracer.span("admitted", kind="lifecycle",
+                                 engines=",".join(sorted(engines))):
+                    stack.enter_context(self.admission.admit(engines))
+                self._dispatch_delay()
+                execution.run_step(index)
 
     def _dispatch_delay(self) -> None:
         if self.engine_latency > 0:
