@@ -1,0 +1,193 @@
+"""CLAIM-13 — robustness: the resilience layer keeps the polystore serving
+through partial failures, at negligible cost when nothing is failing.
+
+A federated system's defining failure mode is *partial*: one engine drops
+connections or goes down while the rest keep answering.  Three experiments
+over the synthetic MIMIC deployment:
+
+1. **Healthy-path overhead** — the breaker-check + retry wrapper around every
+   dispatch must cost microseconds, not milliseconds, when no faults fire.
+2. **Chaos throughput** — a mixed workload with a seeded per-call fault rate
+   completes every query via retries, with closed breakers at the end and
+   zero lost or partially-imported objects.
+3. **Fail-fast outage** — with an engine down and its breaker open, queries
+   are rejected (or served flagged stale results) in microseconds instead of
+   each paying the full retry-and-timeout path; after the cooldown the
+   half-open probe closes the breaker and fresh results resume.
+
+Set ``RUNTIME_BENCH_SMOKE=1`` for the CI-sized run (fewer rounds, same
+assertions).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.common.errors import CircuitOpenError, EngineUnavailableError
+from repro.mimic import MimicGenerator, build_polystore
+from repro.runtime import (
+    EngineResilience,
+    FaultInjector,
+    PolystoreRuntime,
+    RetryPolicy,
+)
+
+SMOKE = os.environ.get("RUNTIME_BENCH_SMOKE", "") not in ("", "0")
+
+ROUNDS = 6 if SMOKE else 30
+OVERHEAD_CALLS = 2_000 if SMOKE else 20_000
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    generator = MimicGenerator(
+        patient_count=40 if SMOKE else 120,
+        waveform_patients=2,
+        waveform_samples=500 if SMOKE else 2000,
+        sample_rate_hz=125.0,
+        anomaly_fraction=1.0,
+        seed=7,
+    )
+    return build_polystore(generator=generator)
+
+
+def _engine_for(bigdawg, object_name: str):
+    return bigdawg.catalog.engine(bigdawg.catalog.locate(object_name).engine_name)
+
+
+def _assert_no_partials(bigdawg) -> None:
+    for location in bigdawg.catalog.objects():
+        assert bigdawg.catalog.engine(location.engine_name).has_object(location.name)
+    for engine in bigdawg.catalog.engines():
+        assert not [n for n in engine.list_objects() if "__cast_shadow__" in n]
+
+
+def test_resilience_overhead_when_healthy():
+    """Breaker check + retry wrapping must be microseconds per dispatch."""
+    resilience = EngineResilience()
+    payload = iter(range(OVERHEAD_CALLS * 2 + 2)).__next__
+
+    started = time.perf_counter()
+    for _ in range(OVERHEAD_CALLS):
+        payload()
+    bare = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(OVERHEAD_CALLS):
+        resilience.run(["postgres"], payload)
+    wrapped = time.perf_counter() - started
+
+    per_call_us = (wrapped - bare) / OVERHEAD_CALLS * 1e6
+    print(
+        f"\nCLAIM-13 healthy-path overhead: {per_call_us:.1f}us per dispatch "
+        f"({OVERHEAD_CALLS} calls, bare {bare * 1e3:.1f}ms, "
+        f"wrapped {wrapped * 1e3:.1f}ms)"
+    )
+    # Generous CI bound; typical is single-digit microseconds.
+    assert per_call_us < 1000.0
+
+
+def test_chaos_workload_completes_through_retries(deployment):
+    """A seeded fault rate on the relational engine: every query still
+    answers, via retries, and the breakers end the run closed."""
+    bigdawg = deployment.bigdawg
+    engine = _engine_for(bigdawg, "prescriptions")
+    runtime = PolystoreRuntime(
+        bigdawg, workers=4,
+        resilience=EngineResilience(
+            retry=RetryPolicy(max_attempts=8, base_backoff_s=0.001, jitter=0.0),
+            failure_threshold=10_000,
+        ),
+    )
+    injector = FaultInjector(seed=21).fail_rate("execute", 0.2)
+    injector.install(engine)
+    queries = [
+        "RELATIONAL(SELECT count(*) AS n FROM prescriptions)",
+        "RELATIONAL(SELECT count(*) AS n FROM patients)",
+    ] * ROUNDS
+    try:
+        started = time.perf_counter()
+        results = runtime.execute_many(queries, use_cache=False)
+        elapsed = time.perf_counter() - started
+    finally:
+        injector.uninstall()
+        runtime.shutdown()
+    assert len(results) == len(queries)
+    assert all(r.rows[0]["n"] > 0 for r in results)
+    snapshot = runtime.metrics.snapshot()
+    assert injector.total_injected() > 0
+    assert snapshot["retry_attempts"] >= injector.injected.get("execute", 0) > 0
+    assert snapshot["failed"] == 0
+    assert all(state == "closed" for state in snapshot["breaker_states"].values())
+    _assert_no_partials(bigdawg)
+    print(
+        f"\nCLAIM-13 chaos workload: {len(queries)} queries in {elapsed:.2f}s "
+        f"with {injector.total_injected()} injected faults, "
+        f"{snapshot['retry_attempts']} retries, {snapshot['failed']} failures"
+    )
+
+
+def test_outage_fails_fast_and_recovers(deployment):
+    """An open breaker answers in microseconds (stale or rejected) instead of
+    re-dispatching into a dead engine; the cooldown probe recovers it."""
+    bigdawg = deployment.bigdawg
+    engine = _engine_for(bigdawg, "patients")
+    runtime = PolystoreRuntime(
+        bigdawg, workers=2, serve_stale_on_open=True,
+        resilience=EngineResilience(
+            retry=RetryPolicy(max_attempts=1), failure_threshold=2,
+            cooldown_s=0.2,
+        ),
+    )
+    query = "RELATIONAL(SELECT count(*) AS n FROM patients)"
+    injector = FaultInjector()
+    try:
+        fresh = runtime.execute(query)
+        assert fresh.stale is False
+        # Invalidate the cached entry (metadata bump), then down the engine.
+        bigdawg.catalog.register_object(
+            "patients", engine.name, engine.kind, replace=True
+        )
+        injector.outage()
+        injector.install(engine)
+        trip_failures = 0
+        for _ in range(2):  # trip the breaker open
+            try:
+                runtime.execute(query)
+            except EngineUnavailableError:
+                trip_failures += 1
+        assert trip_failures == 2
+        assert runtime.resilience.states() == {engine.name: "open"}
+
+        served = 0
+        started = time.perf_counter()
+        for _ in range(ROUNDS):
+            try:
+                result = runtime.execute(query)
+                assert result.stale is True
+                served += 1
+            except CircuitOpenError:  # stale copy evicted: still fail-fast
+                pass
+        open_elapsed_ms = (time.perf_counter() - started) / ROUNDS * 1e3
+        assert served == ROUNDS
+
+        injector.restore()
+        time.sleep(0.25)  # past the cooldown: the next call is the probe
+        recovered = runtime.execute(query, use_cache=False)
+        assert recovered.stale is False
+        assert runtime.resilience.states() == {engine.name: "closed"}
+        snapshot = runtime.metrics.snapshot()
+        print(
+            f"\nCLAIM-13 outage: {served}/{ROUNDS} open-breaker queries served "
+            f"stale in {open_elapsed_ms:.2f}ms avg, "
+            f"stale_served={snapshot['stale_served']}, "
+            f"breaker opened {snapshot['breaker_open_total']}x / "
+            f"closed {snapshot['breaker_close_total']}x"
+        )
+        assert open_elapsed_ms < (100.0 if SMOKE else 20.0)
+    finally:
+        injector.uninstall()
+        runtime.shutdown()

@@ -10,7 +10,16 @@ from __future__ import annotations
 
 
 class BigDawgError(Exception):
-    """Base class for every error raised by the repro library."""
+    """Base class for every error raised by the repro library.
+
+    ``retryable`` marks errors the runtime's retry policy may transparently
+    retry: transient, connection-shaped failures that happened *before* the
+    engine applied any effect.  Semantic errors (parse, planning, schema,
+    constraint) stay non-retryable — retrying them can only fail again.
+    """
+
+    #: Whether the runtime may retry the operation that raised this.
+    retryable = False
 
 
 class SchemaError(BigDawgError):
@@ -61,6 +70,41 @@ class UnsupportedOperationError(BigDawgError):
 
 class CastError(BigDawgError):
     """Data could not be moved between two engines."""
+
+
+class TransientEngineError(BigDawgError):
+    """An engine failed in a way that may succeed on retry.
+
+    The failure surface of a federated deployment: dropped connections,
+    brief stalls, engines restarting.  The fault-injection harness raises
+    subclasses of this, and the runtime's retry policy only ever retries
+    errors whose ``retryable`` flag is set.
+    """
+
+    retryable = True
+
+
+class EngineUnavailableError(TransientEngineError):
+    """An engine is down (or simulated down) and cannot serve any call."""
+
+
+class CircuitOpenError(BigDawgError):
+    """The runtime refused to dispatch to an engine whose breaker is open.
+
+    Raised *before* admission, so queries fail fast instead of queueing
+    behind an engine known to be unhealthy.  ``engine`` names the tripped
+    breaker; ``retry_after_s`` is the cooldown remaining when known.
+    """
+
+    def __init__(self, message: str, engine: str | None = None,
+                 retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.engine = engine
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(BigDawgError):
+    """A query ran past its deadline; checked at plan-step boundaries."""
 
 
 class TransactionError(BigDawgError):

@@ -244,6 +244,11 @@ class Relation:
     every island ``execute`` call.
     """
 
+    #: Set (per instance) by the runtime when this result was served from the
+    #: stale cache while an engine's circuit breaker was open — possibly out
+    #: of date, and the caller opted into receiving it anyway.
+    stale = False
+
     def __init__(self, schema: Schema, rows: Iterable[Row | Sequence[Any]] | None = None) -> None:
         self._schema = schema
         self._rows: list[Row] = []

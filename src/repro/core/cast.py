@@ -43,7 +43,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from repro.common.errors import CastError
+from repro.common.errors import BigDawgError, CastError, ObjectNotFoundError
 from repro.common.schema import Relation, Schema
 from repro.common.serialization import BinaryCodec, CsvCodec
 from repro.core.catalog import BigDawgCatalog
@@ -161,6 +161,13 @@ class CastMigrator:
         stats = _PipelineStats()
         started = time.perf_counter()
         tracer = get_tracer()
+        # Transactional import: stream into a *shadow* name, publish with one
+        # atomic rename only after every chunk landed.  A failure anywhere in
+        # export/encode/decode/import leaves the destination name untouched
+        # (including a pre-existing object being replaced) and discards the
+        # partial shadow, so a died-mid-stream CAST is invisible afterwards
+        # and the whole operation is idempotently retryable.
+        shadow_name = self._shadow_name(destination_name)
         with tracer.span(
             "cast", kind="cast", object=object_name,
             source=source.name, target=target.name, method=method,
@@ -180,11 +187,21 @@ class CastMigrator:
                 decoded = self._frame_pipeline(
                     exported, schema, codec, method, use_tempfile, stats
                 )
-            with tracer.span("cast.import", kind="cast", object=destination_name):
-                target.import_chunks(destination_name, schema, decoded, **import_options)
+            try:
+                with tracer.span("cast.import", kind="cast", object=destination_name,
+                                 shadow=shadow_name):
+                    target.import_chunks(shadow_name, schema, decoded, **import_options)
+                with tracer.span("cast.commit", kind="cast", object=destination_name):
+                    target.rename_object(shadow_name, destination_name, replace=True)
+            except BaseException:
+                self._discard_partial(target, shadow_name, tracer)
+                raise
         elapsed = time.perf_counter() - started
+        # The catalog swap happens *before* the source copy is dropped: if
+        # registration fails, the catalog still points at the intact source
+        # object and the cast can simply be retried — the reverse order could
+        # orphan the object (source gone, catalog still naming it there).
         if drop_source:
-            source.drop_object(object_name)
             if destination_name.lower() == object_name.lower():
                 self.catalog.move_object(object_name, target.name, target.kind)
             else:
@@ -197,6 +214,10 @@ class CastMigrator:
                     destination_name, target.name, target.kind, replace=True,
                     **location.properties,
                 )
+            try:
+                source.drop_object(object_name)
+            except ObjectNotFoundError:  # pragma: no cover - already gone
+                pass
         else:
             self.catalog.register_object(
                 destination_name, target.name, target.kind, replace=True
@@ -217,6 +238,35 @@ class CastMigrator:
         return record
 
     # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _shadow_name(destination_name: str) -> str:
+        """The staging name a cast imports into before the commit rename.
+
+        Deterministic on purpose: a retried cast reuses (and therefore
+        replaces) the shadow a previous failed attempt may have left behind,
+        instead of leaking one abandoned staging object per attempt.
+        """
+        return f"__cast_shadow__{destination_name}"
+
+    @staticmethod
+    def _discard_partial(target: Any, shadow_name: str, tracer: Any) -> None:
+        """Best-effort drop of a failed cast's staging object.
+
+        Runs on the failure path, so engine errors here must not mask the
+        original exception; a shadow that was never created (the stream died
+        before the first chunk landed) is the common, silent case.
+        """
+        begin = time.time()
+        try:
+            target.drop_object(shadow_name)
+            tracer.record("cast.abort", start_s=begin, duration_s=time.time() - begin,
+                          kind="cast", shadow=shadow_name, dropped=True)
+        except ObjectNotFoundError:
+            pass
+        except BigDawgError:
+            tracer.record("cast.abort", start_s=begin, duration_s=time.time() - begin,
+                          kind="cast", shadow=shadow_name, dropped=False)
+
     def _codec(self, method: str) -> BinaryCodec | CsvCodec | None:
         if method == "binary":
             return BinaryCodec()

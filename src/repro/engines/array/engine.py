@@ -124,6 +124,25 @@ class ArrayEngine(Engine):
             raise ObjectNotFoundError(f"array {name!r} does not exist")
         del self._arrays[name.lower()]
 
+    def rename_object(self, old_name: str, new_name: str,
+                      replace: bool = True) -> None:
+        """O(1) rename: re-key the stored array, keeping dimensions intact.
+
+        The export/import fallback would re-derive dimensions from the
+        flattened relation; the native rename preserves the array schema
+        exactly, which is what lets transactional CAST publish an imported
+        array atomically.
+        """
+        old_key, new_key = old_name.lower(), new_name.lower()
+        if old_key == new_key:
+            return
+        stored = self.array(old_name)
+        if new_key in self._arrays and not replace:
+            raise DuplicateObjectError(f"array {new_name!r} already exists")
+        del self._arrays[old_key]
+        stored.schema.name = new_name
+        self._arrays[new_key] = stored
+
     # --------------------------------------------------------------- creation
     def create_array(self, schema: ArraySchema, replace: bool = False) -> StoredArray:
         key = schema.name.lower()

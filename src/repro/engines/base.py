@@ -126,7 +126,7 @@ def _bumps_write_version(method: Callable) -> Callable:
 #: to remember to do it.  Engine-*native* mutation entry points (SQL DML, kv
 #: ``put``, array loads) sit outside this interface and call
 #: :meth:`Engine.bump_write_version` explicitly.
-_MUTATOR_NAMES = ("import_relation", "import_chunks", "drop_object")
+_MUTATOR_NAMES = ("import_relation", "import_chunks", "drop_object", "rename_object")
 
 
 class Engine(ABC):
@@ -196,6 +196,28 @@ class Engine(ABC):
     @abstractmethod
     def drop_object(self, name: str) -> None:
         """Remove an object."""
+
+    def rename_object(self, old_name: str, new_name: str,
+                      replace: bool = True) -> None:
+        """Rename an object in place, replacing any object at ``new_name``.
+
+        The commit primitive of transactional CAST: the migrator imports
+        into a shadow name and publishes the finished object with one
+        rename, so a consumer can never observe (or be left with) a
+        half-imported object under the real name.  The fallback copies
+        through export/import; engines with dict-keyed storage override it
+        with an O(1) key move.
+        """
+        if old_name.lower() == new_name.lower():
+            return
+        if not replace and self.has_object(new_name):
+            from repro.common.errors import DuplicateObjectError
+
+            raise DuplicateObjectError(
+                f"object {new_name!r} already exists in engine {self.name!r}"
+            )
+        self.import_relation(new_name, self.export_relation(old_name))
+        self.drop_object(old_name)
 
     # ------------------------------------------------------- chunked CAST path
     def export_schema(self, name: str) -> Schema:

@@ -169,6 +169,22 @@ class KeyValueEngine(Engine):
             raise ObjectNotFoundError(f"key-value table {name!r} does not exist")
         del self._tables[name.lower()]
 
+    def rename_object(self, old_name: str, new_name: str,
+                      replace: bool = True) -> None:
+        """O(1) rename: re-key the table (the CAST commit primitive)."""
+        old_key, new_key = old_name.lower(), new_name.lower()
+        if old_key == new_key:
+            return
+        table = self.table(old_name)
+        if new_key in self._tables and not replace:
+            raise DuplicateObjectError(f"key-value table {new_name!r} already exists")
+        del self._tables[old_key]
+        table.name = new_name
+        table.tablets.table = new_name
+        for tablet in table.tablets.tablets:
+            tablet.table = new_name
+        self._tables[new_key] = table
+
     # ----------------------------------------------------------------- tables
     def create_table(self, name: str, text_indexed: bool = False,
                      split_threshold: int = 100_000, replace: bool = False) -> KeyValueTable:

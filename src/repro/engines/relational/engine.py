@@ -240,6 +240,21 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         del self._tables[key]
         self.statistics.invalidate(name)
 
+    def rename_object(self, old_name: str, new_name: str,
+                      replace: bool = True) -> None:
+        """O(1) rename: re-key the heap table (the CAST commit primitive)."""
+        old_key, new_key = old_name.lower(), new_name.lower()
+        if old_key == new_key:
+            return
+        table = self.table(old_name)
+        if new_key in self._tables and not replace:
+            raise DuplicateObjectError(f"table {new_name!r} already exists")
+        del self._tables[old_key]
+        table.name = new_name
+        self._tables[new_key] = table
+        self.statistics.invalidate(old_name)
+        self.statistics.invalidate(new_name)
+
     def export_schema(self, name: str) -> Schema:
         return self.table(name).schema
 

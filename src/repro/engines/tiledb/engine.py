@@ -245,3 +245,17 @@ class TileDBEngine(Engine):
         if name.lower() not in self._arrays:
             raise ObjectNotFoundError(f"tiledb array {name!r} does not exist")
         del self._arrays[name.lower()]
+
+    def rename_object(self, old_name: str, new_name: str,
+                      replace: bool = True) -> None:
+        """O(1) rename: re-key the tiled array (the CAST commit primitive)."""
+        old_key, new_key = old_name.lower(), new_name.lower()
+        if old_key == new_key:
+            return
+        if old_key not in self._arrays:
+            raise ObjectNotFoundError(f"tiledb array {old_name!r} does not exist")
+        if new_key in self._arrays and not replace:
+            raise DuplicateObjectError(f"tiledb array {new_name!r} already exists")
+        array = self._arrays.pop(old_key)
+        array.schema.name = new_name
+        self._arrays[new_key] = array

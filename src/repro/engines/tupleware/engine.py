@@ -54,6 +54,18 @@ class TuplewareEngine(Engine):
             raise ObjectNotFoundError(f"dataset {name!r} does not exist")
         del self._datasets[name.lower()]
 
+    def rename_object(self, old_name: str, new_name: str,
+                      replace: bool = True) -> None:
+        """O(1) rename: re-key the dataset (the CAST commit primitive)."""
+        old_key, new_key = old_name.lower(), new_name.lower()
+        if old_key == new_key:
+            return
+        if old_key not in self._datasets:
+            raise ObjectNotFoundError(f"dataset {old_name!r} does not exist")
+        if new_key in self._datasets and not replace:
+            raise DuplicateObjectError(f"dataset {new_name!r} already exists")
+        self._datasets[new_key] = self._datasets.pop(old_key)
+
     # ----------------------------------------------------------------- datasets
     def load(self, name: str, data: Sequence[float] | np.ndarray, replace: bool = False) -> None:
         key = name.lower()

@@ -28,6 +28,7 @@ from repro.observability.tracing import (
     current_span,
     get_tracer,
     set_tracer,
+    tracer_scope,
     with_context,
 )
 
@@ -49,6 +50,7 @@ __all__ = [
     "render_tree",
     "set_tracer",
     "to_chrome_trace",
+    "tracer_scope",
     "with_context",
     "write_chrome_trace",
 ]

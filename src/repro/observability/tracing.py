@@ -24,10 +24,11 @@ Two properties drive the design:
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import threading
 import time
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Iterator
 
 __all__ = [
     "NULL_SPAN",
@@ -37,10 +38,13 @@ __all__ = [
     "current_span",
     "get_tracer",
     "set_tracer",
+    "tracer_scope",
     "with_context",
 ]
 
-_ACTIVE = threading.local()  # .span -> the innermost live Span on this thread
+# .span   -> the innermost live Span on this thread
+# .tracer -> a thread-scoped Tracer override (see :func:`tracer_scope`)
+_ACTIVE = threading.local()
 
 _SPAN_IDS = itertools.count(1)
 _TRACE_IDS = itertools.count(1)
@@ -51,25 +55,60 @@ def current_span() -> "Span | None":
     return getattr(_ACTIVE, "span", None)
 
 
-def capture_context() -> "Span | None":
-    """Snapshot the ambient span for hand-off to a worker thread."""
-    return getattr(_ACTIVE, "span", None)
+def capture_context() -> "tuple[Span | None, Tracer | None] | None":
+    """Snapshot the ambient (span, tracer override) for a worker thread.
+
+    Returns None when there is nothing to carry, so the disabled path in
+    :func:`with_context` stays one ``is None`` check.
+    """
+    span = getattr(_ACTIVE, "span", None)
+    tracer = getattr(_ACTIVE, "tracer", None)
+    if span is None and tracer is None:
+        return None
+    return (span, tracer)
 
 
-def with_context(ctx: "Span | None", fn: Callable, *args: Any, **kwargs: Any) -> Any:
-    """Run ``fn`` with ``ctx`` installed as the ambient parent span.
+def with_context(ctx: Any, fn: Callable, *args: Any, **kwargs: Any) -> Any:
+    """Run ``fn`` with a captured context installed as the thread's ambient.
 
-    ``ctx=None`` (tracing off, or no span was live at capture time) calls
-    ``fn`` directly — the disabled path costs one ``is None`` check.
+    ``ctx`` is what :func:`capture_context` returned: None (tracing off —
+    ``fn`` is called directly), a ``(span, tracer)`` pair, or a bare
+    :class:`Span` from older callers.
     """
     if ctx is None:
         return fn(*args, **kwargs)
-    prev = getattr(_ACTIVE, "span", None)
-    _ACTIVE.span = ctx
+    if isinstance(ctx, tuple):
+        span, tracer = ctx
+    else:
+        span, tracer = ctx, None
+    prev_span = getattr(_ACTIVE, "span", None)
+    prev_tracer = getattr(_ACTIVE, "tracer", None)
+    _ACTIVE.span = span
+    _ACTIVE.tracer = tracer
     try:
         return fn(*args, **kwargs)
     finally:
-        _ACTIVE.span = prev
+        _ACTIVE.span = prev_span
+        _ACTIVE.tracer = prev_tracer
+
+
+@contextlib.contextmanager
+def tracer_scope(tracer: "Tracer") -> "Iterator[Tracer]":
+    """Install ``tracer`` as this thread's tracer for the ``with`` body.
+
+    Everything under the block that calls :func:`get_tracer` — the
+    scheduler, CAST pipeline, operators — sees ``tracer`` instead of the
+    process-global one, and :func:`capture_context` carries the override
+    into worker threads.  This is how ``runtime.trace(query)`` collects one
+    query's spans without enabling tracing for concurrent traffic, and how
+    sampled tracing silences the queries that lost the draw.
+    """
+    prev = getattr(_ACTIVE, "tracer", None)
+    _ACTIVE.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.tracer = prev
 
 
 class _NullSpan:
@@ -183,12 +222,18 @@ class Tracer:
     growing without limit.
     """
 
-    def __init__(self, enabled: bool = False, max_spans: int = 100_000) -> None:
+    def __init__(self, enabled: bool = False, max_spans: int = 100_000,
+                 sample_every: int | None = None) -> None:
         self.enabled = enabled
         self.max_spans = max_spans
+        #: Trace one query in every ``sample_every`` (None/1 = every query).
+        self.sample_every = sample_every
         self.dropped = 0
+        self.sampled = 0
+        self.unsampled = 0
         self._lock = threading.Lock()
         self._spans: list[Span] = []
+        self._sample_clock = 0
 
     # ----------------------------------------------------------------- control
     def enable(self) -> "Tracer":
@@ -203,6 +248,30 @@ class Tracer:
         with self._lock:
             self._spans = []
             self.dropped = 0
+            self.sampled = 0
+            self.unsampled = 0
+            self._sample_clock = 0
+
+    def sample_query(self) -> bool:
+        """Whether the next query should be traced (1-in-``sample_every``).
+
+        Deterministic round-robin rather than random: query ``0, N, 2N, ...``
+        of the tracer's lifetime are traced, so a load test with
+        ``sample_every=100`` records exactly 1% of its queries.  Always True
+        without sampling configured; always False disabled.
+        """
+        if not self.enabled:
+            return False
+        if not self.sample_every or self.sample_every <= 1:
+            return True
+        with self._lock:
+            chosen = self._sample_clock % self.sample_every == 0
+            self._sample_clock += 1
+            if chosen:
+                self.sampled += 1
+            else:
+                self.unsampled += 1
+        return chosen
 
     # ------------------------------------------------------------------- spans
     def span(self, name: str, kind: str = "span", **attrs: Any) -> "Span | _NullSpan":
@@ -289,7 +358,10 @@ _GLOBAL_TRACER = Tracer(enabled=False)
 
 
 def get_tracer() -> Tracer:
-    return _GLOBAL_TRACER
+    """The calling thread's tracer: a :func:`tracer_scope` override if one
+    is installed, else the process-global tracer."""
+    override = getattr(_ACTIVE, "tracer", None)
+    return override if override is not None else _GLOBAL_TRACER
 
 
 def set_tracer(tracer: Tracer) -> Tracer:

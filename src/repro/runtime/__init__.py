@@ -18,19 +18,32 @@ the reproduction:
   and cache hit rate, feeding the :class:`~repro.core.monitor.ExecutionMonitor`
   so the :class:`~repro.core.monitor.MigrationAdvisor` learns from production
   traffic instead of only offline probes.
+* :mod:`repro.runtime.resilience` — retry with exponential backoff plus
+  per-engine circuit breakers, checked before admission so traffic to a
+  tripped engine fails fast (or, opt-in, is served a flagged stale result).
+* :mod:`repro.runtime.faults` — the chaos harness: inject failures, latency,
+  mid-stream deaths and whole-engine outages into any in-process engine.
 """
 
 from repro.runtime.admission import AdmissionController, AdmissionTimeout, EngineGate
 from repro.runtime.cache import ResultCache
+from repro.runtime.faults import FaultInjector, FaultSpec, InjectedFault
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.resilience import CircuitBreaker, EngineResilience, RetryPolicy
 from repro.runtime.scheduler import PolystoreRuntime, RuntimeSession
 
 __all__ = [
     "AdmissionController",
     "AdmissionTimeout",
+    "CircuitBreaker",
     "EngineGate",
+    "EngineResilience",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
     "PolystoreRuntime",
     "ResultCache",
+    "RetryPolicy",
     "RuntimeMetrics",
     "RuntimeSession",
 ]

@@ -67,18 +67,25 @@ class _Entry:
 class ResultCache:
     """LRU cache of query results, verified against a state fingerprint."""
 
-    def __init__(self, catalog: BigDawgCatalog, capacity: int = 256) -> None:
+    def __init__(self, catalog: BigDawgCatalog, capacity: int = 256,
+                 keep_stale: bool = False) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._catalog = catalog
         self.capacity = capacity
+        #: When True, fingerprint-invalidated entries move to a bounded side
+        #: buffer instead of being dropped, so :meth:`get_stale` can serve a
+        #: last-known-good result while an engine's breaker is open.
+        self.keep_stale = keep_stale
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._stale: "OrderedDict[str, _Entry]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_hits = 0
 
     # ------------------------------------------------------------ fingerprint
     def fingerprint(self) -> Fingerprint:
@@ -109,6 +116,8 @@ class ResultCache:
             if entry.fingerprint != live:
                 # Some engine or the catalog mutated since this was stored.
                 del self._entries[key]
+                if self.keep_stale:
+                    self._demote_locked(key, entry)
                 self.invalidations += 1
                 self.misses += 1
                 return None
@@ -128,16 +137,53 @@ class ResultCache:
         with self._lock:
             self._entries[key] = _Entry(_snapshot(relation), fingerprint)
             self._entries.move_to_end(key)
+            # A fresh result supersedes any stale copy kept for fallback.
+            self._stale.pop(key, None)
             self.stores += 1
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted_key, evicted = self._entries.popitem(last=False)
+                if self.keep_stale:
+                    self._demote_locked(evicted_key, evicted)
                 self.evictions += 1
         return True
 
+    def get_stale(self, query: str) -> Relation | None:
+        """A last-known-good result for ``query``, flagged ``stale=True``.
+
+        This is the opt-in degraded-mode read: the runtime calls it only
+        when a circuit breaker refused the live execution.  The returned
+        relation carries ``stale=True`` so callers can tell (and render)
+        that it may not reflect current engine state.  ``keep_stale=False``
+        caches never hold anything here.
+        """
+        key = normalize_query(query)
+        with self._lock:
+            entry = self._entries.get(key) or self._stale.get(key)
+            if entry is None:
+                return None
+            self.stale_hits += 1
+            snapshot = _snapshot(entry.relation)
+        snapshot.stale = True
+        return snapshot
+
+    def _demote_locked(self, key: str, entry: _Entry) -> None:
+        """Move an invalidated/evicted entry to the bounded stale buffer."""
+        self._stale[key] = entry
+        self._stale.move_to_end(key)
+        while len(self._stale) > self.capacity:
+            self._stale.popitem(last=False)
+
     def invalidate(self) -> None:
-        """Drop every entry (state fingerprints make this rarely necessary)."""
+        """Drop every entry (state fingerprints make this rarely necessary).
+
+        Stale copies survive on purpose: they exist precisely to outlive
+        invalidation, and are bounded by ``capacity``.
+        """
         with self._lock:
             self.invalidations += len(self._entries)
+            if self.keep_stale:
+                for key, entry in self._entries.items():
+                    self._demote_locked(key, entry)
             self._entries.clear()
 
     # ----------------------------------------------------------------- status
@@ -153,6 +199,7 @@ class ResultCache:
     def describe(self) -> dict:
         with self._lock:
             size = len(self._entries)
+            stale_size = len(self._stale)
         return {
             "size": size,
             "capacity": self.capacity,
@@ -162,6 +209,9 @@ class ResultCache:
             "stores": self.stores,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "keep_stale": self.keep_stale,
+            "stale_size": stale_size,
+            "stale_hits": self.stale_hits,
         }
 
 

@@ -1,0 +1,437 @@
+"""Retry with exponential backoff and per-engine circuit breakers.
+
+The robustness layer between the scheduler and the engines.  Two mechanisms,
+composed by :class:`EngineResilience`:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff plus
+  seeded jitter.  Only errors whose ``retryable`` flag is set (the
+  :class:`~repro.common.errors.TransientEngineError` family: dropped
+  connections, injected faults, simulated outages) are retried; semantic
+  errors fail immediately.  Backoff sleeps never run past a query deadline.
+* :class:`CircuitBreaker` — one per engine, the classic three-state machine.
+  ``closed`` counts consecutive transient failures and trips ``open`` at a
+  threshold; ``open`` rejects instantly (the scheduler checks breakers
+  *before* admission, so queries fail fast instead of queueing behind a dead
+  engine) until a cooldown elapses; then ``half_open`` admits a bounded
+  number of probe calls — success closes the breaker, failure re-opens it
+  and restarts the cooldown.
+
+Observability is built in rather than bolted on: ``bind_registry`` registers
+retry/breaker counters and a per-engine state gauge into the runtime's
+:class:`~repro.observability.registry.MetricRegistry`, and every breaker
+transition plus every retry backoff is recorded as a span through the
+ambient tracer, so a chaos run's timeline shows exactly when each engine
+tripped, was probed and recovered.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Iterable
+
+from repro.common.errors import CircuitOpenError, DeadlineExceededError
+from repro.observability.registry import MetricRegistry
+from repro.observability.tracing import get_tracer
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "EngineResilience",
+    "RetryPolicy",
+]
+
+#: The three breaker states, in trip order.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``backoff(attempt)`` for attempt 1, 2, ... returns
+    ``base * multiplier**(attempt-1)`` capped at ``max_backoff_s``, then
+    stretched by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` — seeded, so a test run's exact sleep
+    sequence is reproducible.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_backoff_s: float = 0.05,
+        multiplier: float = 2.0,
+        max_backoff_s: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_backoff_s = base_backoff_s
+        self.multiplier = multiplier
+        self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep after failed attempt number ``attempt`` (1-based)."""
+        base = min(
+            self.base_backoff_s * (self.multiplier ** max(0, attempt - 1)),
+            self.max_backoff_s,
+        )
+        if self.jitter == 0.0:
+            return base
+        with self._rng_lock:
+            factor = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return base * factor
+
+    @staticmethod
+    def is_retryable(error: BaseException) -> bool:
+        return bool(getattr(error, "retryable", False))
+
+    def describe(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_backoff_s": self.base_backoff_s,
+            "multiplier": self.multiplier,
+            "max_backoff_s": self.max_backoff_s,
+            "jitter": self.jitter,
+        }
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker for one engine.
+
+    ``clock`` is injectable so tests can step time instead of sleeping
+    through cooldowns.  ``on_transition(engine, old, new)`` fires outside
+    the lock on every state change.
+    """
+
+    def __init__(
+        self,
+        engine_name: str,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.engine_name = engine_name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        # Counters for the metrics surface.
+        self.opened_total = 0
+        self.closed_total = 0
+        self.rejections = 0
+        self.transitions: list[tuple[str, str]] = []
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def retry_after_s(self) -> float | None:
+        """Cooldown remaining while open, else None."""
+        with self._lock:
+            if self._state != "open" or self._opened_at is None:
+                return None
+            return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+
+    # ------------------------------------------------------------- transitions
+    def allow(self) -> bool:
+        """Whether a call may be dispatched now.
+
+        In ``half_open`` this *claims* a probe slot when it returns True;
+        the caller must report the outcome via :meth:`record_success` or
+        :meth:`record_failure` to release it.
+        """
+        fired: tuple[str, str] | None = None
+        with self._lock:
+            fired = self._maybe_half_open_locked()
+            if self._state == "closed":
+                allowed = True
+            elif self._state == "open":
+                self.rejections += 1
+                allowed = False
+            else:  # half_open: bounded probe traffic only
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    allowed = True
+                else:
+                    self.rejections += 1
+                    allowed = False
+        self._notify(fired)
+        return allowed
+
+    def record_success(self) -> None:
+        fired: tuple[str, str] | None = None
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == "half_open":
+                self._probes_in_flight = 0
+                fired = self._transition_locked("closed")
+                self.closed_total += 1
+        self._notify(fired)
+
+    def release_probe(self) -> None:
+        """Release a probe slot claimed by :meth:`allow` without an outcome.
+
+        Used when a multi-engine step claimed this breaker's probe but was
+        rejected by a *different* engine's breaker before dispatching — the
+        probe never ran, so neither success nor failure should be recorded.
+        """
+        with self._lock:
+            if self._state == "half_open" and self._probes_in_flight > 0:
+                self._probes_in_flight -= 1
+
+    def record_failure(self) -> None:
+        fired: tuple[str, str] | None = None
+        with self._lock:
+            if self._state == "half_open":
+                # The probe failed: straight back to open, cooldown restarts.
+                self._probes_in_flight = 0
+                self._opened_at = self._clock()
+                fired = self._transition_locked("open")
+                self.opened_total += 1
+            elif self._state == "closed":
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._opened_at = self._clock()
+                    fired = self._transition_locked("open")
+                    self.opened_total += 1
+        self._notify(fired)
+
+    def _maybe_half_open_locked(self) -> tuple[str, str] | None:
+        if (
+            self._state == "open"
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._probes_in_flight = 0
+            return self._transition_locked("half_open")
+        return None
+
+    def _transition_locked(self, new_state: str) -> tuple[str, str]:
+        old, self._state = self._state, new_state
+        self.transitions.append((old, new_state))
+        return (old, new_state)
+
+    def _notify(self, fired: tuple[str, str] | None) -> None:
+        if fired is not None and self._on_transition is not None:
+            self._on_transition(self.engine_name, fired[0], fired[1])
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "engine": self.engine_name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+                "opened_total": self.opened_total,
+                "closed_total": self.closed_total,
+                "rejections": self.rejections,
+                "transitions": list(self.transitions),
+            }
+
+
+class EngineResilience:
+    """Per-engine breakers plus one retry policy, driving a callable.
+
+    :meth:`run` is the scheduler's entry point: it checks every touched
+    engine's breaker (fail fast with :class:`CircuitOpenError`), runs the
+    step, retries transient failures with backoff, and feeds outcomes back
+    into the breakers.  A failure in a multi-engine step counts against
+    every engine the step touched — the runtime cannot attribute a
+    mid-stream CAST failure to one side, and over-counting merely probes an
+    innocent engine sooner.
+
+    ``sleep`` and ``clock`` are injectable so chaos tests run without wall
+    time.
+    """
+
+    def __init__(
+        self,
+        retry: RetryPolicy | None = None,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._sleep = sleep
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+        self._registry: MetricRegistry | None = None
+
+    # ------------------------------------------------------------- registration
+    def bind_registry(self, registry: MetricRegistry) -> None:
+        """Register retry/breaker metrics into the runtime's registry."""
+        self._registry = registry
+        registry.counter("retry_attempts")
+        registry.counter("retries_exhausted")
+        registry.counter("breaker_open_total")
+        registry.counter("breaker_close_total")
+        registry.counter("breaker_rejections")
+        registry.register_gauge("breaker_states", self.states)
+
+    def now(self) -> float:
+        """The resilience clock — deadlines are instants on this clock."""
+        return self._clock()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._registry is not None:
+            self._registry.counter(name).inc(amount)
+
+    def breaker(self, engine_name: str) -> CircuitBreaker:
+        key = engine_name.lower()
+        with self._lock:
+            if key not in self._breakers:
+                self._breakers[key] = CircuitBreaker(
+                    key,
+                    failure_threshold=self.failure_threshold,
+                    cooldown_s=self.cooldown_s,
+                    half_open_probes=self.half_open_probes,
+                    clock=self._clock,
+                    on_transition=self._record_transition,
+                )
+            return self._breakers[key]
+
+    def _record_transition(self, engine: str, old: str, new: str) -> None:
+        """Count the transition and drop a zero-length span on the timeline."""
+        if new == "open":
+            self._count("breaker_open_total")
+        elif new == "closed":
+            self._count("breaker_close_total")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record(
+                "breaker_transition", start_s=time.time(), duration_s=0.0,
+                kind="resilience", engine=engine, from_state=old, to_state=new,
+            )
+
+    def states(self) -> dict[str, str]:
+        """Per-engine breaker state (the ``breaker_states`` gauge)."""
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return {b.engine_name: b.state for b in breakers}
+
+    def describe(self) -> dict:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return {
+            "retry": self.retry.describe(),
+            "breakers": {b.engine_name: b.describe() for b in breakers},
+        }
+
+    # --------------------------------------------------------------- execution
+    def run(self, engine_names: Iterable[str], fn: Callable[[], object],
+            deadline: float | None = None, description: str = "") -> object:
+        """Run ``fn`` under breaker protection with transient-failure retries.
+
+        ``deadline`` is an absolute ``clock()`` instant; it is checked
+        before every attempt and bounds every backoff sleep, so a retrying
+        step can never overshoot its query's budget by more than one
+        engine call.
+        """
+        engines = sorted({name.lower() for name in engine_names})
+        attempt = 0
+        while True:
+            attempt += 1
+            self._check_deadline(deadline, description)
+            claimed = self._claim_breakers(engines)
+            try:
+                result = fn()
+            except BaseException as error:  # noqa: BLE001 - classified below
+                # Only transient (connection-shaped) failures count against
+                # breakers: a semantic error is the engine *responding*, which
+                # is evidence of health, not of an outage.
+                transient = self.retry.is_retryable(error)
+                self._release_breakers(claimed, success=not transient)
+                if not transient:
+                    raise
+                if attempt >= self.retry.max_attempts:
+                    self._count("retries_exhausted")
+                    raise
+                delay = self.retry.backoff(attempt)
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        raise
+                    delay = min(delay, remaining)
+                self._count("retry_attempts")
+                self._trace_retry(attempt, delay, error, description)
+                if delay > 0:
+                    self._sleep(delay)
+            else:
+                self._release_breakers(claimed, success=True)
+                return result
+
+    def _claim_breakers(self, engines: list[str]) -> list[CircuitBreaker]:
+        """Check every engine's breaker; raise fast if any refuses."""
+        claimed: list[CircuitBreaker] = []
+        for name in engines:
+            breaker = self.breaker(name)
+            if not breaker.allow():
+                self._count("breaker_rejections")
+                # Half-open probe slots already claimed for earlier engines
+                # must be released, or a rejected multi-engine step would
+                # leak the probe and wedge those breakers half-open forever.
+                for earlier in claimed:
+                    earlier.release_probe()
+                raise CircuitOpenError(
+                    f"engine {name!r} circuit breaker is "
+                    f"{breaker.state}; refusing dispatch",
+                    engine=name,
+                    retry_after_s=breaker.retry_after_s(),
+                )
+            claimed.append(breaker)
+        return claimed
+
+    @staticmethod
+    def _release_breakers(claimed: list[CircuitBreaker], success: bool) -> None:
+        for breaker in claimed:
+            if success:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+
+    def _check_deadline(self, deadline: float | None, description: str) -> None:
+        if deadline is not None and self._clock() >= deadline:
+            raise DeadlineExceededError(
+                f"query deadline exceeded before {description or 'step'}"
+            )
+
+    @staticmethod
+    def _trace_retry(attempt: int, delay: float, error: BaseException,
+                     description: str) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record(
+                "retry", start_s=time.time(), duration_s=delay,
+                kind="resilience", attempt=attempt,
+                error=type(error).__name__, step=description,
+            )

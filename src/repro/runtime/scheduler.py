@@ -33,16 +33,28 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import ExitStack
 from typing import Sequence
 
-from repro.common.errors import BigDawgError, ObjectNotFoundError, PlanningError
+from repro.common.errors import (
+    BigDawgError,
+    CircuitOpenError,
+    ObjectNotFoundError,
+    PlanningError,
+)
 from repro.common.parallel import WorkerCredits, resolve_parallelism
 from repro.common.schema import Relation
 from repro.core.bigdawg import BigDawg
 from repro.core.query.planner import BindingStep, CastStep, PlanExecution, QueryPlan
 from repro.observability.profile import SlowQueryLog
-from repro.observability.tracing import capture_context, get_tracer, with_context
+from repro.observability.tracing import (
+    Tracer,
+    capture_context,
+    get_tracer,
+    tracer_scope,
+    with_context,
+)
 from repro.runtime.admission import AdmissionController
 from repro.runtime.cache import ResultCache
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.resilience import EngineResilience
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
@@ -55,6 +67,10 @@ def _span_text(query: str, limit: int = 200) -> str:
 #: Process-wide session ids: several runtimes may serve one polystore, and
 #: session-scoped temp names (``name__s<id>``) must never collide across them.
 _SESSION_IDS = itertools.count(1)
+
+#: Installed as the thread-scoped tracer for queries that lose the 1-in-N
+#: sampling draw, so their whole call tree records nothing.
+_UNSAMPLED_TRACER = Tracer(enabled=False)
 
 
 class PolystoreRuntime:
@@ -71,6 +87,9 @@ class PolystoreRuntime:
         engine_latency: float = 0.0,
         parallel_steps: bool = True,
         parallelism: int | str = "auto",
+        resilience: EngineResilience | None = None,
+        serve_stale_on_open: bool = False,
+        default_deadline_s: float | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -79,7 +98,16 @@ class PolystoreRuntime:
         self.admission = AdmissionController(
             slots_per_engine=slots_per_engine, timeout=admission_timeout, slots=engine_slots
         )
-        self.cache = ResultCache(bigdawg.catalog, capacity=cache_capacity)
+        #: Retry/backoff + per-engine circuit breakers around every dispatch.
+        self.resilience = resilience if resilience is not None else EngineResilience()
+        #: Serve a last-known-good cached result (flagged stale) when a
+        #: breaker refuses a query — opt-in degraded reads over hard errors.
+        self.serve_stale_on_open = serve_stale_on_open
+        #: Applied to queries submitted without an explicit ``deadline_s``.
+        self.default_deadline_s = default_deadline_s
+        self.cache = ResultCache(
+            bigdawg.catalog, capacity=cache_capacity, keep_stale=serve_stale_on_open
+        )
         self.metrics = RuntimeMetrics()
         #: Queries slower than ``slow_queries.threshold_s`` land here (off
         #: until a threshold is set).
@@ -89,6 +117,8 @@ class PolystoreRuntime:
         # registry — one uniform snapshot instead of per-counter kwargs.
         self.admission.wait_sink = self.metrics.record_queue_wait
         registry = self.metrics.registry
+        self.resilience.bind_registry(registry)
+        registry.counter("stale_served")
         registry.register_gauge("queue_depth", self.admission.queue_depth)
         registry.register_gauge(
             "admission_wait_s_total", lambda: round(self.admission.queue_wait_seconds(), 6)
@@ -128,22 +158,43 @@ class PolystoreRuntime:
 
     # ------------------------------------------------------------- client API
     def submit(self, query: str, cast_method: str = "binary",
-               chunk_size: int | None = None, use_cache: bool = True) -> "Future[Relation]":
-        """Enqueue one query; returns a future resolving to its Relation."""
+               chunk_size: int | None = None, use_cache: bool = True,
+               deadline_s: float | None = None) -> "Future[Relation]":
+        """Enqueue one query; returns a future resolving to its Relation.
+
+        ``deadline_s`` is a per-query wall budget: the deadline is checked
+        at every plan-step boundary (and bounds retry backoff), so a query
+        that overruns fails with
+        :class:`~repro.common.errors.DeadlineExceededError` at the next
+        step edge rather than running arbitrarily long.  Defaults to the
+        runtime's ``default_deadline_s`` (None = no deadline).
+        """
         if self._closed:
             raise RuntimeError("runtime has been shut down")
         self.metrics.record_submitted()
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        deadline = (
+            self.resilience.now() + deadline_s if deadline_s is not None else None
+        )
         # When tracing, remember the enqueue instant so the worker can emit
         # a "queued" span for the time spent waiting for a pool thread.
         queued_at = time.time() if get_tracer().enabled else None
-        return self._pool.submit(
-            self._run, query, cast_method, chunk_size, use_cache, queued_at
-        )
+        try:
+            return self._pool.submit(
+                self._run, query, cast_method, chunk_size, use_cache, queued_at,
+                deadline,
+            )
+        except RuntimeError:
+            # Lost the race with a concurrent shutdown(): the pool refused
+            # the work; report it the same way the _closed check would have.
+            raise RuntimeError("runtime has been shut down") from None
 
     def execute(self, query: str, cast_method: str = "binary",
-                chunk_size: int | None = None, use_cache: bool = True) -> Relation:
+                chunk_size: int | None = None, use_cache: bool = True,
+                deadline_s: float | None = None) -> Relation:
         """Submit and wait: the blocking single-client call."""
-        return self.submit(query, cast_method, chunk_size, use_cache).result()
+        return self.submit(query, cast_method, chunk_size, use_cache, deadline_s).result()
 
     def execute_many(self, queries: Sequence[str], cast_method: str = "binary",
                      chunk_size: int | None = None, use_cache: bool = True) -> list[Relation]:
@@ -151,12 +202,49 @@ class PolystoreRuntime:
         futures = [self.submit(q, cast_method, chunk_size, use_cache) for q in queries]
         return [future.result() for future in futures]
 
+    def trace(self, query: str, cast_method: str = "binary",
+              chunk_size: int | None = None,
+              use_cache: bool = False) -> "tuple[Relation, Tracer]":
+        """Run one query traced, without enabling tracing for anyone else.
+
+        A fresh enabled :class:`Tracer` is installed as a *thread-scoped*
+        override for just this call (concurrent traffic keeps seeing the
+        process-global tracer), the query runs synchronously in the calling
+        thread, and both the result and the tracer full of spans come back::
+
+            relation, tracer = runtime.trace("SELECT ...")
+            print(render_tree(tracer.spans()))
+
+        ``use_cache`` defaults to False so the trace shows real execution
+        rather than one cache-hit span.
+        """
+        if self._closed:
+            raise RuntimeError("runtime has been shut down")
+        tracer = Tracer(enabled=True)
+        self.metrics.record_submitted()
+        with tracer_scope(tracer):
+            result = self._run(query, cast_method, chunk_size, use_cache)
+        return result, tracer
+
     def session(self) -> "RuntimeSession":
         return RuntimeSession(self, next(_SESSION_IDS))
 
     def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting queries and wind down the worker pool.
+
+        Contract (idempotent; callable from any thread):
+
+        * After ``shutdown`` *starts*, every ``submit`` raises
+          ``RuntimeError`` — including submits racing the shutdown, which
+          the pool itself refuses.
+        * ``wait=True`` (default) blocks until every already-submitted query
+          finishes; their futures complete normally.
+        * ``wait=False`` returns immediately: queries whose worker already
+          started still run to completion, but *queued* queries are
+          cancelled and their futures raise ``CancelledError``.
+        """
         self._closed = True
-        self._pool.shutdown(wait=wait)
+        self._pool.shutdown(wait=wait, cancel_futures=not wait)
 
     def __enter__(self) -> "PolystoreRuntime":
         return self
@@ -260,7 +348,24 @@ class PolystoreRuntime:
 
     # -------------------------------------------------------------- execution
     def _run(self, query: str, cast_method: str, chunk_size: int | None,
-             use_cache: bool, queued_at: float | None = None) -> Relation:
+             use_cache: bool, queued_at: float | None = None,
+             deadline: float | None = None) -> Relation:
+        tracer = get_tracer()
+        if tracer.enabled and tracer.sample_every and not tracer.sample_query():
+            # This query lost the 1-in-N sampling draw: install a disabled
+            # tracer for the worker's whole call tree so every layer below
+            # (steps, CAST chunks, operators) skips its spans too.
+            with tracer_scope(_UNSAMPLED_TRACER):
+                return self._run_query(
+                    query, cast_method, chunk_size, use_cache, None, deadline
+                )
+        return self._run_query(
+            query, cast_method, chunk_size, use_cache, queued_at, deadline
+        )
+
+    def _run_query(self, query: str, cast_method: str, chunk_size: int | None,
+                   use_cache: bool, queued_at: float | None,
+                   deadline: float | None) -> Relation:
         started = time.perf_counter()
         tracer = get_tracer()
         with tracer.span("query", kind="lifecycle", query=_span_text(query)) as root:
@@ -278,7 +383,9 @@ class PolystoreRuntime:
                         root.set("cached", True)
                         return hit
                 fingerprint = self.cache.fingerprint()
-                result, plan = self._execute_uncached(query, cast_method, chunk_size)
+                result, plan = self._execute_uncached(
+                    query, cast_method, chunk_size, deadline
+                )
                 if use_cache:
                     # put() refuses the entry if any engine (including ones this
                     # very query mutated) or the catalog moved past `fingerprint`.
@@ -289,12 +396,28 @@ class PolystoreRuntime:
                     self.slow_queries.observe(query, elapsed)
                 self._observe(query, plan, elapsed)
                 return result
+            except CircuitOpenError:
+                # Degraded-mode read: a breaker refused the live execution,
+                # but a last-known-good cached result may still be useful.
+                # Strictly opt-in (serve_stale_on_open) and always flagged.
+                if use_cache and self.serve_stale_on_open:
+                    stale = self.cache.get_stale(query)
+                    if stale is not None:
+                        self.metrics.registry.counter("stale_served").inc()
+                        elapsed = time.perf_counter() - started
+                        self.metrics.record_completed(elapsed, cached=True)
+                        root.set("stale", True)
+                        return stale
+                self.metrics.record_failed()
+                raise
             except Exception:
                 self.metrics.record_failed()
                 raise
 
-    def _execute_uncached(self, query: str, cast_method: str,
-                          chunk_size: int | None) -> tuple[Relation, QueryPlan | None]:
+    def _execute_uncached(
+        self, query: str, cast_method: str, chunk_size: int | None,
+        deadline: float | None = None,
+    ) -> tuple[Relation, QueryPlan | None]:
         stripped = query.strip()
         tracer = get_tracer()
         if self.bigdawg.is_scoped(stripped):
@@ -305,7 +428,7 @@ class PolystoreRuntime:
             execution = self.bigdawg.planner.start(plan)
             try:
                 with tracer.span("executed", kind="lifecycle", steps=len(plan.steps)):
-                    self._run_plan(plan, execution)
+                    self._run_plan(plan, execution, deadline)
                 self.metrics.record_casts_skipped(len(execution.skipped_casts))
                 return execution.finish(), plan
             finally:
@@ -317,14 +440,17 @@ class PolystoreRuntime:
             if members:
                 engines = {members[0].name.lower()}
         with tracer.span("executed", kind="lifecycle"):
-            with ExitStack() as stack:
-                with tracer.span("admitted", kind="lifecycle",
-                                 engines=",".join(sorted(engines))):
-                    stack.enter_context(self.admission.admit(engines))
-                self._dispatch_delay()
-                return island.execute(stripped), None
+            return self.resilience.run(
+                engines,
+                lambda: self._admitted_dispatch(
+                    engines, lambda: island.execute(stripped)
+                ),
+                deadline=deadline,
+                description="island query",
+            ), None
 
-    def _run_plan(self, plan: QueryPlan, execution: PlanExecution) -> None:
+    def _run_plan(self, plan: QueryPlan, execution: PlanExecution,
+                  deadline: float | None = None) -> None:
         """Run steps in dependency waves; a wave's steps run on parallel threads."""
         dependencies = plan.step_dependencies()
         completed: set[int] = set()
@@ -335,7 +461,7 @@ class PolystoreRuntime:
                 raise PlanningError("plan dependencies contain a cycle")
             if len(ready) == 1 or not self.parallel_steps:
                 for index in ready:
-                    self._run_admitted_step(execution, plan, index)
+                    self._run_admitted_step(execution, plan, index, deadline)
             else:
                 errors: list[BaseException] = []
                 # Wave threads are raw Threads, not pool workers: carry the
@@ -345,7 +471,10 @@ class PolystoreRuntime:
 
                 def run(index: int) -> None:
                     try:
-                        with_context(ctx, self._run_admitted_step, execution, plan, index)
+                        with_context(
+                            ctx, self._run_admitted_step, execution, plan, index,
+                            deadline,
+                        )
                     except BaseException as exc:  # noqa: BLE001 - re-raised below
                         errors.append(exc)
 
@@ -363,17 +492,33 @@ class PolystoreRuntime:
             remaining.difference_update(ready)
 
     def _run_admitted_step(self, execution: PlanExecution, plan: QueryPlan,
-                           index: int) -> None:
+                           index: int, deadline: float | None = None) -> None:
         engines = self._step_engines(plan.steps[index])
         tracer = get_tracer()
         with tracer.span("plan_step", kind="step",
                          step=plan.steps[index].describe()):
-            with ExitStack() as stack:
-                with tracer.span("admitted", kind="lifecycle",
-                                 engines=",".join(sorted(engines))):
-                    stack.enter_context(self.admission.admit(engines))
-                self._dispatch_delay()
-                execution.run_step(index)
+            # The whole admit-and-dispatch is the retryable unit: a retried
+            # attempt re-queues at the admission gates (fairness under load)
+            # and the breakers are checked *before* admission, so traffic to
+            # a tripped engine fails fast instead of holding queue slots.
+            self.resilience.run(
+                engines,
+                lambda: self._admitted_dispatch(
+                    engines, lambda: execution.run_step(index)
+                ),
+                deadline=deadline,
+                description=plan.steps[index].describe(),
+            )
+
+    def _admitted_dispatch(self, engines: set[str], fn):
+        """Admit at the engines' gates, then dispatch one attempt of ``fn``."""
+        tracer = get_tracer()
+        with ExitStack() as stack:
+            with tracer.span("admitted", kind="lifecycle",
+                             engines=",".join(sorted(engines))):
+                stack.enter_context(self.admission.admit(engines))
+            self._dispatch_delay()
+            return fn()
 
     def _dispatch_delay(self) -> None:
         if self.engine_latency > 0:

@@ -122,7 +122,8 @@ class TestTracer:
         tracer = Tracer(enabled=True)
         with tracer.span("parent") as parent:
             ctx = capture_context()
-        assert ctx is parent
+        # The captured context carries (span, tracer override).
+        assert ctx == (parent, None)
 
         seen: list[object] = []
 
