@@ -14,6 +14,10 @@ over the synthetic MIMIC deployment:
    are rejected (or served flagged stale results) in microseconds instead of
    each paying the full retry-and-timeout path; after the cooldown the
    half-open probe closes the breaker and fresh results resume.
+4. **Replica failover** — with a fresh replica registered, an outage on the
+   primary re-routes reads instead of degrading: the first failure triggers
+   a traced ``failover`` re-dispatch, and every later query routes straight
+   to the healthy replica with live (non-stale) answers throughout.
 
 Set ``RUNTIME_BENCH_SMOKE=1`` for the CI-sized run (fewer rounds, same
 assertions).
@@ -27,6 +31,7 @@ import time
 import pytest
 
 from repro.common.errors import CircuitOpenError, EngineUnavailableError
+from repro.engines.relational import RelationalEngine
 from repro.mimic import MimicGenerator, build_polystore
 from repro.runtime import (
     EngineResilience,
@@ -188,6 +193,63 @@ def test_outage_fails_fast_and_recovers(deployment):
             f"closed {snapshot['breaker_close_total']}x"
         )
         assert open_elapsed_ms < (100.0 if SMOKE else 20.0)
+    finally:
+        injector.uninstall()
+        runtime.shutdown()
+
+
+def test_failover_serves_live_results_from_replica(deployment):
+    """An outage on a replicated primary degrades to the replica, not to
+    stale reads: the first failure re-dispatches under a ``failover`` span
+    and every query — that one included — returns a live answer.
+
+    Keep this experiment last in the module: it adds a standby engine to
+    the shared deployment.
+    """
+    bigdawg = deployment.bigdawg
+    primary = _engine_for(bigdawg, "patients")
+    standby = RelationalEngine("postgres_standby")
+    bigdawg.add_engine(standby, islands=["relational"])
+    bigdawg.migrator.cast("patients", "postgres_standby")
+    runtime = PolystoreRuntime(
+        bigdawg, workers=2,
+        resilience=EngineResilience(
+            retry=RetryPolicy(max_attempts=1), failure_threshold=1,
+            cooldown_s=60.0,
+        ),
+    )
+    query = "RELATIONAL(SELECT count(*) AS n FROM patients)"
+    injector = FaultInjector()
+    try:
+        healthy = runtime.execute(query, use_cache=False)
+        injector.outage()
+        injector.install(primary)
+        # First post-outage query: the primary's failure trips its breaker
+        # and the dispatcher re-plans against the replica mid-query.
+        result, tracer = runtime.trace(query)
+        assert result.rows[0]["n"] == healthy.rows[0]["n"]
+        assert result.stale is False
+        (span,) = tracer.spans("failover")
+        assert span.attrs["to_engines"] == "postgres_standby"
+        # Later queries route straight to the healthy replica, fail-fast.
+        served_before = standby.queries_executed
+        started = time.perf_counter()
+        for _ in range(ROUNDS):
+            routed = runtime.execute(query, use_cache=False)
+            assert routed.rows[0]["n"] == healthy.rows[0]["n"]
+            assert routed.stale is False
+        routed_ms = (time.perf_counter() - started) / ROUNDS * 1e3
+        assert standby.queries_executed - served_before >= ROUNDS
+        snapshot = runtime.metrics.snapshot()
+        assert snapshot["failover_total"] >= 1
+        assert snapshot["failover_by_engine"].get(primary.name, 0) >= 1
+        print(
+            f"\nCLAIM-13 failover: outage on {primary.name!r} re-routed to "
+            f"{standby.name!r} ({snapshot['failover_total']} traced "
+            f"failovers), {ROUNDS} follow-up queries served live from the "
+            f"replica in {routed_ms:.2f}ms avg"
+        )
+        assert routed_ms < (100.0 if SMOKE else 20.0)
     finally:
         injector.uninstall()
         runtime.shutdown()

@@ -104,7 +104,22 @@ class CircuitOpenError(BigDawgError):
 
 
 class DeadlineExceededError(BigDawgError):
-    """A query ran past its deadline; checked at plan-step boundaries."""
+    """A query ran past its deadline.
+
+    Checked at plan-step boundaries by the scheduler and, once a
+    :class:`~repro.common.cancellation.CancellationToken` is installed,
+    at every batch/chunk boundary inside the engines themselves.
+    """
+
+
+class QueryCancelledError(BigDawgError):
+    """A query was cancelled by its client before completing.
+
+    Raised cooperatively from :meth:`CancellationToken.check` at batch
+    boundaries.  Deliberately *not* retryable: the client no longer wants
+    the answer, so the runtime must unwind, clean up shadow/spill state,
+    and stop — never re-run the work.
+    """
 
 
 class TransactionError(BigDawgError):

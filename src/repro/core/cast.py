@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.common.cancellation import check_cancelled
 from repro.common.errors import BigDawgError, CastError, ObjectNotFoundError
 from repro.common.schema import Relation, Schema
 from repro.common.serialization import BinaryCodec, CsvCodec
@@ -100,6 +101,7 @@ class CastMigrator:
         drop_source: bool = False,
         use_tempfile: bool = False,
         chunk_size: int | None = None,
+        source_engine: str | None = None,
         **import_options: Any,
     ) -> CastRecord:
         """Copy (or move) an object to another engine, one chunk at a time.
@@ -124,6 +126,11 @@ class CastMigrator:
             Rows per chunk on the streaming pipeline (default
             :data:`~repro.engines.base.DEFAULT_CHUNK_ROWS`).  Only one chunk's
             encoded payload is ever held in memory.
+        source_engine:
+            Export from this copy instead of the primary — the failover path
+            reads from a fresh replica when the primary's engine is down.
+            Must name an engine holding a *fresh* copy; a ``drop_source``
+            cast must still export from the primary.
         import_options:
             Passed to the destination engine's ``import_chunks`` (e.g.
             ``dimensions=[...]`` when casting into the array engine).
@@ -131,7 +138,7 @@ class CastMigrator:
         with self.object_lock(object_name):
             return self._cast_locked(
                 object_name, target_engine, method, target_name, drop_source,
-                use_tempfile, chunk_size, **import_options,
+                use_tempfile, chunk_size, source_engine, **import_options,
             )
 
     def _cast_locked(
@@ -143,10 +150,27 @@ class CastMigrator:
         drop_source: bool,
         use_tempfile: bool,
         chunk_size: int | None,
+        source_engine: str | None = None,
         **import_options: Any,
     ) -> CastRecord:
         codec = self._codec(method)
         location = self.catalog.locate(object_name)
+        if source_engine is not None and source_engine.lower() != location.engine_name:
+            if drop_source:
+                raise CastError(
+                    "a drop_source cast must export from the primary copy, "
+                    f"not the replica on {source_engine!r}"
+                )
+            copies = {
+                loc.engine_name: loc for loc in self.catalog.fresh_locations(object_name)
+            }
+            chosen = copies.get(source_engine.lower())
+            if chosen is None:
+                raise CastError(
+                    f"object {object_name!r} has no fresh copy on engine "
+                    f"{source_engine!r} to export from"
+                )
+            location = chosen
         source = self.catalog.engine(location.engine_name)
         target = self.catalog.engine(target_engine)
         destination_name = target_name or object_name
@@ -218,6 +242,12 @@ class CastMigrator:
                 source.drop_object(object_name)
             except ObjectNotFoundError:  # pragma: no cover - already gone
                 pass
+        elif destination_name.lower() == object_name.lower():
+            # Copy-cast keeping the same name: the source keeps its (still
+            # queryable) registration and the new copy is recorded as a fresh
+            # replica — CAST doubling as a replication tool instead of
+            # silently re-pointing the catalog away from the source island.
+            self.catalog.add_replica(destination_name, target.name, target.kind)
         else:
             self.catalog.register_object(
                 destination_name, target.name, target.kind, replace=True
@@ -289,6 +319,7 @@ class CastMigrator:
     ) -> Iterator[Relation]:
         """encode -> (stage) -> decode, one frame at a time."""
         for chunk in chunks:
+            check_cancelled()
             payload = codec.encode(chunk)
             if method == "csv" and use_tempfile:
                 payload = self._stage_through_tempfile(payload)
@@ -318,6 +349,7 @@ class CastMigrator:
         source = iter(chunks)
         index = 0
         while True:
+            check_cancelled()
             export_wall = time.time()
             export_begin = time.perf_counter()
             try:
@@ -354,6 +386,7 @@ class CastMigrator:
     @staticmethod
     def _count_rows(chunks: Iterator[Relation], stats: "_PipelineStats") -> Iterator[Relation]:
         for chunk in chunks:
+            check_cancelled()
             stats.rows += len(chunk)
             stats.chunks += 1
             yield chunk

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.common.errors import CatalogError, DuplicateObjectError, ObjectNotFoundError
 from repro.common.schema import Schema
@@ -19,12 +19,19 @@ from repro.engines.base import Engine
 
 @dataclass
 class ObjectLocation:
-    """Where one data object lives and what it is."""
+    """Where one copy of a data object lives and what it is.
+
+    ``version`` tags the copy's content: a location is *fresh* when its
+    version equals the catalog's current content version for the object,
+    and *stale* (still present, no longer served reads) after another
+    location absorbed a write.
+    """
 
     name: str
     engine_name: str
     object_type: str  # table | array | stream | kvtable | dataset
     properties: dict = field(default_factory=dict)
+    version: int = 0
 
     def __post_init__(self) -> None:
         # Engine names are case-insensitive everywhere else in the catalog;
@@ -40,6 +47,13 @@ class BigDawgCatalog:
         self._engines: dict[str, Engine] = {}
         self._island_members: dict[str, set[str]] = {}
         self._objects: dict[str, ObjectLocation] = {}
+        # Replication: the primary stays in ``_objects`` (so ``locate`` keeps
+        # its historical meaning), extra copies live here keyed
+        # object -> engine -> location, and ``_content_versions`` holds the
+        # current content tag a copy must carry to be considered fresh.
+        self._replicas: dict[str, dict[str, ObjectLocation]] = {}
+        self._content_versions: dict[str, int] = {}
+        self._health_probe: Callable[[str], bool] | None = None
         self._schemas: dict[str, Schema] = {}
         # Concurrent runtime support: every read and write goes through one
         # re-entrant lock, and every metadata mutation advances ``version`` so
@@ -134,8 +148,17 @@ class BigDawgCatalog:
             if engine_name.lower() not in self._engines:
                 raise ObjectNotFoundError(f"engine {engine_name!r} is not registered")
             existed = key in self._objects
-            location = ObjectLocation(name, engine_name, object_type, dict(properties))
+            if existed:
+                # Replacing an object is new content at the named engine: the
+                # content version advances, so surviving replicas turn stale.
+                self._content_versions[key] = self._content_versions.get(key, 0) + 1
+            content = self._content_versions.get(key, 0)
+            location = ObjectLocation(
+                name, engine_name, object_type, dict(properties), version=content
+            )
             self._objects[key] = location
+            # The new primary engine may previously have held a replica.
+            self._replicas.get(key, {}).pop(location.engine_name, None)
             self._schemas.pop(key, None)
             if properties.get("temporary") and not existed:
                 self._temp_version += 1
@@ -147,6 +170,8 @@ class BigDawgCatalog:
         with self._lock:
             removed = self._objects.pop(name.lower(), None)
             self._schemas.pop(name.lower(), None)
+            self._replicas.pop(name.lower(), None)
+            self._content_versions.pop(name.lower(), None)
             if removed is None:
                 return
             if removed.properties.get("temporary"):
@@ -191,13 +216,157 @@ class BigDawgCatalog:
             current = self.locate(name)
             if target_engine.lower() not in self._engines:
                 raise CatalogError(f"target engine {target_engine!r} is not registered")
+            key = name.lower()
             location = ObjectLocation(
-                current.name, target_engine, object_type or current.object_type, current.properties
+                current.name, target_engine, object_type or current.object_type,
+                current.properties, version=self._content_versions.get(key, 0),
             )
-            self._objects[name.lower()] = location
-            self._schemas.pop(name.lower(), None)
+            self._objects[key] = location
+            # A replica on the target engine is absorbed into the primary.
+            self._replicas.get(key, {}).pop(location.engine_name, None)
+            self._schemas.pop(key, None)
             self._bump()
             return location
+
+    # ----------------------------------------------------------------- replicas
+    def add_replica(self, name: str, engine_name: str,
+                    object_type: str | None = None,
+                    version: int | None = None) -> ObjectLocation:
+        """Record an extra copy of an object on another engine.
+
+        The copy is tagged fresh (current content version) unless an explicit
+        ``version`` says otherwise.  Adding a "replica" on the primary's own
+        engine is a no-op — there is only one copy there.
+        """
+        with self._lock:
+            primary = self.locate(name)
+            key = name.lower()
+            if key not in self._objects:
+                # Object known only via the engine-scan fallback: pin the
+                # discovered primary so the replica has an anchor.
+                self._objects[key] = primary
+            engine_key = engine_name.lower()
+            if engine_key not in self._engines:
+                raise ObjectNotFoundError(f"engine {engine_name!r} is not registered")
+            if engine_key == primary.engine_name:
+                return primary
+            location = ObjectLocation(
+                primary.name, engine_name, object_type or primary.object_type,
+                dict(primary.properties),
+                version=self._content_versions.get(key, 0) if version is None else version,
+            )
+            self._replicas.setdefault(key, {})[engine_key] = location
+            self._bump()
+            return location
+
+    def drop_replica(self, name: str, engine_name: str) -> None:
+        """Forget the copy of ``name`` on ``engine_name`` (primary unaffected)."""
+        with self._lock:
+            removed = self._replicas.get(name.lower(), {}).pop(engine_name.lower(), None)
+            if removed is not None:
+                self._bump()
+
+    def replicas(self, name: str) -> list[ObjectLocation]:
+        """Non-primary copies of an object, in deterministic engine order."""
+        with self._lock:
+            copies = self._replicas.get(name.lower(), {})
+            return [copies[engine] for engine in sorted(copies)]
+
+    def locations(self, name: str) -> list[ObjectLocation]:
+        """Every known copy of an object, primary first."""
+        with self._lock:
+            return [self.locate(name), *self.replicas(name)]
+
+    def content_version(self, name: str) -> int:
+        """The content tag a copy must carry to be fresh."""
+        with self._lock:
+            return self._content_versions.get(name.lower(), 0)
+
+    def fresh_locations(self, name: str) -> list[ObjectLocation]:
+        """Copies holding the current content, primary first."""
+        with self._lock:
+            current = self._content_versions.get(name.lower(), 0)
+            return [loc for loc in self.locations(name) if loc.version == current]
+
+    def note_object_write(self, name: str, engine_name: str | None = None) -> None:
+        """Record that an object's content changed at one location.
+
+        The written copy (the primary unless ``engine_name`` says otherwise)
+        becomes the fresh primary; every other copy keeps its old version and
+        turns stale.  A write landing on a replica promotes it to primary —
+        the demoted primary stays behind as a stale replica.  Without any
+        replicas this is version bookkeeping only, so the durable catalog
+        version (and with it the result cache) is left alone — engine write
+        versions already fingerprint plain single-copy mutation.
+        """
+        with self._lock:
+            key = name.lower()
+            primary = self._objects.get(key)
+            if primary is None:
+                return
+            copies = self._replicas.get(key, {})
+            new_version = self._content_versions.get(key, 0) + 1
+            self._content_versions[key] = new_version
+            written = primary.engine_name if engine_name is None else engine_name.lower()
+            if written != primary.engine_name and written in copies:
+                promoted = copies.pop(written)
+                copies[primary.engine_name] = primary
+                self._objects[key] = promoted
+                primary = promoted
+            if written == primary.engine_name:
+                primary.version = new_version
+            if copies:
+                self._bump()
+
+    # ------------------------------------------------------------ read routing
+    def set_health_probe(self, probe: Callable[[str], bool] | None) -> None:
+        """Install a callback reporting whether an engine can serve reads.
+
+        The runtime wires this to its circuit-breaker state so read routing
+        avoids engines with open breakers.  ``None`` removes the probe.
+        """
+        with self._lock:
+            self._health_probe = probe
+
+    def engine_is_healthy(self, engine_name: str) -> bool:
+        """Whether the health probe (if any) considers an engine usable."""
+        probe = self._health_probe
+        if probe is None:
+            return True
+        try:
+            return bool(probe(engine_name.lower()))
+        except Exception:  # fail open: a broken probe must not stop routing
+            return True
+
+    def locate_for_read(self, name: str,
+                        members: Iterable[str] | None = None) -> ObjectLocation:
+        """The best copy of an object to *read* from.
+
+        Preference order among copies holding the current content: the
+        primary when it is healthy and reachable, then healthy replicas in
+        engine-name order, then any fresh reachable copy, and finally the
+        primary itself (so a fully-unhealthy catalog degrades to the
+        pre-replication behaviour instead of failing routing).  ``members``
+        restricts candidates to an island's engines; writes must keep using
+        :meth:`locate` — only the primary accepts writes.
+        """
+        with self._lock:
+            primary = self.locate(name)
+            if name.lower() not in self._replicas or not self._replicas[name.lower()]:
+                return primary
+            allowed = None if members is None else {m.lower() for m in members}
+            candidates = [
+                loc for loc in self.fresh_locations(name)
+                if allowed is None or loc.engine_name in allowed
+            ]
+            healthy = [loc for loc in candidates if self.engine_is_healthy(loc.engine_name)]
+            for pool in (healthy, candidates):
+                for loc in pool:
+                    if loc.engine_name == primary.engine_name:
+                        return loc
+                if pool:
+                    return min(pool, key=lambda loc: loc.engine_name)
+            return primary
 
     # ----------------------------------------------------------------- schemas
     def schema_of(self, name: str) -> Schema:

@@ -41,10 +41,18 @@ class Island(ABC):
         """Build the shim adapting an engine to this island's data model."""
         return shim_for(engine, self.name)
 
-    def engine_for_object(self, object_name: str) -> Engine:
-        """The engine storing an object, restricted to this island's members."""
-        location = self.catalog.locate(object_name)
+    def engine_for_object(self, object_name: str, for_write: bool = False) -> Engine:
+        """The engine storing an object, restricted to this island's members.
+
+        Reads go through the catalog's replica-aware routing (cheapest fresh
+        healthy copy); writes must hit the primary, which is what keeps the
+        freshness bookkeeping single-writer.
+        """
         members = {engine.name.lower() for engine in self.member_engines()}
+        if for_write:
+            location = self.catalog.locate(object_name)
+        else:
+            location = self.catalog.locate_for_read(object_name, members=members)
         if location.engine_name not in members:
             raise ObjectNotFoundError(
                 f"object {object_name!r} lives in engine {location.engine_name!r}, "

@@ -106,8 +106,10 @@ class MyriaIsland(Island):
 
     def _choose_backend(self, object_name: str):
         """Prefer the engine already holding the object; tie-break toward SQL engines."""
-        location = self.catalog.locate(object_name)
         members = self.member_engines()
+        location = self.catalog.locate_for_read(
+            object_name, members=[e.name for e in members]
+        )
         holders = [e for e in members if e.name.lower() == location.engine_name]
         if holders:
             return holders[0]

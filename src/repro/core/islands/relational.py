@@ -31,25 +31,40 @@ class RelationalIsland(Island):
         stripped = query.strip().lower()
         return stripped.startswith(("select", "insert", "update", "delete", "create", "drop"))
 
+    #: Statement prefixes that mutate their target objects — these must be
+    #: routed to the primary copy and invalidate replicas afterwards.
+    _WRITE_PREFIXES = ("insert", "update", "delete", "drop", "create", "alter")
+
     def execute(self, query: str) -> Relation:
         self.queries_executed += 1
         tables = self.referenced_tables(query)
         if not tables:
             # Table-free SELECT (constant expressions): run on any SQL engine.
             return self._any_sql_engine().execute(query)
-        placements = {table: self.engine_for_object(table) for table in tables}
+        is_write = query.strip().lower().startswith(self._WRITE_PREFIXES)
+        placements = {
+            table: self.engine_for_object(table, for_write=is_write)
+            for table in tables
+        }
         engines = {engine.name for engine in placements.values()}
-        if len(engines) == 1:
-            only_engine = next(iter(placements.values()))
-            if only_engine.capabilities & EngineCapability.SQL:
-                # Single SQL-capable engine: push the whole query down.
-                return only_engine.execute(query)
-        # Cross-engine (or non-SQL source): materialize inputs into a scratch engine.
-        scratch = RelationalEngine("_relational_island_scratch")
-        for table, engine in placements.items():
-            relation = RelationalShim(engine).fetch_relation(table)
-            scratch.import_relation(table, relation)
-        return scratch.execute(query)
+        try:
+            if len(engines) == 1:
+                only_engine = next(iter(placements.values()))
+                if only_engine.capabilities & EngineCapability.SQL:
+                    # Single SQL-capable engine: push the whole query down.
+                    return only_engine.execute(query)
+            # Cross-engine (or non-SQL source): materialize inputs into a scratch engine.
+            scratch = RelationalEngine("_relational_island_scratch")
+            for table, engine in placements.items():
+                relation = RelationalShim(engine).fetch_relation(table)
+                scratch.import_relation(table, relation)
+            return scratch.execute(query)
+        finally:
+            if is_write:
+                for table, engine in placements.items():
+                    # Stale-marks the other copies; a no-op without replicas.
+                    if self.catalog.replicas(table):
+                        self.catalog.note_object_write(table, engine.name)
 
     # ----------------------------------------------------------------- helpers
     def referenced_tables(self, query: str) -> list[str]:

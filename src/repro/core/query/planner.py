@@ -88,16 +88,24 @@ def render_join_sql(
 
 @dataclass
 class CastStep:
-    """Move an object so it becomes reachable through the target island."""
+    """Move an object so it becomes reachable through the target island.
+
+    ``source_engine`` names the copy to export from when the planner routed
+    around an unhealthy primary — a fresh replica serving the failover path;
+    ``None`` means the primary.
+    """
 
     object_name: str
     target_island: str
     target_engine: str
     method: str = "binary"
     chunk_size: int | None = None
+    source_engine: str | None = None
 
     def describe(self) -> str:
         detail = self.method if self.chunk_size is None else f"{self.method}, chunks of {self.chunk_size}"
+        if self.source_engine is not None:
+            detail += f", from replica on {self.source_engine}"
         return (
             f"CAST {self.object_name} -> engine {self.target_engine} "
             f"(island {self.target_island}, {detail})"
@@ -211,16 +219,35 @@ class CrossIslandPlanner:
     def _cast_steps(self, scope: ScopedQuery, cast_method: str = "binary",
                     chunk_size: int | None = None) -> list[CastStep]:
         steps = []
+        catalog = self._bigdawg.catalog
         for cast in scope.casts:
             island = self._bigdawg.island(cast.target_island)
             members = {engine.name.lower() for engine in island.member_engines()}
-            location = self._bigdawg.catalog.locate(cast.object_name)
-            if location.engine_name in members:  # ObjectLocation normalizes case
-                continue  # already reachable through the target island
+            # Breaker/replica-aware reachability: a cast is needed only when
+            # no fresh *healthy* copy is already inside the target island.
+            fresh = catalog.fresh_locations(cast.object_name)
+            healthy = [
+                loc for loc in fresh if catalog.engine_is_healthy(loc.engine_name)
+            ]
+            if any(loc.engine_name in members for loc in healthy):
+                continue  # already reachable through a healthy copy
+            if not healthy and any(loc.engine_name in members for loc in fresh):
+                # Reachable in principle but every copy is unhealthy — a cast
+                # has nothing healthy to read from, so keep the plan as-is
+                # and let dispatch-time retry/failover handle it.
+                continue
             target_engine = self._choose_target_engine(cast.target_island)
+            # Export from a healthy replica when the primary is down.
+            primary = catalog.locate(cast.object_name)
+            source_engine = None
+            if healthy and primary.engine_name not in {
+                loc.engine_name for loc in healthy
+            }:
+                source_engine = healthy[0].engine_name
             steps.append(
                 CastStep(cast.object_name, cast.target_island, target_engine,
-                         method=cast_method, chunk_size=chunk_size)
+                         method=cast_method, chunk_size=chunk_size,
+                         source_engine=source_engine)
             )
         return steps
 
@@ -229,7 +256,10 @@ class CrossIslandPlanner:
         members = island.member_engines()
         if not members:
             raise PlanningError(f"island {island_name!r} has no member engines to cast into")
-        # Prefer the island's "natural" engine kind: relational -> relational, etc.
+        # Prefer the island's "natural" engine kind: relational -> relational,
+        # etc. — and within each preference tier, a healthy engine over one
+        # whose breaker is open.
+        catalog = self._bigdawg.catalog
         preferred_kind = {
             "relational": "relational",
             "array": "array",
@@ -237,10 +267,12 @@ class CrossIslandPlanner:
             "d4m": "keyvalue",
             "myria": "relational",
         }.get(island_name.lower())
-        for engine in members:
-            if engine.kind == preferred_kind:
-                return engine.name
-        return members[0].name
+        natural = [engine for engine in members if engine.kind == preferred_kind]
+        for pool in (natural, members):
+            for engine in pool:
+                if catalog.engine_is_healthy(engine.name):
+                    return engine.name
+        return (natural or members)[0].name
 
     # ------------------------------------------------------------ joins as SQL
     def join_query(
@@ -336,11 +368,16 @@ class CrossIslandPlanner:
     def cast_is_noop(self, step: CastStep) -> bool:
         """Whether the cast's object is *already* reachable through the target
         island — e.g. because a concurrent plan (or an advisor migration)
-        moved it after this plan was built."""
+        moved it after this plan was built.  Reachability mirrors
+        :meth:`_cast_steps`: a fresh healthy copy counts; when every copy is
+        unhealthy, plain freshness does (the cast could not improve things)."""
         island = self._bigdawg.island(step.target_island)
         members = {engine.name.lower() for engine in island.member_engines()}
-        location = self._bigdawg.catalog.locate(step.object_name)
-        return location.engine_name in members
+        catalog = self._bigdawg.catalog
+        fresh = catalog.fresh_locations(step.object_name)
+        healthy = [loc for loc in fresh if catalog.engine_is_healthy(loc.engine_name)]
+        pool = healthy or fresh
+        return any(loc.engine_name in members for loc in pool)
 
     def _cast_options(self, step: CastStep) -> dict:
         """Extra import options needed by particular target engines."""
@@ -444,6 +481,7 @@ class PlanExecution:
                 step.target_engine,
                 method=step.method,
                 chunk_size=step.chunk_size,
+                source_engine=step.source_engine,
                 **self._planner._cast_options(step),
             )
         except CastError:

@@ -25,6 +25,7 @@ from repro.engines.array import operators as ops
 from repro.engines.array.aql import AqlCall, parse_aql
 from repro.engines.array.schema import ArraySchema, Attribute, Dimension
 from repro.engines.array.storage import StoredArray
+from repro.common.cancellation import check_cancelled
 from repro.engines.base import DEFAULT_CHUNK_ROWS, Engine, EngineCapability, relation_chunks
 
 
@@ -193,6 +194,7 @@ class ArrayEngine(Engine):
         aggregate results for ``aggregate`` and a ``{coordinate: value}`` dict
         for dimension grouping.
         """
+        check_cancelled()
         self.queries_executed += 1
         call = parse_aql(afl)
         return self._execute_call(call)

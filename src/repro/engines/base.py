@@ -25,6 +25,7 @@ import threading
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.common.cancellation import check_cancelled
 from repro.common.schema import ColumnarRelation, Relation, Row, Schema
 
 #: Default number of rows per chunk on the streaming CAST path.
@@ -53,6 +54,7 @@ def relation_chunks(schema: Schema, rows: Iterable[Any], chunk_size: int,
             else:
                 chunk.rows.append(row if isinstance(row, Row) else Row(schema, row))
             if len(chunk) >= chunk_size:
+                check_cancelled()  # chunk boundary: cancelled exports stop here
                 yield chunk
                 chunk = Relation(schema)
         if len(chunk):
@@ -79,6 +81,7 @@ def columnar_relation_chunks(schema: Schema, value_rows: Iterable[Sequence[Any]]
         for values in value_rows:
             pending.append(values)
             if len(pending) >= chunk_size:
+                check_cancelled()  # chunk boundary: cancelled exports stop here
                 yield ColumnarRelation.from_value_rows(schema, pending)
                 pending = []
         if pending:

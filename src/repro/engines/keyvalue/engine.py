@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
+from repro.common.cancellation import check_cancelled
 from repro.common.errors import DuplicateObjectError, ObjectNotFoundError, TypeMismatchError
 from repro.common.schema import Column, Relation, Schema
 from repro.common.types import DataType, common_type, infer_type
@@ -220,11 +221,13 @@ class KeyValueEngine(Engine):
 
     def scan(self, table_name: str, scan_range: ScanRange | None = None,
              iterators: list[ScanIterator] | None = None) -> list[Entry]:
+        check_cancelled()
         self.queries_executed += 1
         return self.table(table_name).scan(scan_range, iterators)
 
     def get_row(self, table_name: str, row: str) -> dict[str, Any]:
         """All cells of a row as ``{family:qualifier: value}``."""
+        check_cancelled()
         self.queries_executed += 1
         return {
             f"{e.key.family}:{e.key.qualifier}": e.value

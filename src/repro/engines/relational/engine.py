@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.common.cancellation import check_cancelled
 from repro.common.errors import (
     DuplicateObjectError,
     ExecutionError,
@@ -350,6 +351,7 @@ class RelationalEngine(Engine, TableStatisticsProvider):
         DDL and DML statements return a one-column relation with the affected
         row count; SELECT returns its result set.
         """
+        check_cancelled()
         statement = parse_sql(sql)
         if self.slow_queries.enabled and isinstance(statement, SelectStatement):
             started = time.perf_counter()

@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from repro.common.cancellation import current_token
 from repro.common.keycodes import partition_codes
 from repro.common.schema import ColumnBatch, Schema
 from repro.common.schema import object_view as _object_view
@@ -234,71 +235,88 @@ def partitioned_spill_join(
     n_out = len(joined_schema.columns)
     encoder = IncrementalJoinKeyEncoder()
 
-    # ------------------------------------------------- partition the build side
+    token = current_token()
+
+    # Every spill run the join can own is reachable from these bindings, and
+    # all of them are closed by the single ``finally`` at the bottom — so a
+    # cancellation raised at any batch boundary, even while the inputs are
+    # still being partitioned, leaks no temp files.
     build_runs = [SpillRun() for _ in range(partitions)]
     null_build = SpillRun() if track_build else None
-    build_total = 0
-    for batch in build_batches:
-        n = len(batch)
-        if n == 0:
-            continue
-        codes = encoder.encode([batch.columns[i] for i in build_key_idx], n, fit=True)
-        for p, rows in enumerate(partition_codes(codes, partitions)):
-            if rows.size:
-                gathered = batch.gather(rows)
-                build_runs[p].append(
-                    (build_total + rows).tolist(),
-                    codes[rows].tolist(),
-                    gathered.columns,
-                )
-        if null_build is not None:
-            null_rows = np.flatnonzero(codes < 0)
-            if null_rows.size:
-                gathered = batch.gather(null_rows)
-                null_build.append(
-                    (build_total + null_rows).tolist(), None, gathered.columns
-                )
-        build_total += n
-    record_spill(sum(1 for run in build_runs if len(run)))
-
-    # ------------------------------------------------- partition the probe side
     probe_runs = [SpillRun() for _ in range(partitions)]
     pad_run = SpillRun() if pad_probe else None
-    probe_total = 0
-    for batch in probe_batches:
-        n = len(batch)
-        if n == 0:
-            continue
-        codes = encoder.encode([batch.columns[i] for i in probe_key_idx], n, fit=False)
-        for p, rows in enumerate(partition_codes(codes, partitions)):
-            if rows.size:
-                gathered = batch.gather(rows)
-                probe_runs[p].append(
-                    (probe_total + rows).tolist(),
-                    codes[rows].tolist(),
-                    gathered.columns,
-                )
-        if pad_run is not None:
-            # NULL or never-seen keys cannot match any partition: emit their
-            # pads directly, already in final output column order.
-            misses = np.flatnonzero(codes < 0)
-            if misses.size:
-                gathered = batch.gather(misses)
-                pad_cols = [[None] * int(misses.size) for _ in range(n_build)]
-                ordered = (
-                    pad_cols + gathered.columns
-                    if build_on_left
-                    else gathered.columns + pad_cols
-                )
-                pad_run.append((probe_total + misses).tolist(), None, ordered)
-        probe_total += n
-
     out_runs: list[SpillRun] = []
     unmatched_runs: list[SpillRun] = []
+
+    def _partition_inputs() -> None:
+        # --------------------------------------------- partition the build side
+        build_total = 0
+        for batch in build_batches:
+            if token is not None:
+                token.check()
+            n = len(batch)
+            if n == 0:
+                continue
+            codes = encoder.encode(
+                [batch.columns[i] for i in build_key_idx], n, fit=True
+            )
+            for p, rows in enumerate(partition_codes(codes, partitions)):
+                if rows.size:
+                    gathered = batch.gather(rows)
+                    build_runs[p].append(
+                        (build_total + rows).tolist(),
+                        codes[rows].tolist(),
+                        gathered.columns,
+                    )
+            if null_build is not None:
+                null_rows = np.flatnonzero(codes < 0)
+                if null_rows.size:
+                    gathered = batch.gather(null_rows)
+                    null_build.append(
+                        (build_total + null_rows).tolist(), None, gathered.columns
+                    )
+            build_total += n
+        record_spill(sum(1 for run in build_runs if len(run)))
+
+        # --------------------------------------------- partition the probe side
+        probe_total = 0
+        for batch in probe_batches:
+            if token is not None:
+                token.check()
+            n = len(batch)
+            if n == 0:
+                continue
+            codes = encoder.encode(
+                [batch.columns[i] for i in probe_key_idx], n, fit=False
+            )
+            for p, rows in enumerate(partition_codes(codes, partitions)):
+                if rows.size:
+                    gathered = batch.gather(rows)
+                    probe_runs[p].append(
+                        (probe_total + rows).tolist(),
+                        codes[rows].tolist(),
+                        gathered.columns,
+                    )
+            if pad_run is not None:
+                # NULL or never-seen keys cannot match any partition: emit
+                # their pads directly, already in final output column order.
+                misses = np.flatnonzero(codes < 0)
+                if misses.size:
+                    gathered = batch.gather(misses)
+                    pad_cols = [[None] * int(misses.size) for _ in range(n_build)]
+                    ordered = (
+                        pad_cols + gathered.columns
+                        if build_on_left
+                        else gathered.columns + pad_cols
+                    )
+                    pad_run.append((probe_total + misses).tolist(), None, ordered)
+            probe_total += n
 
     # ---------------------------------------------------- per-partition joining
     def process(build_run: SpillRun, probe_run: SpillRun, depth: int) -> None:
         tracer = get_tracer()
+        if token is not None:
+            token.check()
         try:
             if (
                 budget is not None
@@ -328,23 +346,27 @@ def partitioned_spill_join(
         divisor = partitions ** (depth + 1)
         sub_build = [SpillRun() for _ in range(partitions)]
         sub_probe = [SpillRun() for _ in range(partitions)]
-        for run, subs in ((build_run, sub_build), (probe_run, sub_probe)):
-            for ids, codes, cols in run.read_chunks():
-                arr = np.asarray(codes, dtype=np.int64)
-                ids_arr = np.asarray(ids, dtype=np.int64)
-                sub_pid = (arr // divisor) % partitions
-                for p in range(partitions):
-                    rows = np.flatnonzero(sub_pid == p)
-                    if rows.size:
-                        views = [_object_view(col) for col in cols]
-                        subs[p].append(
-                            ids_arr[rows].tolist(),
-                            arr[rows].tolist(),
-                            [np.take(view, rows).tolist() for view in views],
-                        )
-        record_spill(sum(1 for run in sub_build if len(run)))
-        for p in range(partitions):
-            process(sub_build[p], sub_probe[p], depth + 1)
+        try:
+            for run, subs in ((build_run, sub_build), (probe_run, sub_probe)):
+                for ids, codes, cols in run.read_chunks():
+                    arr = np.asarray(codes, dtype=np.int64)
+                    ids_arr = np.asarray(ids, dtype=np.int64)
+                    sub_pid = (arr // divisor) % partitions
+                    for p in range(partitions):
+                        rows = np.flatnonzero(sub_pid == p)
+                        if rows.size:
+                            views = [_object_view(col) for col in cols]
+                            subs[p].append(
+                                ids_arr[rows].tolist(),
+                                arr[rows].tolist(),
+                                [np.take(view, rows).tolist() for view in views],
+                            )
+            record_spill(sum(1 for run in sub_build if len(run)))
+            for p in range(partitions):
+                process(sub_build[p], sub_probe[p], depth + 1)
+        finally:
+            for run in sub_build + sub_probe:
+                run.close()
 
     def _process_leaf(build_run: SpillRun, probe_run: SpillRun) -> None:
         build_ids: list[int] = []
@@ -372,6 +394,9 @@ def partitioned_spill_join(
             np.zeros(len(build_ids), dtype=np.bool_) if track_build else None
         )
         out_run = SpillRun()
+        # Registered before the probe loop so the outer ``finally`` closes it
+        # even when a cancellation interrupts the leaf mid-probe.
+        out_runs.append(out_run)
         for ids, codes, cols in probe_run.read_chunks():
             length = len(ids)
             arr = np.asarray(codes, dtype=np.int64)
@@ -452,11 +477,11 @@ def partitioned_spill_join(
             out_run.append(
                 out_ids.tolist(), None, [col.tolist() for col in ordered_cols]
             )
-        out_runs.append(out_run)
         if matched is not None:
             unmatched = np.flatnonzero(~matched)
             if unmatched.size:
                 run = SpillRun()
+                unmatched_runs.append(run)
                 ids_arr = np.asarray(build_ids, dtype=np.int64)
                 for start in range(0, int(unmatched.size), batch_rows):
                     chunk = unmatched[start : start + batch_rows]
@@ -465,9 +490,9 @@ def partitioned_spill_join(
                         None,
                         [np.take(view, chunk).tolist() for view in build_views],
                     )
-                unmatched_runs.append(run)
 
     try:
+        _partition_inputs()
         for p in range(partitions):
             process(build_runs[p], probe_runs[p], 0)
 
@@ -489,7 +514,9 @@ def partitioned_spill_join(
                 ordered = cols + probe_pad if build_on_left else probe_pad + cols
                 yield ColumnBatch(joined_schema, ordered, size)
     finally:
-        for run in out_runs + unmatched_runs:
+        # ``SpillRun.close`` is idempotent, so runs already closed by their
+        # per-partition ``process`` call are safely re-closed here.
+        for run in build_runs + probe_runs + out_runs + unmatched_runs:
             run.close()
         if pad_run is not None:
             pad_run.close()

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.common.cancellation import current_token
 from repro.common.errors import ExecutionError, SchemaError
 from repro.common.expressions import (
     BinaryOp,
@@ -596,7 +597,12 @@ class BatchExecutor:
         predicate = None if node.predicate is None else _PredicateRunner(node.predicate, schema)
 
         def generate() -> Iterator[ColumnBatch]:
+            token = current_token()
             for values in table.scan_batches(self._batch_rows):
+                if token is not None:
+                    # Cooperative cancellation: a timed-out or abandoned
+                    # query stops at the next batch, not at end-of-scan.
+                    token.check()
                 batch = ColumnBatch.from_value_rows(schema, values)
                 if predicate is not None:
                     batch = predicate(batch)
@@ -622,10 +628,13 @@ class BatchExecutor:
                     include_low=node.include_low,
                     include_high=node.include_high,
                 )
+            token = current_token()
             pending: list[tuple[Any, ...]] = []
             for _row_id, values in matches:
                 pending.append(values)
                 if len(pending) >= self._batch_rows:
+                    if token is not None:
+                        token.check()
                     batch = ColumnBatch.from_value_rows(schema, pending)
                     pending = []
                     if predicate is not None:

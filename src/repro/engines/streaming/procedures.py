@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.common.cancellation import check_cancelled
 from repro.common.errors import TransactionError
 from repro.engines.streaming.streams import SlidingWindow, Stream, StreamTuple
 
@@ -92,6 +93,7 @@ class TransactionScheduler:
         downstream: dict[str, Stream],
     ) -> ProcedureContext:
         """Run one procedure invocation as a transaction; returns the context."""
+        check_cancelled()
         txn_id = next(self._txn_counter)
         # The body works on a copy of the state so an abort leaves it untouched.
         scratch = dict(state)

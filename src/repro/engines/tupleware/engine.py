@@ -6,6 +6,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.common.cancellation import check_cancelled
 from repro.common.errors import DuplicateObjectError, ObjectNotFoundError
 from repro.common.schema import Column, Relation, Schema
 from repro.common.types import DataType
@@ -84,6 +85,7 @@ class TuplewareEngine(Engine):
     # ----------------------------------------------------------------- execute
     def execute(self, workflow: Workflow, dataset: str, compiled: bool = True) -> ExecutionReport:
         """Run a workflow over a stored dataset, compiled (default) or interpreted."""
+        check_cancelled()
         self.queries_executed += 1
         data = self.dataset(dataset)
         executor = self._compiled if compiled else self._interpreted

@@ -30,6 +30,8 @@ import threading
 import time
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.common import cancellation
+
 __all__ = [
     "NULL_SPAN",
     "Span",
@@ -55,34 +57,43 @@ def current_span() -> "Span | None":
     return getattr(_ACTIVE, "span", None)
 
 
-def capture_context() -> "tuple[Span | None, Tracer | None] | None":
-    """Snapshot the ambient (span, tracer override) for a worker thread.
+def capture_context() -> "tuple[Span | None, Tracer | None, Any] | None":
+    """Snapshot the ambient (span, tracer override, cancellation token).
 
     Returns None when there is nothing to carry, so the disabled path in
-    :func:`with_context` stays one ``is None`` check.
+    :func:`with_context` stays one ``is None`` check.  The cancellation
+    token rides along with the trace context because the two have exactly
+    the same propagation problem: worker threads (scheduler pool, plan-wave
+    threads, morsel workers) do not inherit the submitter's thread-locals.
     """
     span = getattr(_ACTIVE, "span", None)
     tracer = getattr(_ACTIVE, "tracer", None)
-    if span is None and tracer is None:
+    token = cancellation.current_token()
+    if span is None and tracer is None and token is None:
         return None
-    return (span, tracer)
+    return (span, tracer, token)
 
 
 def with_context(ctx: Any, fn: Callable, *args: Any, **kwargs: Any) -> Any:
     """Run ``fn`` with a captured context installed as the thread's ambient.
 
-    ``ctx`` is what :func:`capture_context` returned: None (tracing off —
-    ``fn`` is called directly), a ``(span, tracer)`` pair, or a bare
-    :class:`Span` from older callers.
+    ``ctx`` is what :func:`capture_context` returned: None (nothing to
+    carry — ``fn`` is called directly), a ``(span, tracer, token)`` triple,
+    a ``(span, tracer)`` pair from older callers, or a bare :class:`Span`.
     """
     if ctx is None:
         return fn(*args, **kwargs)
+    token = None
     if isinstance(ctx, tuple):
-        span, tracer = ctx
+        if len(ctx) == 3:
+            span, tracer, token = ctx
+        else:
+            span, tracer = ctx
     else:
         span, tracer = ctx, None
     prev_span = getattr(_ACTIVE, "span", None)
     prev_tracer = getattr(_ACTIVE, "tracer", None)
+    prev_token = cancellation._install(token)
     _ACTIVE.span = span
     _ACTIVE.tracer = tracer
     try:
@@ -90,6 +101,7 @@ def with_context(ctx: Any, fn: Callable, *args: Any, **kwargs: Any) -> Any:
     finally:
         _ACTIVE.span = prev_span
         _ACTIVE.tracer = prev_tracer
+        cancellation._install(prev_token)
 
 
 @contextlib.contextmanager

@@ -29,7 +29,7 @@ from repro.runtime.admission import AdmissionController, AdmissionTimeout, Engin
 from repro.runtime.cache import ResultCache
 from repro.runtime.faults import FaultInjector, FaultSpec, InjectedFault
 from repro.runtime.metrics import RuntimeMetrics
-from repro.runtime.resilience import CircuitBreaker, EngineResilience, RetryPolicy
+from repro.runtime.resilience import CircuitBreaker, EngineResilience, RetryBudget, RetryPolicy
 from repro.runtime.scheduler import PolystoreRuntime, RuntimeSession
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "InjectedFault",
     "PolystoreRuntime",
     "ResultCache",
+    "RetryBudget",
     "RetryPolicy",
     "RuntimeMetrics",
     "RuntimeSession",

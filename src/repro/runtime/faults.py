@@ -34,11 +34,12 @@ failures the runtime's retry policy is allowed to retry.
 
 from __future__ import annotations
 
+import math
 import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.errors import EngineUnavailableError, TransientEngineError
 
@@ -118,14 +119,17 @@ class FaultInjector:
     """
 
     def __init__(self, seed: int = 0,
-                 methods: Iterable[str] = DEFAULT_FAULTABLE_METHODS) -> None:
+                 methods: Iterable[str] = DEFAULT_FAULTABLE_METHODS,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._methods = tuple(methods)
         self._specs: list[FaultSpec] = []
         self._engine: Any = None
         self._originals: dict[str, Any] = {}
-        self._outage = False
+        self._clock = clock
+        #: Clock instant the current outage ends (inf = until restore()).
+        self._outage_until: float | None = None
         #: Instrumented calls per method (including ones that then failed).
         self.calls: dict[str, int] = {}
         #: Faults raised per method.
@@ -175,22 +179,48 @@ class FaultInjector:
             FaultSpec(methods=(method,), after_chunks=after_chunks, error=error)
         )
 
-    def outage(self) -> "FaultInjector":
-        """Simulate the engine going down: every call raises until restore()."""
+    def outage(self, duration_s: float | None = None) -> "FaultInjector":
+        """Simulate the engine going down: every call raises while it's out.
+
+        With ``duration_s`` the outage auto-restores once that much time has
+        passed on the injector's clock (injectable, so chaos tests can step
+        through an outage window without sleeping); without it, the engine
+        stays down until :meth:`restore`.
+        """
         with self._lock:
-            self._outage = True
+            if duration_s is None:
+                self._outage_until = math.inf
+            else:
+                if duration_s <= 0:
+                    raise ValueError(f"duration_s must be > 0, got {duration_s}")
+                self._outage_until = self._clock() + duration_s
         return self
 
     def restore(self) -> "FaultInjector":
         """Bring a downed engine back up."""
         with self._lock:
-            self._outage = False
+            self._outage_until = None
         return self
 
     @property
     def is_down(self) -> bool:
         with self._lock:
-            return self._outage
+            return self._down_locked()
+
+    def _down_locked(self) -> bool:
+        """Whether an outage is in effect now, expiring timed ones lazily."""
+        if self._outage_until is None:
+            return False
+        if self._clock() >= self._outage_until:
+            self._outage_until = None
+            return False
+        return True
+
+    def fail_rename(self, nth: int = 1,
+                    error: type = InjectedFault) -> "FaultInjector":
+        """Fail the Nth ``rename_object`` call — the transactional-CAST
+        commit step, so the shadow-publish rename itself is chaos-testable."""
+        return self.fail_nth("rename_object", nth, error=error)
 
     def total_injected(self) -> int:
         with self._lock:
@@ -252,7 +282,7 @@ class FaultInjector:
         error: BaseException | None = None
         with self._lock:
             self.calls[name] = self.calls.get(name, 0) + 1
-            if self._outage:
+            if self._down_locked():
                 self.injected[name] = self.injected.get(name, 0) + 1
                 engine_name = getattr(self._engine, "name", "engine")
                 error = EngineUnavailableError(

@@ -39,6 +39,7 @@ __all__ = [
     "BREAKER_STATES",
     "CircuitBreaker",
     "EngineResilience",
+    "RetryBudget",
     "RetryPolicy",
 ]
 
@@ -101,6 +102,65 @@ class RetryPolicy:
             "max_backoff_s": self.max_backoff_s,
             "jitter": self.jitter,
         }
+
+
+class RetryBudget:
+    """An adaptive per-engine token bucket gating retries.
+
+    Every retry spends one token; every *successful* call refills
+    ``refill_per_success`` tokens (capped at ``capacity``).  Against a
+    healthy engine the bucket hovers near full and retries are free; against
+    a flapping engine — failing often enough that refills cannot keep up —
+    the bucket drains and further retries are denied, so the runtime sheds
+    its own retry load instead of amplifying the overload with synchronized
+    re-attempts.  Failing *first* attempts are never gated (the breaker owns
+    that decision); only the additional, self-inflicted traffic is.
+    """
+
+    def __init__(self, capacity: float = 32.0, refill_per_success: float = 0.5) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if refill_per_success < 0:
+            raise ValueError(
+                f"refill_per_success must be >= 0, got {refill_per_success}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_success = float(refill_per_success)
+        self._tokens = float(capacity)
+        self._lock = threading.Lock()
+        self.denied_total = 0
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def try_spend(self, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; False (and no change) if not."""
+        with self._lock:
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True
+            self.denied_total += 1
+            return False
+
+    def refund(self, cost: float = 1.0) -> None:
+        """Return tokens spent by a multi-engine claim another bucket denied."""
+        with self._lock:
+            self._tokens = min(self.capacity, self._tokens + cost)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._tokens = min(self.capacity, self._tokens + self.refill_per_success)
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "tokens": round(self._tokens, 3),
+                "refill_per_success": self.refill_per_success,
+                "denied_total": self.denied_total,
+            }
 
 
 class CircuitBreaker:
@@ -276,14 +336,19 @@ class EngineResilience:
         half_open_probes: int = 1,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        retry_budget_capacity: float = 32.0,
+        retry_budget_refill: float = 0.5,
     ) -> None:
         self.retry = retry if retry is not None else RetryPolicy()
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self.half_open_probes = half_open_probes
+        self.retry_budget_capacity = retry_budget_capacity
+        self.retry_budget_refill = retry_budget_refill
         self._clock = clock
         self._sleep = sleep
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._budgets: dict[str, RetryBudget] = {}
         self._lock = threading.Lock()
         self._registry: MetricRegistry | None = None
 
@@ -293,10 +358,12 @@ class EngineResilience:
         self._registry = registry
         registry.counter("retry_attempts")
         registry.counter("retries_exhausted")
+        registry.counter("retry_budget_denied")
         registry.counter("breaker_open_total")
         registry.counter("breaker_close_total")
         registry.counter("breaker_rejections")
         registry.register_gauge("breaker_states", self.states)
+        registry.register_gauge("retry_budget_tokens", self.budget_tokens)
 
     def now(self) -> float:
         """The resilience clock — deadlines are instants on this clock."""
@@ -333,11 +400,46 @@ class EngineResilience:
                 kind="resilience", engine=engine, from_state=old, to_state=new,
             )
 
+    def budget(self, engine_name: str) -> RetryBudget:
+        key = engine_name.lower()
+        with self._lock:
+            if key not in self._budgets:
+                self._budgets[key] = RetryBudget(
+                    capacity=self.retry_budget_capacity,
+                    refill_per_success=self.retry_budget_refill,
+                )
+            return self._budgets[key]
+
+    def budget_tokens(self) -> dict[str, float]:
+        """Per-engine retry-budget fill (the ``retry_budget_tokens`` gauge)."""
+        with self._lock:
+            budgets = dict(self._budgets)
+        return {name: round(b.tokens, 3) for name, b in budgets.items()}
+
     def states(self) -> dict[str, str]:
         """Per-engine breaker state (the ``breaker_states`` gauge)."""
         with self._lock:
             breakers = list(self._breakers.values())
         return {b.engine_name: b.state for b in breakers}
+
+    def engine_is_available(self, engine_name: str) -> bool:
+        """Whether an engine's breaker currently admits traffic.
+
+        The catalog's read-routing health probe: consults only *existing*
+        breakers (probing must not materialize breaker state for engines the
+        runtime never dispatched to) and treats ``half_open`` as available —
+        probe traffic is how a recovering engine proves itself.
+        """
+        with self._lock:
+            breaker = self._breakers.get(engine_name.lower())
+        return breaker is None or breaker.state != "open"
+
+    def open_engines(self, engine_names: Iterable[str]) -> set[str]:
+        """The subset of ``engine_names`` whose breaker is currently open."""
+        return {
+            name.lower() for name in engine_names
+            if not self.engine_is_available(name)
+        }
 
     def describe(self) -> dict:
         with self._lock:
@@ -376,6 +478,12 @@ class EngineResilience:
                 if attempt >= self.retry.max_attempts:
                     self._count("retries_exhausted")
                     raise
+                if not self._spend_retry_budget(engines):
+                    # The flapping engine drained its budget: shed the retry
+                    # and surface the original failure instead of piling
+                    # synchronized re-attempts onto an overloaded engine.
+                    self._count("retry_budget_denied")
+                    raise
                 delay = self.retry.backoff(attempt)
                 if deadline is not None:
                     remaining = deadline - self._clock()
@@ -388,7 +496,21 @@ class EngineResilience:
                     self._sleep(delay)
             else:
                 self._release_breakers(claimed, success=True)
+                for name in engines:
+                    self.budget(name).record_success()
                 return result
+
+    def _spend_retry_budget(self, engines: list[str]) -> bool:
+        """Take one retry token from every touched engine, all or nothing."""
+        spent: list[RetryBudget] = []
+        for name in engines:
+            bucket = self.budget(name)
+            if not bucket.try_spend():
+                for earlier in spent:
+                    earlier.refund()
+                return False
+            spent.append(bucket)
+        return True
 
     def _claim_breakers(self, engines: list[str]) -> list[CircuitBreaker]:
         """Check every engine's breaker; raise fast if any refuses."""

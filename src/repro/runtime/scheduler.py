@@ -33,11 +33,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import ExitStack
 from typing import Sequence
 
+from repro.common.cancellation import CancellationToken, cancel_scope
 from repro.common.errors import (
     BigDawgError,
     CircuitOpenError,
     ObjectNotFoundError,
     PlanningError,
+    TransientEngineError,
 )
 from repro.common.parallel import WorkerCredits, resolve_parallelism
 from repro.common.schema import Relation
@@ -119,6 +121,22 @@ class PolystoreRuntime:
         registry = self.metrics.registry
         self.resilience.bind_registry(registry)
         registry.counter("stale_served")
+        registry.counter("failover_total")
+        # Per-engine degraded-mode accounting: which engine's outage caused
+        # stale serves / failovers, surfaced as dict-valued gauges.
+        self._degraded_lock = threading.Lock()
+        self._stale_served_by_engine: dict[str, int] = {}
+        self._failover_by_engine: dict[str, int] = {}
+        registry.register_gauge(
+            "stale_served_by_engine",
+            lambda: dict(self._stale_served_by_engine),
+        )
+        registry.register_gauge(
+            "failover_by_engine", lambda: dict(self._failover_by_engine)
+        )
+        # Replica-aware read routing avoids engines whose breaker is open:
+        # the catalog asks this probe before choosing the copy to read.
+        bigdawg.catalog.set_health_probe(self.resilience.engine_is_available)
         registry.register_gauge("queue_depth", self.admission.queue_depth)
         registry.register_gauge(
             "admission_wait_s_total", lambda: round(self.admission.queue_wait_seconds(), 6)
@@ -163,11 +181,19 @@ class PolystoreRuntime:
         """Enqueue one query; returns a future resolving to its Relation.
 
         ``deadline_s`` is a per-query wall budget: the deadline is checked
-        at every plan-step boundary (and bounds retry backoff), so a query
+        at every plan-step boundary, bounds retry backoff, and rides a
+        :class:`~repro.common.cancellation.CancellationToken` into the
+        engines, where it is polled at every batch/chunk boundary — a query
         that overruns fails with
-        :class:`~repro.common.errors.DeadlineExceededError` at the next
-        step edge rather than running arbitrarily long.  Defaults to the
-        runtime's ``default_deadline_s`` (None = no deadline).
+        :class:`~repro.common.errors.DeadlineExceededError` within one
+        batch of the deadline instead of running arbitrarily long.
+        Defaults to the runtime's ``default_deadline_s`` (None = no
+        deadline).
+
+        The returned future carries the token as ``cancellation_token``: a
+        client that no longer wants the answer calls ``.cancel()`` on it
+        and the in-flight query unwinds at its next batch boundary,
+        cleaning up shadow/spill state on the way out.
         """
         if self._closed:
             raise RuntimeError("runtime has been shut down")
@@ -177,18 +203,21 @@ class PolystoreRuntime:
         deadline = (
             self.resilience.now() + deadline_s if deadline_s is not None else None
         )
+        token = CancellationToken(deadline=deadline, clock=self.resilience.now)
         # When tracing, remember the enqueue instant so the worker can emit
         # a "queued" span for the time spent waiting for a pool thread.
         queued_at = time.time() if get_tracer().enabled else None
         try:
-            return self._pool.submit(
+            future = self._pool.submit(
                 self._run, query, cast_method, chunk_size, use_cache, queued_at,
-                deadline,
+                deadline, token,
             )
         except RuntimeError:
             # Lost the race with a concurrent shutdown(): the pool refused
             # the work; report it the same way the _closed check would have.
             raise RuntimeError("runtime has been shut down") from None
+        future.cancellation_token = token  # type: ignore[attr-defined]
+        return future
 
     def execute(self, query: str, cast_method: str = "binary",
                 chunk_size: int | None = None, use_cache: bool = True,
@@ -349,7 +378,8 @@ class PolystoreRuntime:
     # -------------------------------------------------------------- execution
     def _run(self, query: str, cast_method: str, chunk_size: int | None,
              use_cache: bool, queued_at: float | None = None,
-             deadline: float | None = None) -> Relation:
+             deadline: float | None = None,
+             token: CancellationToken | None = None) -> Relation:
         tracer = get_tracer()
         if tracer.enabled and tracer.sample_every and not tracer.sample_query():
             # This query lost the 1-in-N sampling draw: install a disabled
@@ -357,18 +387,25 @@ class PolystoreRuntime:
             # (steps, CAST chunks, operators) skips its spans too.
             with tracer_scope(_UNSAMPLED_TRACER):
                 return self._run_query(
-                    query, cast_method, chunk_size, use_cache, None, deadline
+                    query, cast_method, chunk_size, use_cache, None, deadline,
+                    token,
                 )
         return self._run_query(
-            query, cast_method, chunk_size, use_cache, queued_at, deadline
+            query, cast_method, chunk_size, use_cache, queued_at, deadline, token
         )
 
     def _run_query(self, query: str, cast_method: str, chunk_size: int | None,
                    use_cache: bool, queued_at: float | None,
-                   deadline: float | None) -> Relation:
+                   deadline: float | None,
+                   token: CancellationToken | None = None) -> Relation:
         started = time.perf_counter()
         tracer = get_tracer()
-        with tracer.span("query", kind="lifecycle", query=_span_text(query)) as root:
+        if token is None:
+            # Direct callers (runtime.trace) skip submit(): give the query a
+            # token anyway so its deadline still cancels mid-batch.
+            token = CancellationToken(deadline=deadline, clock=self.resilience.now)
+        with cancel_scope(token), \
+                tracer.span("query", kind="lifecycle", query=_span_text(query)) as root:
             if queued_at is not None and tracer.enabled:
                 tracer.record(
                     "queued", start_s=queued_at, duration_s=time.time() - queued_at,
@@ -383,6 +420,18 @@ class PolystoreRuntime:
                         root.set("cached", True)
                         return hit
                 fingerprint = self.cache.fingerprint()
+                pre_open: set[str] = set()
+                if use_cache and self.serve_stale_on_open:
+                    # Breakers already open *before* this execution: a
+                    # transient failure mid-query only qualifies for a stale
+                    # read when the query was degraded going in, so a failure
+                    # that first trips its own breaker still surfaces hard.
+                    try:
+                        pre_open = self.resilience.open_engines(
+                            self._referenced_engines(query)
+                        )
+                    except BigDawgError:
+                        pre_open = set()
                 result, plan = self._execute_uncached(
                     query, cast_method, chunk_size, deadline
                 )
@@ -396,14 +445,29 @@ class PolystoreRuntime:
                     self.slow_queries.observe(query, elapsed)
                 self._observe(query, plan, elapsed)
                 return result
-            except CircuitOpenError:
-                # Degraded-mode read: a breaker refused the live execution,
-                # but a last-known-good cached result may still be useful.
-                # Strictly opt-in (serve_stale_on_open) and always flagged.
+            except (CircuitOpenError, TransientEngineError) as error:
+                # Degraded-mode read: the live execution failed against an
+                # engine whose breaker is (now) open, but a last-known-good
+                # cached result may still be useful.  Covers multi-engine
+                # plans — *any* required breaker being open qualifies, not
+                # just the one that refused admission — and transient
+                # failures that tripped a breaker mid-query.  Strictly
+                # opt-in (serve_stale_on_open) and always flagged.
                 if use_cache and self.serve_stale_on_open:
-                    stale = self.cache.get_stale(query)
+                    open_engines = self._open_engines_for(query, error)
+                    if not isinstance(error, CircuitOpenError):
+                        # Transient failures only qualify when a required
+                        # breaker was open before the query started (see
+                        # ``pre_open`` above).
+                        open_engines &= pre_open
+                    stale = self.cache.get_stale(query) if open_engines else None
                     if stale is not None:
                         self.metrics.registry.counter("stale_served").inc()
+                        with self._degraded_lock:
+                            for name in open_engines:
+                                self._stale_served_by_engine[name] = (
+                                    self._stale_served_by_engine.get(name, 0) + 1
+                                )
                         elapsed = time.perf_counter() - started
                         self.metrics.record_completed(elapsed, cached=True)
                         root.set("stale", True)
@@ -434,19 +498,25 @@ class PolystoreRuntime:
             finally:
                 execution.cleanup()
         island = self.bigdawg._choose_island(stripped)
-        engines = self._referenced_engines(stripped)
-        if not engines:
-            members = island.member_engines()
-            if members:
-                engines = {members[0].name.lower()}
+        members = [engine.name for engine in island.member_engines()]
+
+        def resolve() -> set[str]:
+            engines = self._referenced_engines(stripped, members)
+            if not engines and members:
+                engines = {members[0].lower()}
+            return engines
+
         with tracer.span("executed", kind="lifecycle"):
-            return self.resilience.run(
-                engines,
-                lambda: self._admitted_dispatch(
-                    engines, lambda: island.execute(stripped)
-                ),
+            return self._dispatch_resilient(
+                resolve(),
+                lambda: island.execute(stripped),
                 deadline=deadline,
                 description="island query",
+                reresolve=resolve,
+                island=island,
+                text=stripped,
+                cast_method=cast_method,
+                chunk_size=chunk_size,
             ), None
 
     def _run_plan(self, plan: QueryPlan, execution: PlanExecution,
@@ -493,22 +563,137 @@ class PolystoreRuntime:
 
     def _run_admitted_step(self, execution: PlanExecution, plan: QueryPlan,
                            index: int, deadline: float | None = None) -> None:
-        engines = self._step_engines(plan.steps[index])
+        step = plan.steps[index]
+        engines = self._step_engines(step)
         tracer = get_tracer()
-        with tracer.span("plan_step", kind="step",
-                         step=plan.steps[index].describe()):
+        scope = getattr(step, "scope", None)
+        island = self.bigdawg.island(scope.island) if scope is not None else None
+        text = scope.body_without_casts if scope is not None else None
+        with tracer.span("plan_step", kind="step", step=step.describe()):
             # The whole admit-and-dispatch is the retryable unit: a retried
             # attempt re-queues at the admission gates (fairness under load)
             # and the breakers are checked *before* admission, so traffic to
             # a tripped engine fails fast instead of holding queue slots.
-            self.resilience.run(
+            self._dispatch_resilient(
                 engines,
-                lambda: self._admitted_dispatch(
-                    engines, lambda: execution.run_step(index)
-                ),
+                lambda: execution.run_step(index),
                 deadline=deadline,
-                description=plan.steps[index].describe(),
+                description=step.describe(),
+                reresolve=lambda: self._step_engines(step),
+                island=island,
+                text=text,
+                cast_method=getattr(step, "method", "binary"),
+                chunk_size=getattr(step, "chunk_size", None),
             )
+
+    def _dispatch_resilient(self, engines: set[str], call, deadline: float | None,
+                            description: str, reresolve=None, island=None,
+                            text: str | None = None, cast_method: str = "binary",
+                            chunk_size: int | None = None):
+        """Dispatch under retry/breakers; on an open breaker, fail over.
+
+        When the protected dispatch fails against an engine whose breaker is
+        (now) open, the step is *re-planned* instead of surfacing the error:
+        engine resolution runs again — with the breaker open, the catalog's
+        replica-aware routing now picks a healthy fresh copy — and, if plain
+        rerouting finds nothing, a fresh healthy replica from outside the
+        island is CAST into a healthy member first.  Only when the rerouted
+        engine set is actually clear of open breakers is the step
+        re-dispatched, under a ``failover`` span with per-engine counters.
+        """
+        try:
+            return self.resilience.run(
+                engines,
+                lambda: self._admitted_dispatch(engines, call),
+                deadline=deadline,
+                description=description,
+            )
+        except (CircuitOpenError, TransientEngineError) as error:
+            broken = self._open_engines_for_dispatch(engines, error)
+            if not broken or reresolve is None:
+                raise
+            rerouted = set(reresolve())
+            if (rerouted == engines or rerouted & broken) and island is not None \
+                    and text is not None:
+                if self._provision_replicas(text, island, cast_method, chunk_size):
+                    rerouted = set(reresolve())
+            if not rerouted or rerouted == engines or rerouted & broken:
+                raise
+            self.metrics.registry.counter("failover_total").inc()
+            with self._degraded_lock:
+                for name in sorted(broken):
+                    self._failover_by_engine[name] = (
+                        self._failover_by_engine.get(name, 0) + 1
+                    )
+            tracer = get_tracer()
+            with tracer.span(
+                "failover", kind="resilience", step=description,
+                from_engines=",".join(sorted(broken)),
+                to_engines=",".join(sorted(rerouted)),
+                error=type(error).__name__,
+            ):
+                return self.resilience.run(
+                    rerouted,
+                    lambda: self._admitted_dispatch(rerouted, call),
+                    deadline=deadline,
+                    description=f"failover: {description}",
+                )
+
+    def _open_engines_for_dispatch(self, engines: set[str],
+                                   error: BaseException) -> set[str]:
+        """Engines in this dispatch whose breaker is open, plus the refuser."""
+        broken = self.resilience.open_engines(engines)
+        name = getattr(error, "engine", None)
+        if name and not self.resilience.engine_is_available(name):
+            broken.add(name.lower())
+        return broken
+
+    def _open_engines_for(self, query: str, error: BaseException) -> set[str]:
+        """Open-breaker engines the *query* needs (the stale-serve test)."""
+        return self._open_engines_for_dispatch(
+            self._referenced_engines(query), error
+        )
+
+    def _provision_replicas(self, text: str, island, cast_method: str,
+                            chunk_size: int | None) -> bool:
+        """CAST stranded objects' fresh healthy replicas into the island.
+
+        For each object the step reads whose every in-island copy is
+        unhealthy but which has a fresh healthy copy *outside* the island,
+        copy that replica onto a healthy island member — the alternate-CAST
+        failover path.  Returns True when at least one object moved.
+        """
+        members = [engine.name.lower() for engine in island.member_engines()]
+        healthy_members = [
+            name for name in members if self.resilience.engine_is_available(name)
+        ]
+        if not healthy_members:
+            return False
+        catalog = self.bigdawg.catalog
+        moved = False
+        for token in sorted(set(_IDENTIFIER_RE.findall(text))):
+            try:
+                primary = catalog.locate(token)
+            except ObjectNotFoundError:
+                continue
+            fresh = catalog.fresh_locations(token)
+            healthy = [
+                loc for loc in fresh
+                if self.resilience.engine_is_available(loc.engine_name)
+            ]
+            if not healthy or any(loc.engine_name in healthy_members for loc in healthy):
+                continue  # nothing to copy from, or already readable in-island
+            source = healthy[0].engine_name
+            try:
+                self.bigdawg.migrator.cast(
+                    token, healthy_members[0], method=cast_method,
+                    chunk_size=chunk_size,
+                    source_engine=None if source == primary.engine_name else source,
+                )
+            except BigDawgError:
+                continue  # best effort; the re-raise path reports the original
+            moved = True
+        return moved
 
     def _admitted_dispatch(self, engines: set[str], fn):
         """Admit at the engines' gates, then dispatch one attempt of ``fn``."""
@@ -527,30 +712,55 @@ class PolystoreRuntime:
     # ------------------------------------------------------- engine discovery
     def _step_engines(self, step: object) -> set[str]:
         """The engines a plan step will touch, for admission control."""
+        catalog = self.bigdawg.catalog
         if isinstance(step, CastStep):
             engines = {step.target_engine.lower()}
-            try:
-                engines.add(self.bigdawg.catalog.locate(step.object_name).engine_name)
-            except ObjectNotFoundError:
-                pass
+            if step.source_engine is not None:
+                engines.add(step.source_engine.lower())
+            else:
+                try:
+                    engines.add(catalog.locate(step.object_name).engine_name)
+                except ObjectNotFoundError:
+                    pass
             return engines
         scope = getattr(step, "scope", None)
         if scope is None:  # pragma: no cover - defensive
             return set()
-        engines = self._referenced_engines(scope.body_without_casts)
+        members = [
+            engine.name
+            for engine in self.bigdawg.island(scope.island).member_engines()
+        ]
+        engines = self._referenced_engines(scope.body_without_casts, members)
         if isinstance(step, BindingStep):
             # The materialization writes into the temp engine: admit there
             # too, so binding writes stay inside that engine's slot budget.
             engines.add(self.bigdawg.temp_engine().name.lower())
         return engines
 
-    def _referenced_engines(self, text: str) -> set[str]:
-        """Engines storing any catalog object the query text mentions."""
+    def _referenced_engines(self, text: str,
+                            members: Sequence[str] | None = None) -> set[str]:
+        """Engines serving reads of any catalog object the text mentions.
+
+        Uses the catalog's replica-aware read routing (restricted to the
+        island's ``members`` when given), so admission slots and breaker
+        claims are taken against the copies the islands will actually read —
+        not a primary that routing is steering around.
+        """
         catalog = self.bigdawg.catalog
+        # Write statements are routed to the primary by the islands; claim
+        # the same copy here so admission matches the actual dispatch.
+        is_write = text.strip().lower().startswith(
+            ("insert", "update", "delete", "drop", "create", "alter")
+        )
         engines: set[str] = set()
         for token in set(_IDENTIFIER_RE.findall(text)):
             try:
-                engines.add(catalog.locate(token).engine_name)
+                if is_write:
+                    engines.add(catalog.locate(token).engine_name)
+                else:
+                    engines.add(
+                        catalog.locate_for_read(token, members=members).engine_name
+                    )
             except ObjectNotFoundError:
                 continue
         return engines

@@ -122,8 +122,8 @@ class TestTracer:
         tracer = Tracer(enabled=True)
         with tracer.span("parent") as parent:
             ctx = capture_context()
-        # The captured context carries (span, tracer override).
-        assert ctx == (parent, None)
+        # The captured context carries (span, tracer override, cancel token).
+        assert ctx == (parent, None, None)
 
         seen: list[object] = []
 
