@@ -18,6 +18,10 @@ over the synthetic MIMIC deployment:
    primary re-routes reads instead of degrading: the first failure triggers
    a traced ``failover`` re-dispatch, and every later query routes straight
    to the healthy replica with live (non-stale) answers throughout.
+5. **Write failover** — a write to the downed primary *elects* the fresh
+   replica as the new primary (a journaled ``failover.write`` promotion)
+   and lands there; a restarted runtime's crash recovery then repairs the
+   demoted copy back to byte-parity with an anti-entropy CAST.
 
 Set ``RUNTIME_BENCH_SMOKE=1`` for the CI-sized run (fewer rounds, same
 assertions).
@@ -203,8 +207,9 @@ def test_failover_serves_live_results_from_replica(deployment):
     stale reads: the first failure re-dispatches under a ``failover`` span
     and every query — that one included — returns a live answer.
 
-    Keep this experiment last in the module: it adds a standby engine to
-    the shared deployment.
+    Keep this experiment after the single-engine ones: it adds a standby
+    engine to the shared deployment (which the write-failover experiment
+    below then reuses).
     """
     bigdawg = deployment.bigdawg
     primary = _engine_for(bigdawg, "patients")
@@ -253,3 +258,70 @@ def test_failover_serves_live_results_from_replica(deployment):
     finally:
         injector.uninstall()
         runtime.shutdown()
+
+def test_write_failover_elects_replica_and_recovery_repairs(deployment):
+    """A write to a downed primary survives by *election*: the fresh
+    standby replica is promoted to primary (journaled, under a
+    ``failover.write`` span) and the write lands there; restarting the
+    runtime over the same journal repairs the demoted copy back to
+    byte-parity.
+
+    Keep this experiment last in the module: it moves the ``patients``
+    primary onto the standby and writes a row into the shared deployment.
+    """
+    bigdawg = deployment.bigdawg
+    primary = _engine_for(bigdawg, "patients")
+    standby = bigdawg.catalog.engine("postgres_standby")
+    baseline = len(primary.export_relation("patients").rows)
+    runtime = PolystoreRuntime(
+        bigdawg, workers=2,
+        resilience=EngineResilience(
+            retry=RetryPolicy(max_attempts=1), failure_threshold=1,
+            cooldown_s=60.0,
+        ),
+    )
+    injector = FaultInjector().outage()
+    injector.install(primary)
+    try:
+        started = time.perf_counter()
+        _, tracer = runtime.trace(
+            "INSERT INTO patients VALUES (999001, 54, 'F', 'white')"
+        )
+        elected_ms = (time.perf_counter() - started) * 1e3
+        (span,) = tracer.spans("failover.write")
+        assert span.attrs["from_engines"] == primary.name
+        assert span.attrs["to_engines"] == standby.name
+        # The election moved the primary and the write landed there, once.
+        assert bigdawg.catalog.locate("patients").engine_name == standby.name
+        assert len(standby.export_relation("patients").rows) == baseline + 1
+        snapshot = runtime.metrics.snapshot()
+        assert snapshot["writes_failed_over"] == 1
+        assert snapshot["journal_open_intents"] == 0
+    finally:
+        injector.uninstall()  # the old primary comes back, one write behind
+        runtime.shutdown()
+    assert len(primary.export_relation("patients").rows) == baseline
+
+    # "Restart": a fresh runtime over the same engines and the same
+    # journal replays the committed election and repairs the stale copy.
+    revived = PolystoreRuntime(
+        bigdawg, workers=2,
+        resilience=EngineResilience(
+            retry=RetryPolicy(max_attempts=1), failure_threshold=1,
+            cooldown_s=60.0,
+        ),
+        journal=runtime.journal,
+    )
+    try:
+        assert revived.last_recovery is not None
+        assert revived.last_recovery.repaired == 1
+        assert len(primary.export_relation("patients").rows) == baseline + 1
+        _assert_no_partials(bigdawg)
+        print(
+            f"\nCLAIM-13 write failover: outage on {primary.name!r} promoted "
+            f"{standby.name!r} to primary in {elected_ms:.2f}ms (write "
+            f"acknowledged), restart repaired the demoted copy "
+            f"({revived.last_recovery.repaired} anti-entropy cast)"
+        )
+    finally:
+        revived.shutdown()

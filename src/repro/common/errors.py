@@ -122,6 +122,20 @@ class QueryCancelledError(BigDawgError):
     """
 
 
+class SimulatedCrashError(BaseException):
+    """A simulated middleware-process death, for crash-recovery tests.
+
+    Deliberately derives from ``BaseException`` rather than
+    :class:`BigDawgError`: a real crash gives in-process cleanup handlers no
+    chance to run, so ``except Exception`` recovery paths (shadow discard,
+    intent aborts, failure accounting) must not observe this either.  The
+    few ``except BaseException`` unwind sites in the write path check for it
+    explicitly and re-raise without cleaning up — recovery from a simulated
+    crash must come from replaying the write-ahead intent journal, exactly
+    as it would after a genuine process death.
+    """
+
+
 class TransactionError(BigDawgError):
     """A transaction was aborted or used incorrectly."""
 

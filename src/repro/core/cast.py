@@ -44,7 +44,12 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.common.cancellation import check_cancelled
-from repro.common.errors import BigDawgError, CastError, ObjectNotFoundError
+from repro.common.errors import (
+    BigDawgError,
+    CastError,
+    ObjectNotFoundError,
+    SimulatedCrashError,
+)
 from repro.common.schema import Relation, Schema
 from repro.common.serialization import BinaryCodec, CsvCodec
 from repro.core.catalog import BigDawgCatalog
@@ -82,6 +87,12 @@ class CastMigrator:
 
     catalog: BigDawgCatalog
     history: list[CastRecord] = field(default_factory=list)
+    #: Write-ahead intent journal (duck-typed to avoid a core -> runtime
+    #: import; the runtime injects its
+    #: :class:`~repro.runtime.journal.WriteIntentJournal` here).  When set,
+    #: every cast journals begin/imported/renamed/catalog/source_dropped/
+    #: commit so crash recovery can roll a half-done cast forward or back.
+    journal: Any = None
 
     def __post_init__(self) -> None:
         self._object_locks: dict[str, threading.Lock] = {}
@@ -192,33 +203,68 @@ class CastMigrator:
         # partial shadow, so a died-mid-stream CAST is invisible afterwards
         # and the whole operation is idempotently retryable.
         shadow_name = self._shadow_name(destination_name)
+        # Write-ahead intent: the begin record lands before any engine state
+        # changes, each completed protocol step is marked, and the boundaries
+        # double as the crash-sweep points.  ``intent`` stays None when no
+        # journal is attached (bare migrator use).
+        intent = None
+        if self.journal is not None:
+            intent = self.journal.begin(
+                "cast",
+                object=object_name,
+                source_engine=source.name.lower(),
+                target_engine=target.name.lower(),
+                destination=destination_name,
+                shadow=shadow_name,
+                drop_source=drop_source,
+                target_kind=target.kind,
+                properties=dict(location.properties),
+            )
+            self.journal.crash_point("cast.begin")
+
+        def checkpoint(step: str) -> None:
+            if intent is not None:
+                intent.mark(step)
+                self.journal.crash_point(f"cast.{step}")
+
         with tracer.span(
             "cast", kind="cast", object=object_name,
             source=source.name, target=target.name, method=method,
         ):
-            # One export_stream call: engines with native chunk support answer
-            # from metadata, and fallback engines export the relation only once.
-            schema, exported = source.export_stream(object_name, size)
-            if codec is None:
-                # Zero-copy fast path: every engine here shares the in-memory
-                # Relation representation, so chunks flow through unserialized.
-                decoded = self._count_rows(exported, stats)
-            elif tracer.enabled:
-                decoded = self._traced_frame_pipeline(
-                    exported, schema, codec, method, use_tempfile, stats, tracer
-                )
-            else:
-                decoded = self._frame_pipeline(
-                    exported, schema, codec, method, use_tempfile, stats
-                )
             try:
+                # One export_stream call: engines with native chunk support
+                # answer from metadata, and fallback engines export the
+                # relation only once.
+                schema, exported = source.export_stream(object_name, size)
+                if codec is None:
+                    # Zero-copy fast path: every engine here shares the
+                    # in-memory Relation representation, so chunks flow
+                    # through unserialized.
+                    decoded = self._count_rows(exported, stats)
+                elif tracer.enabled:
+                    decoded = self._traced_frame_pipeline(
+                        exported, schema, codec, method, use_tempfile, stats, tracer
+                    )
+                else:
+                    decoded = self._frame_pipeline(
+                        exported, schema, codec, method, use_tempfile, stats
+                    )
                 with tracer.span("cast.import", kind="cast", object=destination_name,
                                  shadow=shadow_name):
                     target.import_chunks(shadow_name, schema, decoded, **import_options)
+                checkpoint("imported")
                 with tracer.span("cast.commit", kind="cast", object=destination_name):
                     target.rename_object(shadow_name, destination_name, replace=True)
-            except BaseException:
+                checkpoint("renamed")
+            except BaseException as error:
+                if isinstance(error, SimulatedCrashError):
+                    # A (simulated) process death gets no in-process cleanup:
+                    # the shadow stays, the intent stays open, and recovery
+                    # must resolve both from the journal.
+                    raise
                 self._discard_partial(target, shadow_name, tracer)
+                if intent is not None:
+                    intent.abort(error=type(error).__name__)
                 raise
         elapsed = time.perf_counter() - started
         # The catalog swap happens *before* the source copy is dropped: if
@@ -238,20 +284,27 @@ class CastMigrator:
                     destination_name, target.name, target.kind, replace=True,
                     **location.properties,
                 )
+            checkpoint("catalog")
             try:
                 source.drop_object(object_name)
             except ObjectNotFoundError:  # pragma: no cover - already gone
                 pass
+            checkpoint("source_dropped")
         elif destination_name.lower() == object_name.lower():
             # Copy-cast keeping the same name: the source keeps its (still
             # queryable) registration and the new copy is recorded as a fresh
             # replica — CAST doubling as a replication tool instead of
             # silently re-pointing the catalog away from the source island.
             self.catalog.add_replica(destination_name, target.name, target.kind)
+            checkpoint("catalog")
         else:
             self.catalog.register_object(
                 destination_name, target.name, target.kind, replace=True
             )
+            checkpoint("catalog")
+        if intent is not None:
+            intent.commit()
+            self.journal.crash_point("cast.committed")
         record = CastRecord(
             object_name=object_name,
             source_engine=source.name,

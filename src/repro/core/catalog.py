@@ -259,6 +259,47 @@ class BigDawgCatalog:
             self._bump()
             return location
 
+    def promote_primary(self, name: str, engine_name: str) -> ObjectLocation:
+        """Make the copy of ``name`` on ``engine_name`` the write primary.
+
+        The write-failover election step: when the current primary's engine
+        is down, a *fresh* replica (one holding the current content version)
+        is promoted so writes keep flowing.  The demoted primary stays
+        behind as a replica at its old version — the caller journals the
+        election and recovery later repairs (anti-entropy CAST) or discards
+        it.  Promoting the current primary is a no-op; promoting a stale or
+        unknown copy raises :class:`CatalogError`, because electing a copy
+        missing acknowledged writes would silently lose them.
+        """
+        with self._lock:
+            primary = self.locate(name)
+            key = name.lower()
+            engine_key = engine_name.lower()
+            if engine_key == primary.engine_name:
+                return primary
+            copies = self._replicas.get(key, {})
+            candidate = copies.get(engine_key)
+            if candidate is None:
+                raise CatalogError(
+                    f"no replica of {name!r} on engine {engine_name!r} to promote"
+                )
+            current = self._content_versions.get(key, 0)
+            if candidate.version != current:
+                raise CatalogError(
+                    f"replica of {name!r} on {engine_name!r} is stale "
+                    f"(version {candidate.version} != content {current}); "
+                    "refusing to elect a copy that would lose writes"
+                )
+            if key not in self._objects:
+                self._objects[key] = primary
+            copies.pop(engine_key)
+            copies[primary.engine_name] = primary  # demoted, keeps its version
+            self._replicas[key] = copies
+            self._objects[key] = candidate
+            self._schemas.pop(key, None)
+            self._bump()
+            return candidate
+
     def drop_replica(self, name: str, engine_name: str) -> None:
         """Forget the copy of ``name`` on ``engine_name`` (primary unaffected)."""
         with self._lock:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import re
 
-from repro.common.errors import ParseError
+from repro.common.errors import ParseError, TransientEngineError
 from repro.common.schema import Relation
 from repro.core.islands.base import Island
 from repro.core.shims import RelationalShim
@@ -47,6 +47,12 @@ class RelationalIsland(Island):
             for table in tables
         }
         engines = {engine.name for engine in placements.values()}
+        # A transient dispatch failure (engine down, connection dropped) is,
+        # by the retry contract, raised *before* the engine applied anything
+        # — the copies did not diverge, so replicas must stay fresh: a
+        # write-failover election needs one to promote.  Any other failure
+        # may have half-applied, so over-invalidating stays the safe default.
+        failed_before_apply = False
         try:
             if len(engines) == 1:
                 only_engine = next(iter(placements.values()))
@@ -59,8 +65,11 @@ class RelationalIsland(Island):
                 relation = RelationalShim(engine).fetch_relation(table)
                 scratch.import_relation(table, relation)
             return scratch.execute(query)
+        except TransientEngineError:
+            failed_before_apply = True
+            raise
         finally:
-            if is_write:
+            if is_write and not failed_before_apply:
                 for table, engine in placements.items():
                     # Stale-marks the other copies; a no-op without replicas.
                     if self.catalog.replicas(table):

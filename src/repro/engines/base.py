@@ -143,6 +143,9 @@ class Engine(ABC):
     #: state fingerprint because no cacheable query can observe their contents.
     ephemeral: bool = False
 
+    #: How many write idempotency tokens an engine remembers (FIFO).
+    WRITE_TOKEN_MEMORY = 1024
+
     def __init__(self, name: str) -> None:
         self.name = name
         #: Count of native queries executed; used by the monitor and tests.
@@ -151,6 +154,13 @@ class Engine(ABC):
         #: the runtime's result cache fingerprints engine state with it.
         self._write_version = 0
         self._write_version_lock = threading.Lock()
+        # Idempotency tokens of journaled writes this engine applied, in
+        # arrival order so the memory stays bounded.  Crash recovery asks
+        # ``has_write_token`` to tell "applied but the commit record is
+        # missing" (roll forward) from "never reached the engine" (roll
+        # back).
+        self._write_tokens: list[str] = []
+        self._write_token_set: set[str] = set()
 
     def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
@@ -174,6 +184,27 @@ class Engine(ABC):
         with self._write_version_lock:
             self._write_version += 1
             return self._write_version
+
+    def note_write_token(self, token: str) -> None:
+        """Remember that a journaled write with this idempotency token landed.
+
+        The scheduler stamps the token right after a journaled DML dispatch
+        succeeds; memory is bounded to :attr:`WRITE_TOKEN_MEMORY` tokens
+        (oldest first out), far beyond the handful of in-flight intents a
+        crash can leave behind.
+        """
+        with self._write_version_lock:
+            if token in self._write_token_set:
+                return
+            self._write_tokens.append(token)
+            self._write_token_set.add(token)
+            while len(self._write_tokens) > self.WRITE_TOKEN_MEMORY:
+                self._write_token_set.discard(self._write_tokens.pop(0))
+
+    def has_write_token(self, token: str) -> bool:
+        """Whether a journaled write with this token was applied here."""
+        with self._write_version_lock:
+            return token in self._write_token_set
 
     @property
     @abstractmethod

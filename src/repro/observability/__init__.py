@@ -8,11 +8,17 @@ Four pieces, used together or separately:
   (counters, gauges, histograms) behind one namespaced snapshot.
 * :mod:`~repro.observability.profile` — per-operator rows/batches/time
   profiling (EXPLAIN ANALYZE) and the slow-query log.
-* :mod:`~repro.observability.export` — Chrome trace-event JSON export and
-  a text tree renderer for collected spans.
+* :mod:`~repro.observability.export` — Chrome trace-event JSON and OTLP
+  JSON export plus a text tree renderer for collected spans.
 """
 
-from repro.observability.export import render_tree, to_chrome_trace, write_chrome_trace
+from repro.observability.export import (
+    render_tree,
+    to_chrome_trace,
+    to_otlp,
+    write_chrome_trace,
+    write_otlp,
+)
 from repro.observability.profile import (
     OperatorProfile,
     PlanProfiler,
@@ -50,7 +56,9 @@ __all__ = [
     "render_tree",
     "set_tracer",
     "to_chrome_trace",
+    "to_otlp",
     "tracer_scope",
     "with_context",
     "write_chrome_trace",
+    "write_otlp",
 ]

@@ -22,29 +22,57 @@ the reproduction:
   per-engine circuit breakers, checked before admission so traffic to a
   tripped engine fails fast (or, opt-in, is served a flagged stale result).
 * :mod:`repro.runtime.faults` — the chaos harness: inject failures, latency,
-  mid-stream deaths and whole-engine outages into any in-process engine.
+  mid-stream deaths, whole-engine outages and simulated process crashes at
+  journal boundaries into any in-process engine.
+* :mod:`repro.runtime.journal` — the write-ahead intent journal: every DML
+  dispatch, CAST protocol step and primary election appends begin/step/
+  commit records (with idempotency tokens) before acting, so a crash leaves
+  a replayable record instead of a mystery.
+* :mod:`repro.runtime.recovery` — crash recovery: replay the journal at
+  startup, roll committed work forward, roll incomplete work back (drop
+  shadows, un-promote half-elected primaries), repair or discard demoted
+  primaries, and reconcile the catalog against engine state.
 """
 
 from repro.runtime.admission import AdmissionController, AdmissionTimeout, EngineGate
 from repro.runtime.cache import ResultCache
 from repro.runtime.faults import FaultInjector, FaultSpec, InjectedFault
+from repro.runtime.journal import (
+    CRASH_POINTS,
+    FileJournalBackend,
+    Intent,
+    IntentState,
+    MemoryJournalBackend,
+    WriteIntentJournal,
+    all_crash_points,
+)
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.recovery import JournalRecovery, RecoveryReport
 from repro.runtime.resilience import CircuitBreaker, EngineResilience, RetryBudget, RetryPolicy
 from repro.runtime.scheduler import PolystoreRuntime, RuntimeSession
 
 __all__ = [
     "AdmissionController",
     "AdmissionTimeout",
+    "CRASH_POINTS",
     "CircuitBreaker",
     "EngineGate",
     "EngineResilience",
     "FaultInjector",
     "FaultSpec",
+    "FileJournalBackend",
     "InjectedFault",
+    "Intent",
+    "IntentState",
+    "JournalRecovery",
+    "MemoryJournalBackend",
     "PolystoreRuntime",
+    "RecoveryReport",
     "ResultCache",
     "RetryBudget",
     "RetryPolicy",
     "RuntimeMetrics",
     "RuntimeSession",
+    "WriteIntentJournal",
+    "all_crash_points",
 ]

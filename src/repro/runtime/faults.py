@@ -41,7 +41,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.common.errors import EngineUnavailableError, TransientEngineError
+from repro.common.errors import (
+    EngineUnavailableError,
+    SimulatedCrashError,
+    TransientEngineError,
+)
 
 __all__ = [
     "DEFAULT_FAULTABLE_METHODS",
@@ -134,6 +138,10 @@ class FaultInjector:
         self.calls: dict[str, int] = {}
         #: Faults raised per method.
         self.injected: dict[str, int] = {}
+        #: Armed crash points (journal boundaries), each fires at most once.
+        self._crash_points: set[str] = set()
+        #: Journals this injector's crash hook is installed on.
+        self._journals: list[Any] = []
 
     # -------------------------------------------------------------- fault plans
     def add(self, spec: FaultSpec) -> "FaultInjector":
@@ -226,6 +234,41 @@ class FaultInjector:
         with self._lock:
             return sum(self.injected.values())
 
+    # ----------------------------------------------------------- crash points
+    def crash_at(self, point: str) -> "FaultInjector":
+        """Arm a simulated process death at a named journal boundary.
+
+        The write paths announce every protocol boundary to their
+        :class:`~repro.runtime.journal.WriteIntentJournal` via
+        ``crash_point(name)`` (the sweepable names live in
+        ``journal.CRASH_POINTS``).  Once :meth:`attach_journal` has installed
+        this injector's hook, the first time an armed boundary is reached a
+        :class:`~repro.common.errors.SimulatedCrashError` unwinds the stack
+        with no in-process cleanup — the recovery path must then come from
+        replaying the journal, as after a real crash.  Each armed point
+        fires at most once.
+        """
+        with self._lock:
+            self._crash_points.add(point)
+        return self
+
+    def attach_journal(self, journal: Any) -> "FaultInjector":
+        """Install this injector's crash hook on ``journal``."""
+        journal.set_crash_hook(self._crash_hook)
+        with self._lock:
+            if journal not in self._journals:
+                self._journals.append(journal)
+        return self
+
+    def _crash_hook(self, point: str) -> None:
+        with self._lock:
+            if point not in self._crash_points:
+                return
+            self._crash_points.discard(point)
+            key = f"crash:{point}"
+            self.injected[key] = self.injected.get(key, 0) + 1
+        raise SimulatedCrashError(f"simulated process crash at {point!r}")
+
     # ------------------------------------------------------------- installation
     def install(self, engine: Any) -> Any:
         """Instrument ``engine`` in place; returns the engine for chaining."""
@@ -241,7 +284,13 @@ class FaultInjector:
         return engine
 
     def uninstall(self) -> None:
-        """Restore every instrumented method exactly as it was."""
+        """Restore every instrumented method exactly as it was, and detach
+        the crash hook from any attached journals."""
+        with self._lock:
+            journals, self._journals = self._journals, []
+            self._crash_points.clear()
+        for journal in journals:
+            journal.set_crash_hook(None)
         engine, self._engine = self._engine, None
         originals, self._originals = self._originals, {}
         if engine is None:

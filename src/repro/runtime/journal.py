@@ -1,0 +1,327 @@
+"""The write-ahead intent journal: durable records of in-flight mutations.
+
+A federated write is a multi-step protocol (dispatch a DML statement and
+invalidate replicas; import a CAST shadow, rename it live, swap the catalog,
+drop the source; promote a replica to primary before re-dispatching a write)
+and the middleware process can die between any two steps.  The
+:class:`WriteIntentJournal` is the recovery contract for that failure mode:
+every write-path protocol *begins* an intent record before doing anything,
+*marks* each completed step, and *commits* (or *aborts*) the intent when the
+protocol finishes.  :meth:`~repro.runtime.recovery.JournalRecovery.recover`
+replays the journal after a restart — committed intents are finished,
+incomplete ones rolled back or rolled forward from their last marked step —
+so a crash can never lose an acknowledged write or leave a half-applied one
+visible.
+
+Records are append-only dicts.  Two backends:
+
+* :class:`MemoryJournalBackend` — an in-process list, the test default.
+* :class:`FileJournalBackend` — one JSON line per record, flushed on every
+  append (optionally fsync'd), tolerant of a torn trailing line from a crash
+  mid-append.  Reopening the same path resumes the sequence numbers, so a
+  "restarted" runtime sees the previous process's intents.
+
+Every intent carries an **idempotency token**: the scheduler stamps it onto
+the engines a journaled write touched (:meth:`~repro.engines.base.Engine.
+note_write_token`), so recovery can tell "the engine applied this write but
+the commit record is missing" (roll forward) apart from "the write never
+reached the engine" (roll back) without guessing.
+
+Crash simulation hooks into the journal rather than the engines: the write
+paths call :meth:`WriteIntentJournal.crash_point` at every protocol boundary,
+and :meth:`FaultInjector.crash_at <repro.runtime.faults.FaultInjector.
+crash_at>` arms a :class:`~repro.common.errors.SimulatedCrashError` at a
+named boundary.  The error derives from ``BaseException`` so ordinary
+``except Exception`` cleanup does not run — exactly like a real process
+death, which is the point of the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "CRASH_POINTS",
+    "FileJournalBackend",
+    "Intent",
+    "IntentState",
+    "MemoryJournalBackend",
+    "WriteIntentJournal",
+]
+
+#: Every journal boundary the write paths expose to the crash sweep, by
+#: protocol.  ``cast.source_dropped`` only exists on ``drop_source`` casts.
+CRASH_POINTS = {
+    "dml": ("dml.begin", "dml.dispatched", "dml.applied", "dml.committed"),
+    "cast": (
+        "cast.begin",
+        "cast.imported",
+        "cast.renamed",
+        "cast.catalog",
+        "cast.source_dropped",
+        "cast.committed",
+    ),
+    "promotion": ("promotion.begin", "promotion.catalog", "promotion.committed"),
+}
+
+
+class MemoryJournalBackend:
+    """Journal records in an in-process list (the default, for tests)."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._records: list[dict] = []
+        self._lock = threading.Lock()
+
+    def append(self, record: dict) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def records(self) -> list[dict]:
+        with self._lock:
+            return list(self._records)
+
+    def close(self) -> None:  # pragma: no cover - symmetry with the file backend
+        pass
+
+
+class FileJournalBackend:
+    """Journal records as JSON lines appended to one file.
+
+    Every append is flushed before returning (``fsync=True`` additionally
+    forces it to the device, the durable-deployment setting).  Reading back
+    skips blank and torn lines — a crash mid-append must not make the whole
+    journal unreadable, it just loses the record that was being written,
+    which by the write-ahead discipline means the step it described never
+    happened as far as recovery is concerned.
+    """
+
+    name = "file"
+
+    def __init__(self, path: "str | os.PathLike[str]", fsync: bool = False) -> None:
+        self.path = os.fspath(path)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
+
+    def records(self) -> list[dict]:
+        with self._lock:
+            self._file.flush()
+        out: list[dict] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn trailing write from a crash mid-append
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            self._file.close()
+
+
+class Intent:
+    """A live handle on one journaled protocol run.
+
+    The protocol calls :meth:`mark` after each completed step and exactly one
+    of :meth:`commit` / :meth:`abort` at the end.  The handle never swallows
+    the distinction: a crash between steps simply leaves the intent without a
+    terminal record, which is what recovery keys on.
+    """
+
+    __slots__ = ("journal", "intent_id", "kind", "token")
+
+    def __init__(self, journal: "WriteIntentJournal", intent_id: str,
+                 kind: str, token: str) -> None:
+        self.journal = journal
+        self.intent_id = intent_id
+        self.kind = kind
+        self.token = token
+
+    def mark(self, step: str, **payload: Any) -> None:
+        """Record that one protocol step completed."""
+        self.journal._append(self.intent_id, self.kind, "apply", step=step,
+                             payload=payload)
+
+    def commit(self, **payload: Any) -> None:
+        self.journal.commit_intent(self.intent_id, kind=self.kind, **payload)
+
+    def abort(self, **payload: Any) -> None:
+        self.journal.abort_intent(self.intent_id, kind=self.kind, **payload)
+
+
+@dataclass
+class IntentState:
+    """One intent as reconstructed from the journal by :meth:`replay`."""
+
+    intent_id: str
+    kind: str
+    token: str
+    payload: dict = field(default_factory=dict)
+    #: Completed steps, step name -> the mark's payload.
+    steps: dict = field(default_factory=dict)
+    committed: bool = False
+    aborted: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return self.committed or self.aborted
+
+
+class WriteIntentJournal:
+    """Append-only begin/apply/commit/abort intent records.
+
+    Thread-safe; one journal serves every write path of a runtime (DML
+    dispatches, CAST protocols, primary promotions).  ``crash_hook`` is the
+    crash-simulation seam: :meth:`crash_point` calls it with the boundary
+    name, and an armed :class:`~repro.runtime.faults.FaultInjector` raises
+    :class:`~repro.common.errors.SimulatedCrashError` from it.
+    """
+
+    def __init__(self, backend: Any = None, clock: Callable[[], float] = time.time) -> None:
+        self.backend = backend if backend is not None else MemoryJournalBackend()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._crash_hook: Callable[[str], None] | None = None
+        existing = self.backend.records()
+        self._seq = max((int(r.get("seq", 0)) for r in existing), default=0)
+        #: Intents begun, journal-wide (prior process runs included).
+        self.intents_written = sum(1 for r in existing if r.get("phase") == "begin")
+        self.intents_committed = sum(1 for r in existing if r.get("phase") == "commit")
+        self.intents_aborted = sum(1 for r in existing if r.get("phase") == "abort")
+        self.records_written = len(existing)
+
+    # --------------------------------------------------------------- recording
+    def begin(self, kind: str, **payload: Any) -> Intent:
+        """Open a new intent; returns the handle carrying its idempotency token."""
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            intent_id = f"i{seq:08d}"
+            token = f"w{seq:08d}.{kind}"
+            self.intents_written += 1
+        self._append(intent_id, kind, "begin", token=token, payload=payload,
+                     reserved_seq=seq)
+        return Intent(self, intent_id, kind, token)
+
+    def commit_intent(self, intent_id: str, kind: str = "", **payload: Any) -> None:
+        with self._lock:
+            self.intents_committed += 1
+        self._append(intent_id, kind, "commit", payload=payload)
+
+    def abort_intent(self, intent_id: str, kind: str = "", **payload: Any) -> None:
+        with self._lock:
+            self.intents_aborted += 1
+        self._append(intent_id, kind, "abort", payload=payload)
+
+    def annotate(self, intent_id: str, step: str, kind: str = "",
+                 **payload: Any) -> None:
+        """Append an apply record to an existing intent (recovery bookkeeping)."""
+        self._append(intent_id, kind, "apply", step=step, payload=payload)
+
+    def _append(self, intent_id: str, kind: str, phase: str,
+                step: str | None = None, token: str | None = None,
+                payload: dict | None = None,
+                reserved_seq: int | None = None) -> None:
+        with self._lock:
+            if reserved_seq is None:
+                self._seq += 1
+                reserved_seq = self._seq
+            self.records_written += 1
+        record = {
+            "seq": reserved_seq,
+            "intent": intent_id,
+            "kind": kind,
+            "phase": phase,
+            "ts": self._clock(),
+        }
+        if step is not None:
+            record["step"] = step
+        if token is not None:
+            record["token"] = token
+        if payload:
+            record["payload"] = payload
+        self.backend.append(record)
+
+    # ------------------------------------------------------------------ replay
+    def replay(self) -> list[IntentState]:
+        """Reconstruct every intent, in begin order, from the record stream."""
+        states: dict[str, IntentState] = {}
+        for record in sorted(self.backend.records(), key=lambda r: r.get("seq", 0)):
+            intent_id = record.get("intent")
+            if not intent_id:
+                continue
+            state = states.get(intent_id)
+            phase = record.get("phase")
+            if state is None:
+                state = states[intent_id] = IntentState(
+                    intent_id=intent_id,
+                    kind=record.get("kind", ""),
+                    token=record.get("token", ""),
+                )
+            if phase == "begin":
+                state.kind = record.get("kind", state.kind)
+                state.token = record.get("token", state.token)
+                state.payload = dict(record.get("payload") or {})
+            elif phase == "apply":
+                state.steps[record.get("step", "")] = dict(record.get("payload") or {})
+            elif phase == "commit":
+                state.committed = True
+            elif phase == "abort":
+                state.aborted = True
+        return list(states.values())
+
+    def open_intents(self) -> list[IntentState]:
+        """Intents begun but never committed or aborted — recovery's worklist."""
+        return [state for state in self.replay() if not state.complete]
+
+    def has_intents(self) -> bool:
+        return self.intents_written > 0
+
+    # ---------------------------------------------------------- crash simulation
+    def set_crash_hook(self, hook: Callable[[str], None] | None) -> None:
+        """Install (or with None remove) the crash-simulation hook."""
+        self._crash_hook = hook
+
+    def crash_point(self, name: str) -> None:
+        """A named write-path boundary; an armed hook raises a simulated crash."""
+        hook = self._crash_hook
+        if hook is not None:
+            hook(name)
+
+    # ------------------------------------------------------------------- status
+    def describe(self) -> dict:
+        return {
+            "backend": getattr(self.backend, "name", type(self.backend).__name__),
+            "records_written": self.records_written,
+            "intents_written": self.intents_written,
+            "intents_committed": self.intents_committed,
+            "intents_aborted": self.intents_aborted,
+            "open_intents": len(self.open_intents()),
+        }
+
+
+def all_crash_points(kinds: Iterable[str] = ("dml", "cast", "promotion")) -> list[str]:
+    """The flat crash-point sweep list, for parametrized crash tests."""
+    out: list[str] = []
+    for kind in kinds:
+        out.extend(CRASH_POINTS[kind])
+    return out

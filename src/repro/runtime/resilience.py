@@ -31,7 +31,11 @@ import threading
 import time
 from typing import Callable, Iterable
 
-from repro.common.errors import CircuitOpenError, DeadlineExceededError
+from repro.common.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    SimulatedCrashError,
+)
 from repro.observability.registry import MetricRegistry
 from repro.observability.tracing import get_tracer
 
@@ -89,6 +93,29 @@ class RetryPolicy:
         with self._rng_lock:
             factor = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
         return base * factor
+
+    def attempts_within(self, budget_s: float) -> int:
+        """How many attempts fit inside ``budget_s`` of remaining deadline.
+
+        Counts worst-case (jitter-stretched) backoff between attempts, so a
+        caller that caps a re-dispatch at this many attempts can never sleep
+        its way past the deadline.  At least one attempt is always allowed —
+        the caller has already checked the deadline has not passed — and the
+        policy's own ``max_attempts`` is the ceiling.
+        """
+        attempts = 1
+        spent = 0.0
+        while attempts < self.max_attempts:
+            base = min(
+                self.base_backoff_s * (self.multiplier ** (attempts - 1)),
+                self.max_backoff_s,
+            )
+            worst = base * (1.0 + self.jitter)
+            if spent + worst > budget_s:
+                break
+            spent += worst
+            attempts += 1
+        return attempts
 
     @staticmethod
     def is_retryable(error: BaseException) -> bool:
@@ -451,15 +478,22 @@ class EngineResilience:
 
     # --------------------------------------------------------------- execution
     def run(self, engine_names: Iterable[str], fn: Callable[[], object],
-            deadline: float | None = None, description: str = "") -> object:
+            deadline: float | None = None, description: str = "",
+            max_attempts: int | None = None) -> object:
         """Run ``fn`` under breaker protection with transient-failure retries.
 
         ``deadline`` is an absolute ``clock()`` instant; it is checked
         before every attempt and bounds every backoff sleep, so a retrying
         step can never overshoot its query's budget by more than one
-        engine call.
+        engine call.  ``max_attempts`` tightens (never loosens) the retry
+        policy's attempt ceiling for this one call — the failover path uses
+        :meth:`RetryPolicy.attempts_within` to carve a re-dispatch's retries
+        out of the deadline budget already spent on the failed primary.
         """
         engines = sorted({name.lower() for name in engine_names})
+        ceiling = self.retry.max_attempts
+        if max_attempts is not None:
+            ceiling = max(1, min(ceiling, max_attempts))
         attempt = 0
         while True:
             attempt += 1
@@ -468,6 +502,10 @@ class EngineResilience:
             try:
                 result = fn()
             except BaseException as error:  # noqa: BLE001 - classified below
+                if isinstance(error, SimulatedCrashError):
+                    # A (simulated) process death: no breaker accounting, no
+                    # retry — the stack unwinds as if the process were gone.
+                    raise
                 # Only transient (connection-shaped) failures count against
                 # breakers: a semantic error is the engine *responding*, which
                 # is evidence of health, not of an outage.
@@ -475,7 +513,7 @@ class EngineResilience:
                 self._release_breakers(claimed, success=not transient)
                 if not transient:
                     raise
-                if attempt >= self.retry.max_attempts:
+                if attempt >= ceiling:
                     self._count("retries_exhausted")
                     raise
                 if not self._spend_retry_budget(engines):

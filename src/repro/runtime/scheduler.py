@@ -33,12 +33,15 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import ExitStack
 from typing import Sequence
 
-from repro.common.cancellation import CancellationToken, cancel_scope
+from repro.common.cancellation import CancellationToken, cancel_scope, check_cancelled
 from repro.common.errors import (
     BigDawgError,
+    CatalogError,
     CircuitOpenError,
+    DeadlineExceededError,
     ObjectNotFoundError,
     PlanningError,
+    SimulatedCrashError,
     TransientEngineError,
 )
 from repro.common.parallel import WorkerCredits, resolve_parallelism
@@ -55,10 +58,19 @@ from repro.observability.tracing import (
 )
 from repro.runtime.admission import AdmissionController
 from repro.runtime.cache import ResultCache
+from repro.runtime.journal import WriteIntentJournal
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.recovery import JournalRecovery, RecoveryReport
 from repro.runtime.resilience import EngineResilience
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Statement prefixes the islands route to the primary copy (mutations).
+_WRITE_PREFIXES = ("insert", "update", "delete", "drop", "create", "alter")
+
+
+def _is_write_statement(text: str) -> bool:
+    return text.strip().lower().startswith(_WRITE_PREFIXES)
 
 
 def _span_text(query: str, limit: int = 200) -> str:
@@ -92,6 +104,8 @@ class PolystoreRuntime:
         resilience: EngineResilience | None = None,
         serve_stale_on_open: bool = False,
         default_deadline_s: float | None = None,
+        journal: WriteIntentJournal | None = None,
+        recover_on_start: bool = True,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -122,6 +136,23 @@ class PolystoreRuntime:
         self.resilience.bind_registry(registry)
         registry.counter("stale_served")
         registry.counter("failover_total")
+        # Durable-write surface: the write-ahead intent journal covers DML
+        # dispatches, CAST protocols and primary promotions; the migrator
+        # gets the journal injected (duck-typed — core/ never imports
+        # runtime/) so casts journal themselves wherever they are triggered.
+        self.journal = journal if journal is not None else WriteIntentJournal()
+        bigdawg.migrator.journal = self.journal
+        #: The report of the most recent :meth:`recover` run, if any.
+        self.last_recovery: RecoveryReport | None = None
+        registry.counter("writes_failed_over")
+        registry.counter("intents_replayed")
+        registry.counter("recovery_rollbacks")
+        registry.register_gauge(
+            "intents_written", lambda: self.journal.intents_written
+        )
+        registry.register_gauge(
+            "journal_open_intents", lambda: len(self.journal.open_intents())
+        )
         # Per-engine degraded-mode accounting: which engine's outage caused
         # stale serves / failovers, surfaced as dict-valued gauges.
         self._degraded_lock = threading.Lock()
@@ -173,6 +204,12 @@ class PolystoreRuntime:
             max_workers=workers, thread_name_prefix="bigdawg-runtime"
         )
         self._closed = False
+        # A journal carrying intents from a previous process run means that
+        # process died (or was killed) mid-write: replay it before serving,
+        # so no query can observe a half-applied write.  A fresh (empty)
+        # journal makes this a no-op.
+        if recover_on_start and self.journal.has_intents():
+            self.recover()
 
     # ------------------------------------------------------------- client API
     def submit(self, query: str, cast_method: str = "binary",
@@ -289,7 +326,42 @@ class PolystoreRuntime:
             "metrics": self.metrics.snapshot(),
             "admission": self.admission.describe(),
             "cache": self.cache.describe(),
+            "journal": self.journal.describe(),
+            "recovery": (
+                None if self.last_recovery is None else self.last_recovery.as_dict()
+            ),
         }
+
+    # --------------------------------------------------------------- recovery
+    def recover(self) -> RecoveryReport:
+        """Replay the write-ahead intent journal and reconcile the catalog.
+
+        The crash-recovery entry point, run automatically at startup when
+        the journal carries intents (``recover_on_start``) and callable at
+        any time — it is idempotent.  Committed intents are rolled forward
+        (finish the catalog swap / source drop a crash interrupted, repair
+        or discard the primary a committed election demoted), incomplete
+        ones rolled back (drop orphaned CAST shadows, un-promote
+        half-elected primaries, abort unapplied DML — consulting the
+        engines' idempotency-token memory to keep DML that *did* land),
+        and the catalog is reconciled against what the engines actually
+        hold.  Returns the :class:`RecoveryReport`; counters land in
+        ``metrics.snapshot()`` (``intents_replayed``,
+        ``recovery_rollbacks``).
+        """
+        tracer = get_tracer()
+        with tracer.span("recovery", kind="resilience") as span:
+            report = JournalRecovery(
+                self.bigdawg,
+                self.journal,
+                health=self.resilience.engine_is_available,
+            ).recover()
+            span.set("replayed", report.intents_replayed)
+            span.set("rolled_back", report.rolled_back)
+        self.metrics.registry.counter("intents_replayed").inc(report.intents_replayed)
+        self.metrics.registry.counter("recovery_rollbacks").inc(report.rolled_back)
+        self.last_recovery = report
+        return report
 
     # ------------------------------------------------- relational executor knob
     def relational_execution_modes(self) -> dict[str, int]:
@@ -590,21 +662,70 @@ class PolystoreRuntime:
                             description: str, reresolve=None, island=None,
                             text: str | None = None, cast_method: str = "binary",
                             chunk_size: int | None = None):
+        """Dispatch under retry/breakers/failover, journaling mutations.
+
+        Statements the islands route to a primary copy (DML/DDL) are
+        wrapped in a write-ahead intent: the begin record lands before the
+        dispatch, the intent's idempotency token is stamped onto the engines
+        once the write applies, and the commit record seals it — so crash
+        recovery can always classify an interrupted write as applied (roll
+        forward) or not (roll back).  Reads skip the journal entirely.
+        """
+        if text is None or not _is_write_statement(text):
+            return self._dispatch_with_failover(
+                engines, call, deadline, description, reresolve, island,
+                text, cast_method, chunk_size,
+            )
+        intent = self.journal.begin(
+            "dml",
+            query=_span_text(text),
+            engines=sorted(engines),
+            tables=self._catalog_tables(text),
+        )
+        self.journal.crash_point("dml.begin")
+        try:
+            result = self._dispatch_with_failover(
+                engines, call, deadline, description, reresolve, island,
+                text, cast_method, chunk_size, write_token=intent.token,
+            )
+        except BaseException as error:
+            if not isinstance(error, SimulatedCrashError):
+                intent.abort(error=type(error).__name__)
+            raise
+        self.journal.crash_point("dml.dispatched")
+        intent.mark("applied")
+        self.journal.crash_point("dml.applied")
+        intent.commit()
+        self.journal.crash_point("dml.committed")
+        return result
+
+    def _dispatch_with_failover(self, engines: set[str], call,
+                                deadline: float | None, description: str,
+                                reresolve=None, island=None,
+                                text: str | None = None,
+                                cast_method: str = "binary",
+                                chunk_size: int | None = None,
+                                write_token: str | None = None):
         """Dispatch under retry/breakers; on an open breaker, fail over.
 
         When the protected dispatch fails against an engine whose breaker is
-        (now) open, the step is *re-planned* instead of surfacing the error:
-        engine resolution runs again — with the breaker open, the catalog's
-        replica-aware routing now picks a healthy fresh copy — and, if plain
-        rerouting finds nothing, a fresh healthy replica from outside the
-        island is CAST into a healthy member first.  Only when the rerouted
-        engine set is actually clear of open breakers is the step
-        re-dispatched, under a ``failover`` span with per-engine counters.
+        (now) open, the step is *re-planned* instead of surfacing the error.
+        For reads, engine resolution runs again — with the breaker open, the
+        catalog's replica-aware routing now picks a healthy fresh copy —
+        and, if plain rerouting finds nothing, a fresh healthy replica from
+        outside the island is CAST into a healthy member first.  For writes,
+        rerouting alone cannot help (only the primary accepts writes), so a
+        fresh healthy replica is *promoted* to primary first — a journaled
+        election under a ``failover.write`` span — and the write re-routes
+        to the new primary.  Only when the rerouted engine set is actually
+        clear of open breakers is the step re-dispatched, with its retry
+        attempts budgeted out of whatever deadline remains, so a failover
+        can never overshoot the query's budget.
         """
         try:
             return self.resilience.run(
                 engines,
-                lambda: self._admitted_dispatch(engines, call),
+                lambda: self._admitted_dispatch(engines, call, write_token),
                 deadline=deadline,
                 description=description,
             )
@@ -612,14 +733,35 @@ class PolystoreRuntime:
             broken = self._open_engines_for_dispatch(engines, error)
             if not broken or reresolve is None:
                 raise
+            failover_attempts: int | None = None
+            if deadline is not None:
+                # Deadline-aware failover budgeting: the failed primary
+                # already spent part of the query's budget, so the
+                # re-dispatch gets only as many attempts (with worst-case
+                # backoff) as still fit before the deadline.
+                remaining = deadline - self.resilience.now()
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"query deadline exhausted before failover of "
+                        f"{description or 'step'}"
+                    ) from error
+                failover_attempts = self.resilience.retry.attempts_within(remaining)
+            is_write = text is not None and _is_write_statement(text)
+            elected = False
+            if is_write and island is not None:
+                elected = self._elect_write_primaries(text, broken, description)
+                if not elected:
+                    raise
             rerouted = set(reresolve())
-            if (rerouted == engines or rerouted & broken) and island is not None \
-                    and text is not None:
+            if not is_write and (rerouted == engines or rerouted & broken) \
+                    and island is not None and text is not None:
                 if self._provision_replicas(text, island, cast_method, chunk_size):
                     rerouted = set(reresolve())
             if not rerouted or rerouted == engines or rerouted & broken:
                 raise
             self.metrics.registry.counter("failover_total").inc()
+            if elected:
+                self.metrics.registry.counter("writes_failed_over").inc()
             with self._degraded_lock:
                 for name in sorted(broken):
                     self._failover_by_engine[name] = (
@@ -627,17 +769,85 @@ class PolystoreRuntime:
                     )
             tracer = get_tracer()
             with tracer.span(
-                "failover", kind="resilience", step=description,
+                "failover.write" if elected else "failover",
+                kind="resilience", step=description,
                 from_engines=",".join(sorted(broken)),
                 to_engines=",".join(sorted(rerouted)),
                 error=type(error).__name__,
+                budget_attempts=failover_attempts or 0,
             ):
                 return self.resilience.run(
                     rerouted,
-                    lambda: self._admitted_dispatch(rerouted, call),
+                    lambda: self._admitted_dispatch(rerouted, call, write_token),
                     deadline=deadline,
                     description=f"failover: {description}",
+                    max_attempts=failover_attempts,
                 )
+
+    def _elect_write_primaries(self, text: str, broken: set[str],
+                               description: str) -> bool:
+        """Promote fresh healthy replicas to primary for a failed write.
+
+        For every catalog object the statement mentions whose primary sits
+        on a broken engine, a *fresh* (current-content) replica on a healthy
+        engine is promoted via :meth:`BigDawgCatalog.promote_primary`.  Each
+        election is journaled as a ``promotion`` intent — begin before the
+        catalog swap, commit after — so a crash mid-election is either
+        rolled back (un-promote) or, once committed, finished by recovery:
+        the demoted copy is repaired with an anti-entropy CAST or discarded.
+        Returns True when at least one primary moved.
+        """
+        catalog = self.bigdawg.catalog
+        elected = False
+        for name in sorted(set(_IDENTIFIER_RE.findall(text))):
+            check_cancelled()  # client cancellation lands between elections
+            try:
+                primary = catalog.locate(name)
+            except ObjectNotFoundError:
+                continue
+            if primary.engine_name not in broken:
+                continue
+            candidates = [
+                loc for loc in catalog.fresh_locations(name)
+                if loc.engine_name != primary.engine_name
+                and self.resilience.engine_is_available(loc.engine_name)
+            ]
+            if not candidates:
+                continue
+            target = candidates[0].engine_name
+            intent = self.journal.begin(
+                "promotion",
+                object=primary.name,
+                from_engine=primary.engine_name,
+                to_engine=target,
+                step=description,
+            )
+            self.journal.crash_point("promotion.begin")
+            try:
+                catalog.promote_primary(name, target)
+            except CatalogError as error:
+                # Lost a race (another thread promoted first, or the copy
+                # went stale between the check and the swap): record the
+                # abort and move on — reresolve() will see whatever primary
+                # won.
+                intent.abort(error=type(error).__name__)
+                continue
+            intent.mark("catalog")
+            self.journal.crash_point("promotion.catalog")
+            intent.commit()
+            self.journal.crash_point("promotion.committed")
+            elected = True
+        return elected
+
+    def _catalog_tables(self, text: str) -> list[str]:
+        """Catalog objects a statement mentions (for the journal record)."""
+        names = []
+        for token in sorted(set(_IDENTIFIER_RE.findall(text))):
+            try:
+                names.append(self.bigdawg.catalog.locate(token).name)
+            except ObjectNotFoundError:
+                continue
+        return names
 
     def _open_engines_for_dispatch(self, engines: set[str],
                                    error: BaseException) -> set[str]:
@@ -695,15 +905,29 @@ class PolystoreRuntime:
             moved = True
         return moved
 
-    def _admitted_dispatch(self, engines: set[str], fn):
-        """Admit at the engines' gates, then dispatch one attempt of ``fn``."""
+    def _admitted_dispatch(self, engines: set[str], fn,
+                           write_token: str | None = None):
+        """Admit at the engines' gates, then dispatch one attempt of ``fn``.
+
+        For journaled writes, the intent's idempotency token is stamped onto
+        the touched engines *after* the dispatch succeeds — recovery uses
+        the token to tell an applied-but-uncommitted write (roll forward)
+        from one that never reached an engine (roll back).
+        """
         tracer = get_tracer()
         with ExitStack() as stack:
             with tracer.span("admitted", kind="lifecycle",
                              engines=",".join(sorted(engines))):
                 stack.enter_context(self.admission.admit(engines))
             self._dispatch_delay()
-            return fn()
+            result = fn()
+            if write_token is not None:
+                for name in engines:
+                    try:
+                        self.bigdawg.catalog.engine(name).note_write_token(write_token)
+                    except ObjectNotFoundError:  # pragma: no cover - defensive
+                        pass
+            return result
 
     def _dispatch_delay(self) -> None:
         if self.engine_latency > 0:
@@ -749,9 +973,7 @@ class PolystoreRuntime:
         catalog = self.bigdawg.catalog
         # Write statements are routed to the primary by the islands; claim
         # the same copy here so admission matches the actual dispatch.
-        is_write = text.strip().lower().startswith(
-            ("insert", "update", "delete", "drop", "create", "alter")
-        )
+        is_write = _is_write_statement(text)
         engines: set[str] = set()
         for token in set(_IDENTIFIER_RE.findall(text)):
             try:

@@ -29,8 +29,10 @@ from repro.observability import (
     render_tree,
     set_tracer,
     to_chrome_trace,
+    to_otlp,
     with_context,
     write_chrome_trace,
+    write_otlp,
 )
 from repro.runtime import AdmissionController, PolystoreRuntime, RuntimeMetrics
 
@@ -498,6 +500,55 @@ class TestExport:
         assert count >= 2  # two complete events plus thread metadata rows
         loaded = json.loads(target.read_text())
         assert any(e["name"] == "query" for e in loaded)
+
+    def test_otlp_shape(self):
+        tracer = self._traced_run()
+        payload = to_otlp(tracer.spans(), service_name="unit-test")
+        (resource,) = payload["resourceSpans"]
+        (attr,) = resource["resource"]["attributes"]
+        assert attr == {"key": "service.name", "value": {"stringValue": "unit-test"}}
+        (scope,) = resource["scopeSpans"]
+        spans = scope["spans"]
+        assert [s["name"] for s in spans] == ["query", "executed"]
+        parent, child = spans
+        # Hex ids: 32-char traceId shared, 16-char spanId, child links parent.
+        assert parent["traceId"] == child["traceId"]
+        assert len(parent["traceId"]) == 32
+        assert len(parent["spanId"]) == 16
+        assert parent["parentSpanId"] == ""
+        assert child["parentSpanId"] == parent["spanId"]
+        for span in spans:
+            assert span["kind"] == 1  # SPAN_KIND_INTERNAL
+            # int64 nanos are strings in the OTLP JSON mapping.
+            assert int(span["endTimeUnixNano"]) >= int(span["startTimeUnixNano"])
+        keys = {a["key"]: a["value"] for a in parent["attributes"]}
+        assert keys["span.kind"] == {"stringValue": "lifecycle"}
+        assert keys["query"] == {"stringValue": "SELECT 1"}
+        assert "thread.name" in keys
+
+    def test_otlp_types_attribute_values(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", kind="step", count=3, ratio=0.5, ok=True, label="x"):
+            pass
+        payload = to_otlp(tracer.spans())
+        (span,) = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        values = {a["key"]: a["value"] for a in span["attributes"]}
+        assert values["count"] == {"intValue": "3"}
+        assert values["ratio"] == {"doubleValue": 0.5}
+        assert values["ok"] == {"boolValue": True}
+        assert values["label"] == {"stringValue": "x"}
+
+    def test_write_otlp_roundtrips(self, tmp_path):
+        tracer = self._traced_run()
+        target = tmp_path / "otlp.json"
+        count = write_otlp(target, tracer.spans())
+        assert count == 2
+        loaded = json.loads(target.read_text())
+        names = [
+            s["name"]
+            for s in loaded["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        ]
+        assert names == ["query", "executed"]
 
     def test_render_tree_indents_children(self):
         tracer = self._traced_run()
